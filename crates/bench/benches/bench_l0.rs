@@ -1,0 +1,53 @@
+//! E1 performance companion: ℓ0 structures (Theorem 2.1).
+//!
+//! Measures update and query throughput of the uniform sampler and the
+//! cheap detector across domain sizes — the inner loop of every graph
+//! sketch in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_field::SplitMix64;
+use gs_sketch::{L0Detector, L0Sampler};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0_update");
+    for bits in [12u32, 20, 32] {
+        let domain = 1u64 << bits;
+        group.bench_with_input(BenchmarkId::new("sampler", bits), &domain, |b, &d| {
+            let mut s = L0Sampler::new(d, 1);
+            let mut rng = SplitMix64::new(2);
+            b.iter(|| s.update(rng.next_range(d), 1));
+        });
+        group.bench_with_input(BenchmarkId::new("detector", bits), &domain, |b, &d| {
+            let mut s = L0Detector::new(d, 1);
+            let mut rng = SplitMix64::new(2);
+            b.iter(|| s.update(rng.next_range(d), 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l0_query");
+    group.sample_size(20);
+    for support in [16u64, 1024] {
+        let domain = 1u64 << 20;
+        let mut sampler = L0Sampler::new(domain, 3);
+        let mut detector = L0Detector::new(domain, 3);
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..support {
+            let i = rng.next_range(domain);
+            sampler.update(i, 1);
+            detector.update(i, 1);
+        }
+        group.bench_with_input(BenchmarkId::new("sampler", support), &(), |b, _| {
+            b.iter(|| sampler.query())
+        });
+        group.bench_with_input(BenchmarkId::new("detector", support), &(), |b, _| {
+            b.iter(|| detector.query())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E2 performance companion: `k-RECOVERY` (Theorem 2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_field::SplitMix64;
+use gs_sketch::{Mergeable, SparseRecovery};
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_recovery_update");
+    for k in [8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut s = SparseRecovery::new(1 << 30, k, 1);
+            let mut rng = SplitMix64::new(2);
+            b.iter(|| s.update(rng.next_range(1 << 30), 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_recovery_decode");
+    group.sample_size(20);
+    for k in [8usize, 64, 512] {
+        let mut s = SparseRecovery::new(1 << 30, k, 3);
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..k {
+            s.update(rng.next_range(1 << 30), 1 + rng.next_range(9) as i64);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            b.iter(|| s.decode().expect("k-sparse input decodes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // The Fig. 3 hot path: summing per-node recoveries over a cut side.
+    let mut group = c.benchmark_group("sparse_recovery_merge");
+    for k in [64usize, 512] {
+        let a = SparseRecovery::new(1 << 30, k, 5);
+        let other = a.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            let mut acc = a.clone();
+            b.iter(|| acc.merge(&other));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_decode, bench_merge);
+criterion_main!(benches);

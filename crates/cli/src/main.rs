@@ -1,0 +1,193 @@
+//! `graph-sketch` — sketch a dynamic graph stream from stdin and answer a
+//! structural query, without ever materializing the graph.
+//!
+//! ```text
+//! graph-sketch <command> --n <vertices> [options] < updates.txt
+//!
+//! commands:
+//!   connectivity          components + spanning forest size
+//!   bipartite             bipartiteness test (double cover)
+//!   mincut                (1+eps)-approximate minimum cut        [--eps]
+//!   sparsify              eps-cut-sparsifier edge list           [--eps]
+//!   triangles             gamma for order-3 patterns             [--eps]
+//!   mst                   (1+eps)-approx minimum spanning forest [--eps --max-weight]
+//!   kconnected            k-edge-connectivity test               [--k]
+//!
+//! stream format: one update per line: `+ u v [w]` or `- u v [w]`.
+//! ```
+
+mod parse;
+
+use graph_sketches::extras::{BipartitenessSketch, KConnectivitySketch};
+use graph_sketches::mst::MstSketch;
+use graph_sketches::{ForestSketch, MinCutSketch, SparsifySketch, SubgraphSketch};
+use gs_graph::subgraph::Pattern;
+use parse::{parse_stream, ParsedUpdate};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    n: usize,
+    eps: f64,
+    k: usize,
+    max_weight: u64,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: graph-sketch <connectivity|bipartite|mincut|sparsify|triangles|mst|kconnected> \
+         --n <vertices> [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] < stream"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut opts = Options {
+        command,
+        n: 0,
+        eps: 0.5,
+        k: 2,
+        max_weight: 1024,
+        seed: 0xC0FFEE,
+    };
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--n" => opts.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--eps" => opts.eps = val()?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--k" => opts.k = val()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--max-weight" => {
+                opts.max_weight = val()?.parse().map_err(|e| format!("--max-weight: {e}"))?
+            }
+            "--seed" => opts.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.n < 2 {
+        return Err("--n must be at least 2".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("error reading stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let updates = match parse_stream(&input, opts.n) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ingesting {} updates over {} vertices…", updates.len(), opts.n);
+    run(&opts, &updates)
+}
+
+fn run(opts: &Options, updates: &[ParsedUpdate]) -> ExitCode {
+    let n = opts.n;
+    match opts.command.as_str() {
+        "connectivity" => {
+            let mut s = ForestSketch::new(n, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta * up.w as i64);
+            }
+            let f = s.decode();
+            println!("components: {}", f.component_count());
+            println!("forest edges: {}", f.edges.len());
+            println!("connected: {}", f.is_spanning_tree());
+        }
+        "bipartite" => {
+            let mut s = BipartitenessSketch::new(n, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta * up.w as i64);
+            }
+            println!("bipartite: {}", s.is_bipartite());
+        }
+        "mincut" => {
+            let mut s = MinCutSketch::new(n, opts.eps, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta * up.w as i64);
+            }
+            match s.decode() {
+                Some(est) => {
+                    println!("min cut estimate: {}", est.value);
+                    println!("resolved at level: {}", est.level);
+                    let a: Vec<usize> =
+                        (0..n).filter(|&v| est.side[v]).collect();
+                    println!("witness side ({} vertices): {a:?}", a.len());
+                }
+                None => {
+                    eprintln!("unresolved: increase levels/k for this input");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "sparsify" => {
+            let mut s = SparsifySketch::new(n, opts.eps, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta * up.w as i64);
+            }
+            let h = s.decode();
+            println!("# eps-sparsifier: {} weighted edges", h.m());
+            for &(u, v, w) in h.edges() {
+                println!("{u} {v} {w}");
+            }
+        }
+        "triangles" => {
+            let mut s = SubgraphSketch::new(n, 3, opts.eps, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta);
+            }
+            let pats = [
+                ("triangle", Pattern::triangle()),
+                ("path3", Pattern::path3()),
+                ("edge+isolated", Pattern::edge_plus_isolated()),
+            ];
+            let ests =
+                s.estimate_many(&pats.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>());
+            for ((name, _), est) in pats.iter().zip(ests) {
+                match est {
+                    Some(v) => println!("gamma[{name}]: {v:.4}"),
+                    None => println!("gamma[{name}]: no non-empty samples"),
+                }
+            }
+        }
+        "mst" => {
+            let mut s = MstSketch::new(n, opts.eps, opts.max_weight, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.w, up.delta);
+            }
+            let f = s.decode();
+            println!("# approx MSF: {} edges, total weight {}", f.m(), f.total_weight());
+            for &(u, v, w) in f.edges() {
+                println!("{u} {v} {w}");
+            }
+        }
+        "kconnected" => {
+            let mut s = KConnectivitySketch::new(n, opts.k, opts.seed);
+            for up in updates {
+                s.update_edge(up.u, up.v, up.delta * up.w as i64);
+            }
+            println!("{}-edge-connected: {}", opts.k, s.is_k_connected());
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

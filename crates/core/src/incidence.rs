@@ -1,0 +1,103 @@
+//! The node incidence vectors `x^u` of Eq. 1.
+//!
+//! For a graph level `G_i`, node `u`'s vector `x^{u,i} ∈ {−1,0,1}^(V 2)`
+//! has, for each edge slot `(v,w)` with `v < w`:
+//!
+//! ```text
+//! x^{u,i}[v,w] = +1   if u = v and (v,w) ∈ G_i
+//!              = −1   if u = w and (v,w) ∈ G_i
+//!              =  0   otherwise
+//! ```
+//!
+//! The point of the sign convention (§3.3): for any vertex set `A`,
+//! `support(Σ_{u∈A} x^u) = E(A)`, the edges crossing the cut `(A, V∖A)` —
+//! edges inside `A` appear once with `+1` and once with `−1` and cancel.
+//! Every cut-query in the paper is this one linear-algebra trick applied
+//! to a different sketch of the `x^u`.
+
+/// The signed coefficient of edge `{u, other}` in `x^u` (±1): `+1` when
+/// `u` is the smaller endpoint of the slot, `−1` otherwise.
+#[inline]
+pub fn sign_for(u: usize, other: usize) -> i64 {
+    debug_assert!(u != other);
+    if u < other {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Applies a stream update of edge `{u,v}` with multiplicity change
+/// `delta` to the two affected node vectors, calling
+/// `apply(node, edge_slot_delta)` for each endpoint. `edge_index` must be
+/// the slot of `{u,v}` in `[0, C(n,2))`.
+#[inline]
+pub fn update_both_endpoints(
+    u: usize,
+    v: usize,
+    delta: i64,
+    mut apply: impl FnMut(usize, i64),
+) {
+    apply(u, sign_for(u, v) * delta);
+    apply(v, sign_for(v, u) * delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_sketch::domain::{edge_domain, edge_index};
+
+    #[test]
+    fn signs_are_antisymmetric() {
+        assert_eq!(sign_for(2, 7), 1);
+        assert_eq!(sign_for(7, 2), -1);
+        for u in 0..10 {
+            for v in 0..10 {
+                if u != v {
+                    assert_eq!(sign_for(u, v), -sign_for(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_support_cancellation() {
+        // Explicitly materialize Σ_{u∈A} x^u for a small graph and verify
+        // support = crossing edges (the Eq. 1 property).
+        let n = 6;
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)];
+        let a_side = [true, true, false, false, true, false]; // A = {0,1,4}
+        let mut sum = vec![0i64; edge_domain(n) as usize];
+        for &(u, v) in &edges {
+            let idx = edge_index(n, u, v) as usize;
+            for (node, d) in [(u, sign_for(u, v)), (v, sign_for(v, u))] {
+                if a_side[node] {
+                    sum[idx] += d;
+                }
+            }
+        }
+        for &(u, v) in &edges {
+            let idx = edge_index(n, u, v) as usize;
+            let crossing = a_side[u] != a_side[v];
+            assert_eq!(
+                sum[idx] != 0,
+                crossing,
+                "edge ({u},{v}) crossing={crossing} sum={}",
+                sum[idx]
+            );
+            if crossing {
+                assert_eq!(sum[idx].abs(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn update_both_endpoints_touches_exactly_two() {
+        let mut touched = Vec::new();
+        update_both_endpoints(3, 8, 2, |node, d| touched.push((node, d)));
+        assert_eq!(touched, vec![(3, 2), (8, -2)]);
+        touched.clear();
+        update_both_endpoints(8, 3, -1, |node, d| touched.push((node, d)));
+        assert_eq!(touched, vec![(8, 1), (3, -1)]);
+    }
+}

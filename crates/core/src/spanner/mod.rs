@@ -1,0 +1,18 @@
+//! Spanner construction from adaptive sketches (§5).
+//!
+//! Unlike §3–§4, these schemes are **r-adaptive** (Definition 2): the
+//! linear measurements of a later batch depend on the outcomes of earlier
+//! batches. In the stream world each batch is a pass, counted by
+//! [`gs_stream::passes::Meter`]:
+//!
+//! * [`baswana_sen`] — the k-pass emulation of Baswana–Sen: stretch
+//!   `2k − 1` with `Õ(n^{1+1/k})` edges, pass-per-phase.
+//! * [`recurse`] — `RECURSECONNECT` (§5.1, Theorem 5.1): only
+//!   `⌈log₂ k⌉ + 1` passes by growing contracted regions aggressively, at
+//!   the price of stretch `k^{log₂ 5} − 1`.
+
+pub mod baswana_sen;
+pub mod recurse;
+
+pub use baswana_sen::{baswana_sen, BaswanaSenParams};
+pub use recurse::{recurse_connect, RecurseParams, RecurseTrace};

@@ -1,0 +1,135 @@
+//! Property-based tests for the paper's algorithms: soundness invariants
+//! that must hold for *every* input, not just w.h.p. accuracy claims.
+
+use graph_sketches::{
+    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SubgraphSketch,
+};
+use gs_graph::{Graph, UnionFind};
+use proptest::prelude::*;
+
+/// A random simple graph as an edge set on `n ≤ 14` vertices.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (5usize..14).prop_flat_map(|n| {
+        prop::collection::btree_set((0..n, 0..n), 0..40)
+            .prop_map(move |pairs| {
+                Graph::from_edges(
+                    n,
+                    pairs
+                        .into_iter()
+                        .filter(|&(a, b)| a != b)
+                        .map(|(a, b)| (a.min(b), a.max(b))),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forest_decode_is_always_sound(g in small_graph(), seed in 0u64..1000) {
+        // Whatever happens probabilistically, the decoded forest never
+        // contains a phantom edge or a cycle, and never *over*-connects.
+        let mut s = ForestSketch::new(g.n(), seed);
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, w as i64);
+        }
+        let f = s.decode();
+        let mut uf = UnionFind::new(g.n());
+        let mut truth = g.components();
+        for &(u, v, _) in &f.edges {
+            prop_assert!(g.has_edge(u, v), "phantom edge ({u},{v})");
+            prop_assert!(uf.union(u, v), "cycle");
+            prop_assert!(truth.connected(u, v));
+        }
+    }
+
+    #[test]
+    fn kedge_witness_is_always_a_subgraph(g in small_graph(), seed in 0u64..500, k in 1usize..5) {
+        let mut s = KEdgeConnectSketch::new(g.n(), k, seed);
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, w as i64);
+        }
+        let h = s.decode_witness();
+        for &(u, v, w) in h.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(w as usize <= k);
+        }
+        prop_assert!(h.m() <= k * (g.n().max(1) - 1));
+    }
+
+    #[test]
+    fn mincut_estimate_never_below_witnessed_cut(g in small_graph(), seed in 0u64..300) {
+        prop_assume!(g.m() >= 1);
+        let mut s = MinCutSketch::new(g.n(), 0.5, seed);
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, w as i64);
+        }
+        if let Some(est) = s.decode() {
+            // The returned side is a real cut of G; at level 0 its value
+            // matches the estimate exactly, so the estimate is achievable.
+            prop_assert!(est.side.iter().any(|&x| x));
+            prop_assert!(est.side.iter().any(|&x| !x));
+            if est.level == 0 {
+                prop_assert_eq!(g.cut_value(&est.side), est.value);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsifier_support_is_always_real(g in small_graph(), seed in 0u64..300) {
+        let mut s = SimpleSparsifySketch::new(g.n(), 0.75, seed);
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, w as i64);
+        }
+        let h = s.decode();
+        for &(u, v, _) in h.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+        // Zero cuts must stay zero: the sparsifier never bridges
+        // components (Definition 4 with λ_A(G) = 0).
+        let mut gc = g.components();
+        for &(u, v, _) in h.edges() {
+            prop_assert!(gc.connected(u, v));
+        }
+    }
+
+    #[test]
+    fn subgraph_samples_are_real_induced_subgraphs(g in small_graph(), seed in 0u64..300) {
+        prop_assume!(g.n() >= 3);
+        let mut s = SubgraphSketch::new(g.n(), 3, 0.34, seed);
+        for &(u, v, _) in g.edges() {
+            s.update_edge(u, v, 1);
+        }
+        // Every raw sample must be the exact induced-mask of *some*
+        // 3-subset of G — i.e. the value is in the set of real masks.
+        let mut real_masks = std::collections::BTreeSet::new();
+        for a in 0..g.n() {
+            for b in (a + 1)..g.n() {
+                for c in (b + 1)..g.n() {
+                    let m = g.induced_mask(&[a, b, c]);
+                    if m != 0 {
+                        real_masks.insert(m);
+                    }
+                }
+            }
+        }
+        for m in s.raw_samples() {
+            prop_assert!(real_masks.contains(&m), "sampled mask {m:#b} not present in G");
+        }
+    }
+
+    #[test]
+    fn deletion_of_everything_yields_empty_sketches(g in small_graph(), seed in 0u64..200) {
+        let mut s = ForestSketch::new(g.n(), seed);
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, w as i64);
+        }
+        for &(u, v, w) in g.edges() {
+            s.update_edge(u, v, -(w as i64));
+        }
+        let f = s.decode();
+        prop_assert!(f.edges.is_empty());
+        prop_assert_eq!(f.component_count(), g.n());
+    }
+}

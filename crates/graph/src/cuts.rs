@@ -1,0 +1,124 @@
+//! Cut enumeration and randomized cut audits.
+//!
+//! Definition 4 quantifies sparsifiers over *all* `2^{n−1}` cuts; testing
+//! that literally is only possible for tiny graphs ([`enumerate_cuts`]).
+//! For larger graphs the experiments audit (a) every Gomory–Hu tree cut
+//! (which includes a minimum u-v cut for every pair) and (b) a large batch
+//! of random cuts ([`random_cut_audit`]), which is the standard empirical
+//! proxy.
+
+use crate::graph::Graph;
+use gs_field::SplitMix64;
+
+/// Iterates all `2^{n−1} − 1` distinct non-trivial cuts of a graph with
+/// `n ≤ 24`, yielding the side mask (vertex 0 always on the `false` side).
+pub fn enumerate_cuts(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    assert!((2..=24).contains(&n), "cut enumeration is exponential; n = {n}");
+    (1u32..(1 << (n - 1))).map(move |mask| {
+        // Vertex v ∈ A iff bit v−1 set; vertex 0 never in A, so each cut
+        // appears exactly once.
+        (0..n).map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1).collect()
+    })
+}
+
+/// Exact global minimum cut by enumeration (tiny graphs only).
+pub fn brute_force_min_cut(g: &Graph) -> u64 {
+    enumerate_cuts(g.n())
+        .map(|side| g.cut_value(&side))
+        .min()
+        .expect("n >= 2")
+}
+
+/// The worst multiplicative error of `h` against `g` over a batch of
+/// random cuts: returns `max |λ_A(H)/λ_A(G) − 1|` across `trials` uniform
+/// random sides (skipping cuts with `λ_A(G) = 0`).
+///
+/// This is the audit metric of experiments E5–E7. Uniform random cuts are
+/// biased toward Θ(m)-size cuts, so the audit also deserves the planted /
+/// Gomory–Hu cuts supplied by the callers.
+pub fn random_cut_audit(g: &Graph, h: &Graph, trials: usize, seed: u64) -> f64 {
+    assert_eq!(g.n(), h.n());
+    let n = g.n();
+    let mut rng = SplitMix64::new(seed);
+    let mut worst: f64 = 0.0;
+    for _ in 0..trials {
+        let side: Vec<bool> = (0..n).map(|_| rng.next_u64() & 1 == 1).collect();
+        let gv = g.cut_value(&side);
+        if gv == 0 {
+            continue;
+        }
+        let hv = h.cut_value(&side);
+        let err = (hv as f64 / gv as f64 - 1.0).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Audits `h` against `g` on an explicit family of cuts, returning the
+/// worst multiplicative error (skips zero cuts of `g`).
+pub fn cut_family_audit(g: &Graph, h: &Graph, cuts: impl IntoIterator<Item = Vec<bool>>) -> f64 {
+    let mut worst: f64 = 0.0;
+    for side in cuts {
+        let gv = g.cut_value(&side);
+        if gv == 0 {
+            continue;
+        }
+        let hv = h.cut_value(&side);
+        worst = worst.max((hv as f64 / gv as f64 - 1.0).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn enumeration_counts_cuts() {
+        assert_eq!(enumerate_cuts(4).count(), 7); // 2^3 − 1
+        assert_eq!(enumerate_cuts(2).count(), 1);
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_nontrivial_cuts() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for side in enumerate_cuts(n) {
+            assert!(!side[0], "vertex 0 must stay on the false side");
+            assert!(side.iter().any(|&s| s), "trivial cut emitted");
+            assert!(seen.insert(side));
+        }
+        assert_eq!(seen.len(), (1 << (n - 1)) - 1);
+    }
+
+    #[test]
+    fn brute_force_on_known_graphs() {
+        assert_eq!(brute_force_min_cut(&gen::cycle(6)), 2);
+        assert_eq!(brute_force_min_cut(&gen::complete(5)), 4);
+        assert_eq!(brute_force_min_cut(&gen::barbell(4, 2)), 2);
+    }
+
+    #[test]
+    fn identical_graphs_audit_to_zero() {
+        let g = gen::gnp(40, 0.2, 3);
+        assert_eq!(random_cut_audit(&g, &g, 200, 1), 0.0);
+    }
+
+    #[test]
+    fn doubled_graph_audits_to_one() {
+        let g = gen::gnp(30, 0.3, 5);
+        let h = g.map_weights(|_, _, w| 2 * w);
+        let err = random_cut_audit(&g, &h, 100, 2);
+        assert!((err - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_audit_detects_missing_edge() {
+        let g = gen::complete(6);
+        let h = g.filter_edges(|u, v, _| !(u == 0 && v == 1));
+        let err = cut_family_audit(&g, &h, enumerate_cuts(6));
+        // Cut isolating {0}: 5 vs 4 → error 0.2.
+        assert!(err >= 0.2 - 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded workload generators.
+//!
+//! The paper motivates graph sketching with web graphs, IP-flow graphs,
+//! and friendship graphs (§1). These generators produce the synthetic
+//! stand-ins used by the experiments: Erdős–Rényi `G(n,p)` (the default
+//! random workload), planted partitions (community structure with a known
+//! sparse cut), barbells (an exactly known minimum cut — the adversarial
+//! case for Fig. 1), grids and cycles (high-diameter graphs that stress
+//! spanners), preferential attachment (heavy-tailed degrees, the web-graph
+//! proxy), and weighted variants for §3.5.
+
+use crate::graph::Graph;
+use gs_field::SplitMix64;
+
+/// Erdős–Rényi `G(n, p)`: each pair independently an edge.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.next_f64() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))))
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    Graph::from_edges(n, (0..n).map(|u| (u, (u + 1) % n)))
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// Two `half`-cliques joined by exactly `bridge` vertex-disjoint edges:
+/// the planted minimum cut is `bridge` (for `bridge < half − 1`), making
+/// this the canonical MINCUT test case.
+///
+/// # Panics
+/// Panics unless `2 ≤ bridge ≤ half`.
+pub fn barbell(half: usize, bridge: usize) -> Graph {
+    assert!(bridge <= half && half >= 2 && bridge >= 1);
+    let n = 2 * half;
+    let mut edges = Vec::new();
+    for u in 0..half {
+        for v in (u + 1)..half {
+            edges.push((u, v));
+            edges.push((half + u, half + v));
+        }
+    }
+    for b in 0..bridge {
+        edges.push((b, half + b));
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Planted partition ("stochastic block model") with `blocks` equal
+/// communities: intra-community pairs are edges with probability `p_in`,
+/// cross-community pairs with probability `p_out`.
+pub fn planted_partition(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(blocks >= 1 && n >= blocks);
+    let mut rng = SplitMix64::new(seed);
+    let block_of = |v: usize| v * blocks / n;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.next_f64() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Preferential attachment: each new vertex attaches to `m` existing
+/// vertices chosen proportionally to degree (Barabási–Albert style),
+/// yielding the heavy-tailed degrees of web/social graphs.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m);
+    let mut rng = SplitMix64::new(seed);
+    // `targets` holds one entry per half-edge; sampling an entry uniformly
+    // is degree-proportional sampling.
+    let mut targets: Vec<usize> = (0..=m).collect();
+    let mut edges = Vec::new();
+    // Seed clique on m+1 vertices.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            edges.push((u, v));
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let t = targets[rng.next_range(targets.len() as u64) as usize];
+            chosen.insert(t);
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            targets.push(t);
+            targets.push(v);
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// `G(n,p)` with independent uniform integer weights in `[1, max_w]`
+/// (workload for the weighted sparsification of §3.5).
+pub fn gnp_weighted(n: usize, p: f64, max_w: u64, seed: u64) -> Graph {
+    assert!(max_w >= 1);
+    let base = gnp(n, p, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x77EE);
+    base.map_weights(|_, _, _| 1 + rng.next_range(max_w))
+}
+
+/// A connected `G(n,p)`-like graph: `gnp` plus a random Hamiltonian path
+/// to guarantee connectivity (spanner experiments need finite distances).
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let g = gnp(n, p, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xC0);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_range(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let mut edges: Vec<(usize, usize)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+    edges.extend(perm.windows(2).map(|w| (w[0], w[1])));
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_respects_probability_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).m(), 0);
+        assert_eq!(gnp(20, 1.0, 1).m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        let a = gnp(30, 0.3, 7);
+        let b = gnp(30, 0.3, 7);
+        let c = gnp(30, 0.3, 8);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 100;
+        let p = 0.2;
+        let g = gnp(n, p, 3);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.m() as f64 - expected).abs() < 5.0 * sd,
+            "m = {}, expected {expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn complete_and_cycle_shapes() {
+        assert_eq!(complete(6).m(), 15);
+        let c = cycle(8);
+        assert_eq!(c.m(), 8);
+        assert!(c.is_connected());
+        assert!((0..8).all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barbell_planted_cut() {
+        let g = barbell(10, 3);
+        assert!(g.is_connected());
+        // The planted cut separates the two halves with exactly 3 edges.
+        let side: Vec<bool> = (0..20).map(|v| v < 10).collect();
+        assert_eq!(g.cut_value(&side), 3);
+        // Clique internal degree dominates.
+        assert!(g.degree(5) >= 9);
+    }
+
+    #[test]
+    fn planted_partition_has_sparse_cross_cut() {
+        let g = planted_partition(60, 2, 0.5, 0.02, 11);
+        let side: Vec<bool> = (0..60).map(|v| v < 30).collect();
+        let cross = g.cut_value(&side);
+        // Expected cross edges = 0.02 * 900 = 18; internal ≈ 0.5*435 each.
+        assert!(cross < 60, "cross cut {cross} too heavy");
+        assert!(g.m() as u64 > 8 * cross);
+    }
+
+    #[test]
+    fn preferential_attachment_degree_skew() {
+        let g = preferential_attachment(300, 2, 5);
+        assert!(g.is_connected());
+        let max_deg = (0..300).map(|v| g.degree(v)).max().unwrap();
+        let median = {
+            let mut d: Vec<usize> = (0..300).map(|v| g.degree(v)).collect();
+            d.sort_unstable();
+            d[150]
+        };
+        assert!(
+            max_deg >= 4 * median,
+            "no skew: max {max_deg}, median {median}"
+        );
+    }
+
+    #[test]
+    fn weighted_gnp_weights_in_range() {
+        let g = gnp_weighted(40, 0.3, 9, 2);
+        assert!(g.edges().iter().all(|&(_, _, w)| (1..=9).contains(&w)));
+        assert!(g.edges().iter().any(|&(_, _, w)| w > 1));
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..5 {
+            assert!(connected_gnp(50, 0.02, seed).is_connected());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The Gomory–Hu cut tree (Definition 6).
+//!
+//! > *"A tree T is a Gomory-Hu tree of graph G if for every pair of
+//! > vertices u and v in G, the minimum edge weight along the u-v path in
+//! > T is equal to the cut value of the minimum u-v cut."*
+//!
+//! Fig. 3 needs the *strong* Gomory–Hu property — each tree edge **induces**
+//! a minimum cut (the partition obtained by deleting the edge from the
+//! tree is itself a minimum cut of that value) — because step 4 recovers
+//! exactly the edges crossing those induced partitions. Gusfield's
+//! simplification preserves cut values but not induced partitions, so we
+//! implement the classical construction **with vertex contraction**: a
+//! partition tree is refined by `n − 1` max-flow computations, each run on
+//! the graph with every foreign subtree contracted to a single vertex.
+
+use crate::graph::Graph;
+use crate::maxflow::Dinic;
+use std::collections::VecDeque;
+
+/// A Gomory–Hu tree over the vertices of the source graph.
+#[derive(Clone, Debug)]
+pub struct GomoryHuTree {
+    n: usize,
+    /// The `n − 1` tree edges `(u, v, λ_{u,v})`.
+    edges: Vec<(usize, usize, u64)>,
+    /// adjacency: vertex → (edge index) list.
+    adj: Vec<Vec<usize>>,
+}
+
+/// Internal partition-tree node during construction.
+#[derive(Debug)]
+struct Node {
+    verts: Vec<usize>,
+    /// (neighbor node id, tree edge weight)
+    nbrs: Vec<(usize, u64)>,
+}
+
+impl GomoryHuTree {
+    /// Builds the tree with `n − 1` Dinic max-flows.
+    ///
+    /// # Panics
+    /// Panics if `g.n() < 2`.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n();
+        assert!(n >= 2);
+        let mut nodes: Vec<Node> = vec![Node {
+            verts: (0..n).collect(),
+            nbrs: Vec::new(),
+        }];
+
+        while let Some(x) = nodes.iter().position(|nd| nd.verts.len() >= 2) {
+            let s = nodes[x].verts[0];
+            let t = nodes[x].verts[1];
+
+            // Vertex sets of the subtrees hanging off x, one per neighbor.
+            let subtree_sets: Vec<Vec<usize>> = nodes[x]
+                .nbrs
+                .iter()
+                .map(|&(nbr, _)| collect_subtree(&nodes, nbr, x))
+                .collect();
+
+            // Contracted graph ids: x's own vertices keep per-vertex local
+            // ids; subtree i becomes super-vertex `local_n + i`.
+            let mut id_of = vec![usize::MAX; n];
+            for (li, &v) in nodes[x].verts.iter().enumerate() {
+                id_of[v] = li;
+            }
+            let local_n = nodes[x].verts.len();
+            for (i, set) in subtree_sets.iter().enumerate() {
+                for &v in set {
+                    id_of[v] = local_n + i;
+                }
+            }
+            let total = local_n + subtree_sets.len();
+
+            let mut dinic = Dinic::new(total);
+            // Accumulate parallel capacities between contracted endpoints.
+            let mut acc: std::collections::HashMap<(usize, usize), u64> = Default::default();
+            for &(u, v, w) in g.edges() {
+                let (a, b) = (id_of[u], id_of[v]);
+                debug_assert!(a != usize::MAX && b != usize::MAX);
+                if a != b {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *acc.entry(key).or_insert(0) += w;
+                }
+            }
+            for ((a, b), w) in acc {
+                dinic.add_undirected(a, b, w);
+            }
+
+            let flow = dinic.max_flow(id_of[s], id_of[t]);
+            let side = dinic.min_cut_side(id_of[s]);
+
+            // Split x: s-side vertices stay in x, t-side moves to new node.
+            let (s_verts, t_verts): (Vec<usize>, Vec<usize>) = nodes[x]
+                .verts
+                .iter()
+                .partition(|&&v| side[id_of[v]]);
+            debug_assert!(!s_verts.is_empty() && !t_verts.is_empty());
+
+            let new_id = nodes.len();
+            // Reattach x's former neighbors by which side their
+            // super-vertex landed on.
+            let old_nbrs = std::mem::take(&mut nodes[x].nbrs);
+            let mut s_nbrs = Vec::new();
+            let mut t_nbrs = Vec::new();
+            for (i, (nbr, w)) in old_nbrs.into_iter().enumerate() {
+                if side[local_n + i] {
+                    s_nbrs.push((nbr, w));
+                } else {
+                    t_nbrs.push((nbr, w));
+                    // Fix the back-reference in the neighbor.
+                    for back in &mut nodes[nbr].nbrs {
+                        if back.0 == x {
+                            back.0 = new_id;
+                        }
+                    }
+                }
+            }
+            s_nbrs.push((new_id, flow));
+            t_nbrs.push((x, flow));
+            nodes[x].verts = s_verts;
+            nodes[x].nbrs = s_nbrs;
+            nodes.push(Node {
+                verts: t_verts,
+                nbrs: t_nbrs,
+            });
+        }
+
+        // Emit tree edges between singleton representatives.
+        let mut edges = Vec::with_capacity(n.saturating_sub(1));
+        for (id, node) in nodes.iter().enumerate() {
+            debug_assert_eq!(node.verts.len(), 1);
+            for &(nbr, w) in &node.nbrs {
+                if nbr > id {
+                    edges.push((node.verts[0], nodes[nbr].verts[0], w));
+                }
+            }
+        }
+        let mut adj = vec![Vec::new(); n];
+        for (i, &(u, v, _)) in edges.iter().enumerate() {
+            adj[u].push(i);
+            adj[v].push(i);
+        }
+        GomoryHuTree { n, edges, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tree edges `(u, v, λ_{u,v})`.
+    pub fn edges(&self) -> &[(usize, usize, u64)] {
+        &self.edges
+    }
+
+    /// Walks the tree path from `u` to `v`, returning edge indices.
+    /// Returns `None` iff the tree is disconnected between them (cannot
+    /// happen for a tree built over a single graph).
+    fn path(&self, u: usize, v: usize) -> Option<Vec<usize>> {
+        // BFS with parent pointers.
+        let mut par: Vec<Option<(usize, usize)>> = vec![None; self.n]; // (parent vertex, edge idx)
+        let mut seen = vec![false; self.n];
+        let mut q = VecDeque::new();
+        seen[u] = true;
+        q.push_back(u);
+        while let Some(x) = q.pop_front() {
+            if x == v {
+                break;
+            }
+            for &ei in &self.adj[x] {
+                let (a, b, _) = self.edges[ei];
+                let y = if a == x { b } else { a };
+                if !seen[y] {
+                    seen[y] = true;
+                    par[y] = Some((x, ei));
+                    q.push_back(y);
+                }
+            }
+        }
+        if !seen[v] {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = v;
+        while cur != u {
+            let (p, ei) = par[cur].expect("parent chain");
+            path.push(ei);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// `λ_{u,v}`: the minimum edge weight on the tree path (Definition 6).
+    ///
+    /// # Panics
+    /// Panics if `u == v`.
+    pub fn min_cut_value(&self, u: usize, v: usize) -> u64 {
+        assert!(u != v);
+        let path = self.path(u, v).expect("tree is connected");
+        path.iter().map(|&ei| self.edges[ei].2).min().expect("path non-empty")
+    }
+
+    /// The index of a minimum-weight edge on the `u`-`v` tree path — the
+    /// edge `f` of Fig. 3 step 4d.
+    pub fn path_min_edge(&self, u: usize, v: usize) -> usize {
+        assert!(u != v);
+        let path = self.path(u, v).expect("tree is connected");
+        path.into_iter()
+            .min_by_key(|&ei| self.edges[ei].2)
+            .expect("path non-empty")
+    }
+
+    /// The partition induced by deleting tree edge `ei` (Fig. 3 step 4a):
+    /// `side[v]` is true for the component containing `edges[ei].0`.
+    pub fn edge_cut_side(&self, ei: usize) -> Vec<bool> {
+        let (root, _, _) = self.edges[ei];
+        let mut side = vec![false; self.n];
+        let mut q = VecDeque::new();
+        side[root] = true;
+        q.push_back(root);
+        while let Some(x) = q.pop_front() {
+            for &e in &self.adj[x] {
+                if e == ei {
+                    continue;
+                }
+                let (a, b, _) = self.edges[e];
+                let y = if a == x { b } else { a };
+                if !side[y] {
+                    side[y] = true;
+                    q.push_back(y);
+                }
+            }
+        }
+        side
+    }
+
+    /// Iterates `(edge index, weight, induced side)` for every tree edge —
+    /// the cut family audited by experiments E5/E6.
+    pub fn induced_cuts(&self) -> impl Iterator<Item = (usize, u64, Vec<bool>)> + '_ {
+        (0..self.edges.len()).map(move |ei| (ei, self.edges[ei].2, self.edge_cut_side(ei)))
+    }
+}
+
+fn collect_subtree(nodes: &[Node], start: usize, avoid: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut seen = vec![start];
+    let mut stack = vec![start];
+    while let Some(x) = stack.pop() {
+        out.extend_from_slice(&nodes[x].verts);
+        for &(nbr, _) in &nodes[x].nbrs {
+            if nbr != avoid && !seen.contains(&nbr) {
+                seen.push(nbr);
+                stack.push(nbr);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::maxflow::min_cut_uv;
+    use gs_field::SplitMix64;
+
+    fn verify_tree(g: &Graph, t: &GomoryHuTree) {
+        // Definition 6: path-min equals exact min cut for every pair.
+        for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                let exact = min_cut_uv(g, u, v).0;
+                assert_eq!(
+                    t.min_cut_value(u, v),
+                    exact,
+                    "pair ({u},{v}): tree vs flow"
+                );
+            }
+        }
+        // Strong property: every tree edge's induced partition achieves
+        // its weight as an actual cut of G.
+        for (ei, w, side) in t.induced_cuts() {
+            assert_eq!(
+                g.cut_value(&side),
+                w,
+                "edge {ei} induces a cut of different value"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges() {
+        let g = gen::gnp(12, 0.5, 3);
+        let t = GomoryHuTree::build(&g);
+        assert_eq!(t.edges().len(), 11);
+    }
+
+    #[test]
+    fn path_graph_tree_is_the_path() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 3), (1, 2, 1), (2, 3, 5)]);
+        let t = GomoryHuTree::build(&g);
+        verify_tree(&g, &t);
+        assert_eq!(t.min_cut_value(0, 3), 1);
+        assert_eq!(t.min_cut_value(2, 3), 5);
+    }
+
+    #[test]
+    fn complete_graph_tree() {
+        let g = gen::complete(7);
+        let t = GomoryHuTree::build(&g);
+        verify_tree(&g, &t);
+        assert_eq!(t.min_cut_value(0, 6), 6);
+    }
+
+    #[test]
+    fn barbell_tree_isolates_bridge() {
+        let g = gen::barbell(6, 2);
+        let t = GomoryHuTree::build(&g);
+        verify_tree(&g, &t);
+        assert_eq!(t.min_cut_value(0, 6), 2);
+    }
+
+    #[test]
+    fn random_graphs_satisfy_both_gh_properties() {
+        let mut rng = SplitMix64::new(5);
+        for trial in 0..20u64 {
+            let n = 5 + (trial % 6) as usize;
+            let p = 0.3 + 0.5 * rng.next_f64();
+            let g = gen::gnp(n, p, trial * 13 + 1);
+            let t = GomoryHuTree::build(&g);
+            verify_tree(&g, &t);
+        }
+    }
+
+    #[test]
+    fn weighted_random_graphs() {
+        for trial in 0..10u64 {
+            let g = gen::gnp_weighted(8, 0.6, 7, trial);
+            let t = GomoryHuTree::build(&g);
+            verify_tree(&g, &t);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_yields_zero_cut_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let t = GomoryHuTree::build(&g);
+        assert_eq!(t.min_cut_value(0, 3), 0);
+        assert_eq!(t.min_cut_value(0, 2), min_cut_uv(&g, 0, 2).0);
+    }
+
+    #[test]
+    fn path_min_edge_induces_the_min_cut() {
+        let g = gen::gnp(10, 0.4, 99);
+        let t = GomoryHuTree::build(&g);
+        for (u, v) in [(0usize, 9usize), (2, 7), (1, 8)] {
+            let ei = t.path_min_edge(u, v);
+            let side = t.edge_cut_side(ei);
+            assert_eq!(g.cut_value(&side), t.min_cut_value(u, v));
+            assert_ne!(side[u], side[v]);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline sampling sparsifiers — the analyses §3 builds on.
+//!
+//! * [`karger_uniform`] — Karger's Uniform Sampling Lemma (Lemma 3.1):
+//!   sample every edge with one probability
+//!   `p ≥ min{6 λ⁻¹ ε⁻² log n, 1}` derived from the global minimum cut λ,
+//!   weight survivors by `1/p`.
+//! * [`fung_connectivity`] — Fung et al. (Theorem 3.1): sample edge `e`
+//!   with probability `p_e ≥ min{253 λ_e⁻¹ ε⁻² log² n, 1}` derived from
+//!   its own edge connectivity λ_e, weight survivors by `1/p_e`.
+//!
+//! These run with full knowledge of the graph (no streaming); the sketch
+//! algorithms of §3 emulate them under linear measurements. The
+//! experiments use them both as accuracy baselines and to validate the
+//! concentration lemmas (E13).
+//!
+//! Sampled weights are scaled to integers: a survivor of probability `p`
+//! receives weight `round(1/p · SCALE)` against the reference graph scaled
+//! by `SCALE`, keeping all cut audits in exact integer arithmetic.
+
+use crate::gomory_hu::GomoryHuTree;
+use crate::graph::Graph;
+use crate::stoer_wagner;
+use gs_field::SplitMix64;
+
+/// Fixed-point scale for `1/p_e` weights.
+pub const SCALE: u64 = 1 << 16;
+
+/// The reference graph against which sampled sparsifiers should be audited:
+/// every weight multiplied by [`SCALE`].
+pub fn scaled_reference(g: &Graph) -> Graph {
+    g.map_weights(|_, _, w| w * SCALE)
+}
+
+/// Karger's uniform sampling (Lemma 3.1) with explicit probability `p`.
+/// Survivors get fixed-point weight `SCALE/p`.
+pub fn sample_uniform(g: &Graph, p: f64, seed: u64) -> Graph {
+    assert!(p > 0.0 && p <= 1.0);
+    let mut rng = SplitMix64::new(seed);
+    let inv = (SCALE as f64 / p).round() as u64;
+    Graph::from_weighted_edges(
+        g.n(),
+        g.edges().iter().filter_map(|&(u, v, w)| {
+            // Multiplicity w is sampled as w independent unit edges.
+            let mut kept = 0u64;
+            for _ in 0..w {
+                if rng.next_f64() < p {
+                    kept += 1;
+                }
+            }
+            (kept > 0).then_some((u, v, kept * inv))
+        }),
+    )
+}
+
+/// The sampling probability of Lemma 3.1 with an explicit constant
+/// multiplier (`c = 6` is the paper's constant).
+pub fn karger_probability(lambda: u64, eps: f64, n: usize, c: f64) -> f64 {
+    if lambda == 0 {
+        return 1.0;
+    }
+    (c / (lambda as f64 * eps * eps) * (n as f64).ln()).min(1.0)
+}
+
+/// Karger's uniform sparsifier: computes λ(G) exactly (Stoer–Wagner) and
+/// samples at the Lemma 3.1 rate with constant `c`.
+pub fn karger_uniform(g: &Graph, eps: f64, c: f64, seed: u64) -> Graph {
+    let lambda = stoer_wagner::min_cut_value(g);
+    let p = karger_probability(lambda, eps, g.n(), c);
+    sample_uniform(g, p, seed)
+}
+
+/// Per-edge connectivities λ_e for all edges, via one Gomory–Hu tree
+/// (the λ_e of Theorem 3.1).
+pub fn edge_connectivities(g: &Graph) -> Vec<u64> {
+    let tree = GomoryHuTree::build(g);
+    g.edges()
+        .iter()
+        .map(|&(u, v, _)| tree.min_cut_value(u, v))
+        .collect()
+}
+
+/// Fung et al.'s connectivity-based sparsifier (Theorem 3.1) with constant
+/// multiplier `c` (the paper's constant is 253; `c ≈ 1` already behaves
+/// well at laptop scale — see EXPERIMENTS.md E5).
+pub fn fung_connectivity(g: &Graph, eps: f64, c: f64, seed: u64) -> Graph {
+    let lambdas = edge_connectivities(g);
+    let ln2n = (g.n() as f64).ln().powi(2);
+    let mut rng = SplitMix64::new(seed);
+    Graph::from_weighted_edges(
+        g.n(),
+        g.edges().iter().zip(&lambdas).filter_map(|(&(u, v, w), &le)| {
+            let pe = if le == 0 {
+                1.0
+            } else {
+                (c * ln2n / (le as f64 * eps * eps)).min(1.0)
+            };
+            let inv = (SCALE as f64 / pe).round() as u64;
+            let mut kept = 0u64;
+            for _ in 0..w {
+                if rng.next_f64() < pe {
+                    kept += 1;
+                }
+            }
+            (kept > 0).then_some((u, v, kept * inv))
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::random_cut_audit;
+    use crate::gen;
+
+    #[test]
+    fn probability_formula() {
+        // λ large → small p; λ small → p clamps to 1.
+        assert_eq!(karger_probability(1, 0.1, 100, 6.0), 1.0);
+        let p = karger_probability(10_000, 0.5, 100, 6.0);
+        assert!(p < 0.05 && p > 0.0);
+        assert_eq!(karger_probability(0, 0.1, 100, 6.0), 1.0);
+    }
+
+    #[test]
+    fn sample_with_p_one_is_exact() {
+        let g = gen::gnp(20, 0.4, 1);
+        let s = sample_uniform(&g, 1.0, 2);
+        let reference = scaled_reference(&g);
+        assert_eq!(random_cut_audit(&reference, &s, 100, 3), 0.0);
+    }
+
+    #[test]
+    fn uniform_sampling_preserves_cuts_of_dense_graph() {
+        // K_60: λ = 59, so Lemma 3.1 permits real subsampling.
+        let g = gen::complete(60);
+        let eps = 0.4;
+        let s = karger_uniform(&g, eps, 6.0, 7);
+        assert!(s.m() > 0);
+        let err = random_cut_audit(&scaled_reference(&g), &s, 300, 9);
+        assert!(err < eps, "audit error {err} exceeds eps {eps}");
+    }
+
+    #[test]
+    fn uniform_sampling_reduces_edges() {
+        // K_160: λ = 159 ⇒ Lemma 3.1's p = 6 ln n / (λ ε²) ≈ 0.77 < 1,
+        // so real subsampling happens.
+        let g = gen::complete(160);
+        let s = karger_uniform(&g, 0.5, 6.0, 3);
+        assert!(
+            s.m() < g.m(),
+            "sampling kept {} of {} edges",
+            s.m(),
+            g.m()
+        );
+        let err = random_cut_audit(&scaled_reference(&g), &s, 100, 4);
+        assert!(err < 0.5, "audit error {err}");
+    }
+
+    #[test]
+    fn edge_connectivities_match_structure() {
+        let g = gen::barbell(6, 2);
+        let lambdas = edge_connectivities(&g);
+        for (i, &(u, v, _)) in g.edges().iter().enumerate() {
+            let same_half = (u < 6) == (v < 6);
+            if same_half {
+                assert!(lambdas[i] >= 5, "clique edge ({u},{v}) λ={}", lambdas[i]);
+            } else {
+                assert_eq!(lambdas[i], 2, "bridge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn fung_keeps_low_connectivity_edges() {
+        // Bridges must be kept with probability ~1, so the planted cut of
+        // a barbell survives exactly.
+        let g = gen::barbell(10, 2);
+        let s = fung_connectivity(&g, 0.3, 1.0, 5);
+        let side: Vec<bool> = (0..20).map(|v| v < 10).collect();
+        let expect = 2 * SCALE;
+        let got = s.cut_value(&side);
+        assert!(
+            (got as f64 / expect as f64 - 1.0).abs() < 0.3,
+            "planted cut {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn fung_accuracy_on_random_graph() {
+        let g = gen::gnp(50, 0.5, 11);
+        let eps = 0.5;
+        let s = fung_connectivity(&g, eps, 1.0, 13);
+        let err = random_cut_audit(&scaled_reference(&g), &s, 300, 17);
+        assert!(err < eps, "audit error {err}");
+    }
+}

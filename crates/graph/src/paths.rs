@@ -1,0 +1,139 @@
+//! Shortest-path distances (BFS/APSP) — the audit machinery for spanners.
+//!
+//! Definition 3: `H` is an α-spanner of `G` iff
+//! `d_G(u,v) ≤ d_H(u,v) ≤ α·d_G(u,v)` for all pairs. The experiments of §5
+//! verify this by computing both APSP matrices exactly and reporting the
+//! maximum observed stretch.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Marker for unreachable vertices in distance arrays.
+pub const INF: u32 = u32::MAX;
+
+/// Hop distances from `src` (edge weights are ignored: the spanner
+/// constructions of §5 are for unweighted graphs).
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
+    let mut dist = vec![INF; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.neighbors(u) {
+            if dist[v] == INF {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs hop distances (`n` BFS traversals).
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
+
+    (0..g.n()).map(|s| bfs_distances(g, s)).collect()
+}
+
+/// The largest finite distance, or `None` for an edgeless/disconnected
+/// graph with no finite positive distances.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let mut best = None;
+    for s in 0..g.n() {
+        for d in bfs_distances(g, s) {
+            if d != INF && d > 0 {
+                best = Some(best.map_or(d, |b: u32| b.max(d)));
+            }
+        }
+    }
+    best
+}
+
+/// Stretch audit per Definition 3: the maximum over connected pairs of
+/// `d_H(u,v) / d_G(u,v)`, or `None` if `H` disconnects a pair that `G`
+/// connects (in which case `H` is no spanner at all).
+pub fn max_stretch(g: &Graph, h: &Graph) -> Option<f64> {
+    assert_eq!(g.n(), h.n());
+    let dg = all_pairs_distances(g);
+    let dh = all_pairs_distances(h);
+    let mut worst: f64 = 1.0;
+    for u in 0..g.n() {
+        for v in (u + 1)..g.n() {
+            match (dg[u][v], dh[u][v]) {
+                (INF, _) => {}
+                (_, INF) => return None,
+                (a, b) => {
+                    debug_assert!(b >= a, "subgraph distances cannot shrink");
+                    if a > 0 {
+                        worst = worst.max(b as f64 / a as f64);
+                    }
+                }
+            }
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(diameter(&gen::cycle(10)), Some(5));
+        assert_eq!(diameter(&gen::complete(7)), Some(1));
+        assert_eq!(diameter(&gen::grid(3, 3)), Some(4));
+        assert_eq!(diameter(&Graph::new(5)), None);
+    }
+
+    #[test]
+    fn stretch_of_identical_graph_is_one() {
+        let g = gen::connected_gnp(30, 0.2, 4);
+        assert_eq!(max_stretch(&g, &g), Some(1.0));
+    }
+
+    #[test]
+    fn stretch_of_spanning_tree_of_cycle() {
+        let g = gen::cycle(8);
+        // Remove one edge: distances between its endpoints grow to n−1.
+        let h = g.filter_edges(|u, v, _| !(u == 0 && v == 7));
+        assert_eq!(max_stretch(&g, &h), Some(7.0));
+    }
+
+    #[test]
+    fn disconnecting_subgraph_reports_none() {
+        let g = gen::cycle(6);
+        let h = g.filter_edges(|u, _, _| u > 0); // isolate vertex 0
+        assert_eq!(max_stretch(&g, &h), None);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_pairs_is_symmetric() {
+        let g = gen::connected_gnp(25, 0.15, 9);
+        let d = all_pairs_distances(&g);
+        for u in 0..25 {
+            assert_eq!(d[u][u], 0);
+            for v in 0..25 {
+                assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Stoer–Wagner exact global minimum cut.
+//!
+//! The exact baseline for the MINCUT experiment (Fig. 1 / Theorem 3.2):
+//! `λ(G)` with a witnessing side, in `O(n³)` time, weighted.
+
+use crate::graph::Graph;
+
+/// The global minimum cut `(λ(G), side)` of a connected weighted graph.
+///
+/// Returns weight 0 with a non-trivial side if the graph is disconnected.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn min_cut(g: &Graph) -> (u64, Vec<bool>) {
+    let n = g.n();
+    assert!(n >= 2, "minimum cut needs at least two vertices");
+
+    // Dense working copy; merged[v] lists original vertices contracted
+    // into v.
+    let mut w = vec![vec![0u64; n]; n];
+    for &(u, v, wt) in g.edges() {
+        w[u][v] += wt;
+        w[v][u] += wt;
+    }
+    let mut merged: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<(u64, Vec<bool>)> = None;
+
+    while active.len() > 1 {
+        // Maximum-adjacency ("minimum cut phase") ordering.
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weight_to_a[v])
+                .expect("non-empty");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        // Cut-of-the-phase: {t's merged set} vs rest.
+        let phase_cut = weight_to_a[t];
+        let mut side = vec![false; n];
+        for &orig in &merged[t] {
+            side[orig] = true;
+        }
+        if best.as_ref().is_none_or(|(b, _)| phase_cut < *b) {
+            best = Some((phase_cut, side));
+        }
+        // Contract t into s.
+        let t_merged = std::mem::take(&mut merged[t]);
+        merged[s].extend(t_merged);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+
+    best.expect("at least one phase")
+}
+
+/// Convenience: just the value `λ(G)`.
+pub fn min_cut_value(g: &Graph) -> u64 {
+    min_cut(g).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::brute_force_min_cut;
+    use crate::gen;
+    use gs_field::SplitMix64;
+
+    #[test]
+    fn barbell_min_cut_is_bridge() {
+        for bridge in 1..=4 {
+            let g = gen::barbell(8, bridge);
+            let (val, side) = min_cut(&g);
+            assert_eq!(val, bridge as u64);
+            assert_eq!(g.cut_value(&side), val);
+        }
+    }
+
+    #[test]
+    fn complete_graph_min_cut_isolates_vertex() {
+        let g = gen::complete(8);
+        let (val, side) = min_cut(&g);
+        assert_eq!(val, 7);
+        let a = side.iter().filter(|&&s| s).count();
+        assert!(a == 1 || a == 7);
+    }
+
+    #[test]
+    fn cycle_min_cut_is_two() {
+        assert_eq!(min_cut_value(&gen::cycle(9)), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_zero() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let (val, side) = min_cut(&g);
+        assert_eq!(val, 0);
+        assert_eq!(g.cut_value(&side), 0);
+        assert!(side.iter().any(|&s| s) && side.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn weighted_cut_prefers_light_edges() {
+        // Heavy triangle with one light pendant edge.
+        let g = Graph::from_weighted_edges(4, [(0, 1, 10), (1, 2, 10), (0, 2, 10), (2, 3, 1)]);
+        let (val, side) = min_cut(&g);
+        assert_eq!(val, 1);
+        // Either orientation of the {3} vs {0,1,2} cut is a valid witness.
+        let marked = side.iter().filter(|&&s| s).count();
+        assert!(marked == 1 || marked == 3, "unexpected side {side:?}");
+        assert_eq!(g.cut_value(&side), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = SplitMix64::new(17);
+        for trial in 0..60u64 {
+            let n = 4 + (trial % 7) as usize;
+            let p = 0.3 + 0.4 * rng.next_f64();
+            let g = gen::gnp(n, p, trial * 101 + 7);
+            if g.m() == 0 {
+                continue;
+            }
+            let (sw, side) = min_cut(&g);
+            let bf = brute_force_min_cut(&g);
+            assert_eq!(sw, bf, "trial {trial}: SW {sw} vs brute {bf}");
+            assert_eq!(g.cut_value(&side), sw, "witness mismatch trial {trial}");
+        }
+    }
+}

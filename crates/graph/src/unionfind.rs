@@ -1,0 +1,140 @@
+//! Disjoint-set forest with union by rank and path compression.
+//!
+//! Used by the Boruvka decoding of spanning-forest sketches, by the
+//! supervertex bookkeeping of `RECURSECONNECT`, and by generators/tests.
+
+/// A union-find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// `true` iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Groups elements by representative (representatives sorted).
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(0, 2));
+        assert!(uf.connected(1, 3));
+    }
+
+    #[test]
+    fn groups_partition_everything() {
+        let mut uf = UnionFind::new(7);
+        uf.union(0, 3);
+        uf.union(3, 6);
+        uf.union(1, 2);
+        let groups = uf.groups();
+        assert_eq!(groups.len(), uf.component_count());
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 7);
+        assert!(groups.iter().any(|g| g == &vec![0, 3, 6]));
+        assert!(groups.iter().any(|g| g == &vec![1, 2]));
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+}

@@ -1,0 +1,476 @@
+//! ℓ0-sampling (Theorem 2.1) in two flavors.
+//!
+//! > *"A δ-error ℓ0-sampler for x ≠ 0 returns FAIL with probability at most
+//! > δ and otherwise returns (i, x_i) where i is drawn uniformly at random
+//! > from support(x)."* — §2.3, citing Jowhari–Saglam–Tardos.
+//!
+//! Both structures use the standard level machinery: level `ℓ` summarizes
+//! the restriction of `x` to the indices whose hashed value has `≥ ℓ`
+//! leading zeros (so level ℓ keeps a `2^−ℓ` subsample of the support, and
+//! the levels are nested). Some level contains `Θ(1)` surviving support
+//! elements, where recovery succeeds.
+//!
+//! * [`L0Detector`] — one [`OneSparseCell`] per level per repetition.
+//!   Returns *some* support element w.h.p.; makes no uniformity claim.
+//!   This is all that Boruvka-style spanning-forest decoding needs (any
+//!   outgoing edge works), and it is ~30× smaller than the uniform
+//!   sampler — the k-EDGECONNECT structures of §3 instantiate `O(kn log n)`
+//!   of these.
+//! * [`L0Sampler`] — a [`SparseRecovery`] of size `s` per level plus
+//!   min-priority tie-breaking (the JST construction). At the first level
+//!   whose recovery succeeds, the recovered set is *exactly* the level's
+//!   subsample of the support, and the element of minimum priority hash is
+//!   a uniform draw by symmetry. Used where uniformity matters: the
+//!   subgraph-fraction estimator of §4.
+
+use crate::one_sparse::{OneSparseCell, OneSparseState};
+use crate::sparse_recovery::SparseRecovery;
+use crate::Mergeable;
+use gs_field::{BackendKind, HashBackend, Randomness};
+use serde::{Deserialize, Serialize};
+
+/// Number of levels needed for a domain: `⌊log2 N⌋ + 1` capped to 64.
+fn level_count(domain: u64) -> u32 {
+    debug_assert!(domain >= 1);
+    64 - domain.saturating_sub(1).leading_zeros().min(63)
+}
+
+/// Outcome of an ℓ0 query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L0Result {
+    /// The vector is certified (w.h.p.) identically zero.
+    Empty,
+    /// A support element and its value.
+    Sample(u64, i64),
+    /// The sampler failed (probability ≤ δ by Theorem 2.1).
+    Fail,
+}
+
+impl L0Result {
+    /// The sample, if any.
+    pub fn sample(self) -> Option<(u64, i64)> {
+        match self {
+            L0Result::Sample(i, v) => Some((i, v)),
+            _ => None,
+        }
+    }
+}
+
+/// Cheap support detector: returns *some* non-zero coordinate w.h.p.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct L0Detector {
+    domain: u64,
+    levels: u32,
+    reps: usize,
+    seed: u64,
+    kind: BackendKind,
+    /// `reps × levels` cells, rep-major.
+    cells: Vec<OneSparseCell>,
+    level_hash: Vec<HashBackend>,
+    finger: HashBackend,
+}
+
+/// Detector repetitions: each rep independently succeeds with constant
+/// probability on any non-empty support, so 3 reps fail together with
+/// probability far below the Boruvka-round slack that consumes them.
+const DETECTOR_REPS: usize = 3;
+
+impl L0Detector {
+    /// A detector over `[0, domain)` with the default repetition count.
+    pub fn new(domain: u64, seed: u64) -> Self {
+        Self::with_params(domain, DETECTOR_REPS, seed, BackendKind::Oracle)
+    }
+
+    /// Full-control constructor.
+    pub fn with_params(domain: u64, reps: usize, seed: u64, kind: BackendKind) -> Self {
+        assert!(domain >= 1 && reps >= 1);
+        let levels = level_count(domain);
+        let level_hash = (0..reps)
+            .map(|r| kind.backend(seed, 0x4C30_0100 + r as u64))
+            .collect();
+        let finger = kind.backend(seed, 0x4C30_0001);
+        L0Detector {
+            domain,
+            levels,
+            reps,
+            seed,
+            kind,
+            cells: vec![OneSparseCell::new(); reps * levels as usize],
+            level_hash,
+            finger,
+        }
+    }
+
+    /// The index-space size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Sketch size in cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Applies `x[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.domain, "index {index} out of domain {}", self.domain);
+        if delta == 0 {
+            return;
+        }
+        for r in 0..self.reps {
+            let lmax = self.level_hash[r].subsample_level(index, self.levels - 1);
+            let base = r * self.levels as usize;
+            for l in 0..=lmax {
+                self.cells[base + l as usize].update(index, delta, &self.finger);
+            }
+        }
+    }
+
+    /// `true` iff the full-vector cells certify the zero vector.
+    pub fn is_zero(&self) -> bool {
+        (0..self.reps).all(|r| self.cells[r * self.levels as usize].is_zero())
+    }
+
+    /// Returns some support element, `Empty`, or `Fail`.
+    pub fn query(&self) -> L0Result {
+        if self.is_zero() {
+            return L0Result::Empty;
+        }
+        for r in 0..self.reps {
+            let base = r * self.levels as usize;
+            for l in 0..self.levels as usize {
+                if let OneSparseState::One(i, v) =
+                    self.cells[base + l].decode(self.domain, &self.finger)
+                {
+                    return L0Result::Sample(i, v);
+                }
+            }
+        }
+        L0Result::Fail
+    }
+}
+
+impl Mergeable for L0Detector {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "merging detectors with different seeds");
+        assert_eq!(self.kind, other.kind);
+        assert_eq!(self.domain, other.domain);
+        assert_eq!(self.reps, other.reps);
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.add(b);
+        }
+    }
+}
+
+/// Uniform ℓ0-sampler (Theorem 2.1).
+///
+/// ```
+/// use gs_sketch::{L0Sampler, L0Result};
+/// let mut s = L0Sampler::new(1 << 20, 7);
+/// for i in 0..100u64 { s.update(i * 37, 1); }
+/// match s.query() {
+///     L0Result::Sample(i, v) => assert!(i % 37 == 0 && v == 1),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct L0Sampler {
+    domain: u64,
+    levels: u32,
+    /// Per-level recovery sparsity `s`.
+    s: usize,
+    seed: u64,
+    kind: BackendKind,
+    level_sketch: Vec<SparseRecovery>,
+    level_hash: HashBackend,
+    priority: HashBackend,
+}
+
+/// Default per-level recovery size. At the level where the support
+/// subsample has expected size `s/2`, recovery succeeds except with
+/// probability exponentially small in `s`.
+const SAMPLER_SPARSITY: usize = 8;
+
+impl L0Sampler {
+    /// A uniform sampler over `[0, domain)`.
+    pub fn new(domain: u64, seed: u64) -> Self {
+        Self::with_params(domain, SAMPLER_SPARSITY, seed, BackendKind::Oracle)
+    }
+
+    /// Full-control constructor.
+    pub fn with_params(domain: u64, s: usize, seed: u64, kind: BackendKind) -> Self {
+        assert!(domain >= 1 && s >= 1);
+        let levels = level_count(domain);
+        let level_sketch = (0..levels)
+            .map(|l| SparseRecovery::with_kind(domain, s, seed ^ (0x4C31_0000 + l as u64), kind))
+            .collect();
+        L0Sampler {
+            domain,
+            levels,
+            s,
+            seed,
+            kind,
+            level_sketch,
+            level_hash: kind.backend(seed, 0x4C31_AAAA),
+            priority: kind.backend(seed, 0x4C31_BBBB),
+        }
+    }
+
+    /// The index-space size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Applies `x[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        debug_assert!(index < self.domain);
+        if delta == 0 {
+            return;
+        }
+        let lmax = self.level_hash.subsample_level(index, self.levels - 1);
+        for l in 0..=lmax {
+            self.level_sketch[l as usize].update(index, delta);
+        }
+    }
+
+    /// Draws a (near-)uniform support sample.
+    ///
+    /// Walks levels from the full vector downward; at the first level whose
+    /// recovery succeeds the recovered set equals the level's subsample of
+    /// the support, and the minimum-priority element is returned.
+    pub fn query(&self) -> L0Result {
+        for l in 0..self.levels as usize {
+            match self.level_sketch[l].decode() {
+                Some(items) if items.is_empty() => {
+                    return if l == 0 { L0Result::Empty } else { L0Result::Fail };
+                }
+                Some(items) => {
+                    let (&(i, v), _) = items
+                        .iter()
+                        .map(|e| (e, self.priority.hash64(e.0)))
+                        .min_by_key(|&(_, p)| p)
+                        .expect("non-empty");
+                    return L0Result::Sample(i, v);
+                }
+                None => continue, // level still too dense; descend
+            }
+        }
+        L0Result::Fail
+    }
+}
+
+impl Mergeable for L0Sampler {
+    fn merge(&mut self, other: &Self) {
+        assert_eq!(self.seed, other.seed, "merging samplers with different seeds");
+        assert_eq!(self.kind, other.kind);
+        assert_eq!(self.domain, other.domain);
+        assert_eq!(self.s, other.s);
+        for (a, b) in self.level_sketch.iter_mut().zip(&other.level_sketch) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_field::SplitMix64;
+    use std::collections::{BTreeMap, HashSet};
+
+    #[test]
+    fn level_count_boundaries() {
+        assert_eq!(level_count(1), 1);
+        assert_eq!(level_count(2), 1);
+        assert_eq!(level_count(3), 2);
+        assert_eq!(level_count(4), 2);
+        assert_eq!(level_count(5), 3);
+        assert_eq!(level_count(1 << 20), 20);
+        assert_eq!(level_count((1 << 20) + 1), 21);
+        assert_eq!(level_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn detector_empty_vector() {
+        let d = L0Detector::new(1000, 1);
+        assert_eq!(d.query(), L0Result::Empty);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn detector_finds_singleton() {
+        let mut d = L0Detector::new(1000, 2);
+        d.update(77, 3);
+        assert_eq!(d.query(), L0Result::Sample(77, 3));
+    }
+
+    #[test]
+    fn detector_cancellation_yields_empty() {
+        let mut d = L0Detector::new(1 << 16, 3);
+        for i in 0..500u64 {
+            d.update(i * 3, 2);
+        }
+        for i in 0..500u64 {
+            d.update(i * 3, -2);
+        }
+        assert_eq!(d.query(), L0Result::Empty);
+    }
+
+    #[test]
+    fn detector_returns_true_support_members() {
+        let mut rng = SplitMix64::new(7);
+        let mut failures = 0;
+        for trial in 0..300u64 {
+            let mut d = L0Detector::new(1 << 20, trial);
+            let support: HashSet<u64> =
+                (0..1 + rng.next_range(200)).map(|_| rng.next_range(1 << 20)).collect();
+            let mut truth: BTreeMap<u64, i64> = BTreeMap::new();
+            for &i in &support {
+                let v = 1 + rng.next_range(5) as i64;
+                truth.insert(i, v);
+                d.update(i, v);
+            }
+            match d.query() {
+                L0Result::Sample(i, v) => {
+                    assert_eq!(truth.get(&i), Some(&v), "returned non-member {i}");
+                }
+                L0Result::Fail => failures += 1,
+                L0Result::Empty => panic!("non-empty vector reported Empty"),
+            }
+        }
+        assert!(failures <= 18, "detector failed {failures}/300 times");
+    }
+
+    #[test]
+    fn detector_merge_matches_whole_stream() {
+        let mut a = L0Detector::new(4096, 9);
+        let mut b = L0Detector::new(4096, 9);
+        let mut whole = L0Detector::new(4096, 9);
+        for i in 0..100u64 {
+            a.update(i, 1);
+            whole.update(i, 1);
+        }
+        for i in 0..99u64 {
+            b.update(i, -1);
+            whole.update(i, -1);
+        }
+        a.merge(&b);
+        assert_eq!(a.query(), whole.query());
+        assert_eq!(a.query(), L0Result::Sample(99, 1));
+    }
+
+    #[test]
+    fn sampler_empty_vs_fail_distinction() {
+        let s = L0Sampler::new(1 << 12, 4);
+        assert_eq!(s.query(), L0Result::Empty);
+    }
+
+    #[test]
+    fn sampler_small_support_recovered_exactly() {
+        let mut s = L0Sampler::new(1 << 12, 5);
+        s.update(100, 2);
+        s.update(200, -3);
+        // With support ≤ s the level-0 recovery is exact; the sample must
+        // be one of the two true entries.
+        match s.query() {
+            L0Result::Sample(100, 2) | L0Result::Sample(200, -3) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampler_rarely_fails_on_dense_support() {
+        let mut failures = 0;
+        for trial in 0..100u64 {
+            let mut s = L0Sampler::new(1 << 16, trial * 31 + 1);
+            for i in 0..3000u64 {
+                s.update((i * 17) % (1 << 16), 1);
+            }
+            if matches!(s.query(), L0Result::Fail) {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 5, "sampler failed {failures}/100 times");
+    }
+
+    #[test]
+    fn sampler_uniformity_chi_square() {
+        // Theorem 2.1's uniformity: sample from a fixed 16-element support
+        // across many independent samplers; each element should appear with
+        // frequency ≈ 1/16.
+        let support: Vec<u64> = (0..16u64).map(|i| i * 137 + 11).collect();
+        let mut counts: BTreeMap<u64, usize> = support.iter().map(|&i| (i, 0)).collect();
+        let trials = 4000u64;
+        let mut fails = 0;
+        for t in 0..trials {
+            let mut s = L0Sampler::new(1 << 12, t);
+            for &i in &support {
+                s.update(i, 1);
+            }
+            match s.query() {
+                L0Result::Sample(i, 1) => *counts.get_mut(&i).expect("member") += 1,
+                L0Result::Fail => fails += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(fails < trials as usize / 50);
+        let expected = (trials as f64 - fails as f64) / 16.0;
+        let chi2: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 15 degrees of freedom: P[chi2 > 37.7] < 0.001; allow margin.
+        assert!(chi2 < 45.0, "chi-square {chi2:.1}, counts {counts:?}");
+    }
+
+    #[test]
+    fn sampler_values_are_exact() {
+        // Whatever index is sampled, the reported value must be the true
+        // coordinate value (sampling is of (i, x_i) pairs, Theorem 2.1).
+        let mut rng = SplitMix64::new(3);
+        for trial in 0..200u64 {
+            let mut s = L0Sampler::new(1 << 14, trial);
+            let mut truth: BTreeMap<u64, i64> = BTreeMap::new();
+            for _ in 0..50 {
+                let i = rng.next_range(1 << 14);
+                let v = rng.next_range(9) as i64 - 4;
+                if v != 0 {
+                    *truth.entry(i).or_insert(0) += v;
+                    s.update(i, v);
+                }
+            }
+            truth.retain(|_, v| *v != 0);
+            if let L0Result::Sample(i, v) = s.query() {
+                assert_eq!(truth.get(&i), Some(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_merge_compatible() {
+        let mut a = L0Sampler::new(1024, 5);
+        let mut b = L0Sampler::new(1024, 5);
+        a.update(3, 1);
+        b.update(3, -1);
+        b.update(8, 4);
+        a.merge(&b);
+        assert_eq!(a.query(), L0Result::Sample(8, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sampler_merge_rejects_mismatched_domain() {
+        let mut a = L0Sampler::new(1024, 5);
+        let b = L0Sampler::new(2048, 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn detector_memory_is_small() {
+        // The detector must stay ~32 bytes per cell: reps × levels cells.
+        let d = L0Detector::new(1 << 20, 1);
+        assert_eq!(d.cell_count(), DETECTOR_REPS * 20);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the sketch primitives (Theorems 2.1 / 2.2):
+//! linearity, exactness, and never-wrong decoding under arbitrary
+//! insert/delete interleavings.
+
+use gs_sketch::domain::{
+    edge_domain, edge_index, edge_unindex, subset_rank, subset_unrank,
+};
+use gs_sketch::{L0Detector, L0Result, L0Sampler, Mergeable, OneSparseCell, OneSparseState, SparseRecovery};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const DOMAIN: u64 = 10_000;
+
+/// An arbitrary update stream over a small index domain.
+fn updates() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0..DOMAIN, -5i64..=5), 0..120)
+}
+
+fn net(updates: &[(u64, i64)]) -> BTreeMap<u64, i64> {
+    let mut m = BTreeMap::new();
+    for &(i, v) in updates {
+        *m.entry(i).or_insert(0i64) += v;
+    }
+    m.retain(|_, v| *v != 0);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn one_sparse_cell_never_misdecodes(ups in updates(), seed in 0u64..1000) {
+        let h = gs_field::OracleHash::new(seed, 0);
+        let mut cell = OneSparseCell::new();
+        for &(i, v) in &ups {
+            cell.update(i, v, &h);
+        }
+        let truth = net(&ups);
+        match cell.decode(DOMAIN, &h) {
+            OneSparseState::Zero => prop_assert!(truth.is_empty()),
+            OneSparseState::One(i, v) => {
+                prop_assert_eq!(truth.len(), 1);
+                let (&ti, &tv) = truth.iter().next().unwrap();
+                prop_assert_eq!((i, v), (ti, tv));
+            }
+            OneSparseState::Many => prop_assert!(truth.len() >= 2),
+        }
+    }
+
+    #[test]
+    fn sparse_recovery_exact_or_fail(ups in updates(), seed in 0u64..1000) {
+        let mut s = SparseRecovery::new(DOMAIN, 16, seed);
+        for &(i, v) in &ups {
+            s.update(i, v);
+        }
+        let truth: Vec<(u64, i64)> = net(&ups).into_iter().collect();
+        match s.decode() {
+            Some(got) => prop_assert_eq!(got, truth),
+            None => prop_assert!(truth.len() > 16, "FAIL on {}-sparse input", truth.len()),
+        }
+    }
+
+    #[test]
+    fn sketch_linearity_split_equals_whole(ups in updates(), cut in 0usize..120, seed in 0u64..500) {
+        // sketch(prefix) + sketch(suffix) must equal sketch(whole) for
+        // every structure — the §1.1 property everything relies on.
+        let cut = cut.min(ups.len());
+        let (a, b) = ups.split_at(cut);
+
+        let mut whole = SparseRecovery::new(DOMAIN, 8, seed);
+        let mut pa = SparseRecovery::new(DOMAIN, 8, seed);
+        let mut pb = SparseRecovery::new(DOMAIN, 8, seed);
+        for &(i, v) in &ups { whole.update(i, v); }
+        for &(i, v) in a { pa.update(i, v); }
+        for &(i, v) in b { pb.update(i, v); }
+        pa.merge(&pb);
+        prop_assert_eq!(pa.decode(), whole.decode());
+
+        let mut dw = L0Detector::new(DOMAIN, seed);
+        let mut da = L0Detector::new(DOMAIN, seed);
+        let mut db = L0Detector::new(DOMAIN, seed);
+        for &(i, v) in &ups { dw.update(i, v); }
+        for &(i, v) in a { da.update(i, v); }
+        for &(i, v) in b { db.update(i, v); }
+        da.merge(&db);
+        prop_assert_eq!(da.query(), dw.query());
+    }
+
+    #[test]
+    fn l0_sampler_membership(ups in updates(), seed in 0u64..500) {
+        let mut s = L0Sampler::new(DOMAIN, seed);
+        for &(i, v) in &ups {
+            s.update(i, v);
+        }
+        let truth = net(&ups);
+        match s.query() {
+            L0Result::Sample(i, v) => {
+                prop_assert_eq!(truth.get(&i), Some(&v), "non-member sample");
+            }
+            L0Result::Empty => prop_assert!(truth.is_empty()),
+            L0Result::Fail => {} // allowed with probability delta
+        }
+    }
+
+    #[test]
+    fn l0_detector_membership_and_zero_certificate(ups in updates(), seed in 0u64..500) {
+        let mut d = L0Detector::new(DOMAIN, seed);
+        for &(i, v) in &ups {
+            d.update(i, v);
+        }
+        let truth = net(&ups);
+        if truth.is_empty() {
+            prop_assert_eq!(d.query(), L0Result::Empty);
+        } else if let L0Result::Sample(i, v) = d.query() {
+            prop_assert_eq!(truth.get(&i), Some(&v));
+        }
+    }
+
+    #[test]
+    fn edge_ranking_roundtrip(u in 0usize..500, v in 0usize..500) {
+        prop_assume!(u != v);
+        let n = 500;
+        let idx = edge_index(n, u, v);
+        prop_assert!(idx < edge_domain(n));
+        let (a, b) = edge_unindex(idx);
+        prop_assert_eq!((a, b), (u.min(v), u.max(v)));
+    }
+
+    #[test]
+    fn subset_ranking_roundtrip(mut s in prop::collection::btree_set(0usize..200, 3..=5)) {
+        let subset: Vec<usize> = std::mem::take(&mut s).into_iter().collect();
+        let r = subset_rank(&subset);
+        prop_assert_eq!(subset_unrank(r, subset.len()), subset);
+    }
+}

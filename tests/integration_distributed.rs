@@ -1,0 +1,111 @@
+//! Distributed-stream integration (§1.1): merged site sketches must equal
+//! the single-observer sketch for every structure in the crate, including
+//! under cross-site insert/delete splits and with threads.
+
+use graph_sketches::{
+    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
+    SubgraphSketch,
+};
+use gs_graph::gen;
+use gs_sketch::Mergeable;
+use gs_stream::distributed::{sketch_central, sketch_distributed};
+use gs_stream::GraphStream;
+
+fn churn_stream(n: usize, p: f64, seed: u64) -> GraphStream {
+    let g = gen::gnp(n, p, seed);
+    GraphStream::with_churn(&g, 400, seed ^ 0xD1)
+}
+
+#[test]
+fn forest_sketch_distributed_equals_central() {
+    let stream = churn_stream(30, 0.2, 1);
+    let make = || ForestSketch::new(30, 0xAA);
+    let feed = |s: &mut ForestSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+    let central = sketch_central(&stream, make, feed);
+    for sites in [2, 3, 8] {
+        let dist = sketch_distributed(&stream, sites, 3, make, feed);
+        assert_eq!(dist.decode().edges, central.decode().edges, "sites={sites}");
+    }
+}
+
+#[test]
+fn kedge_distributed_equals_central() {
+    let stream = churn_stream(20, 0.3, 5);
+    let make = || KEdgeConnectSketch::new(20, 3, 0xBB);
+    let feed = |s: &mut KEdgeConnectSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+    let central = sketch_central(&stream, make, feed);
+    let dist = sketch_distributed(&stream, 4, 7, make, feed);
+    assert_eq!(dist.decode_witness().edges(), central.decode_witness().edges());
+}
+
+#[test]
+fn mincut_distributed_equals_central() {
+    let stream = churn_stream(16, 0.4, 9);
+    let make = || MinCutSketch::new(16, 0.5, 0xCC);
+    let feed = |s: &mut MinCutSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+    let central = sketch_central(&stream, make, feed);
+    let dist = sketch_distributed(&stream, 5, 11, make, feed);
+    assert_eq!(
+        dist.decode().map(|e| e.value),
+        central.decode().map(|e| e.value)
+    );
+}
+
+#[test]
+fn sparsifiers_distributed_equal_central() {
+    let stream = churn_stream(18, 0.35, 13);
+    {
+        let make = || SimpleSparsifySketch::new(18, 0.6, 0xDD);
+        let feed =
+            |s: &mut SimpleSparsifySketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+        let central = sketch_central(&stream, make, feed);
+        let dist = sketch_distributed(&stream, 3, 15, make, feed);
+        assert_eq!(dist.decode().edges(), central.decode().edges());
+    }
+    {
+        let make = || SparsifySketch::new(18, 0.6, 0xEE);
+        let feed = |s: &mut SparsifySketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+        let central = sketch_central(&stream, make, feed);
+        let dist = sketch_distributed(&stream, 3, 17, make, feed);
+        assert_eq!(dist.decode().edges(), central.decode().edges());
+    }
+}
+
+#[test]
+fn subgraph_sketch_distributed_equals_central() {
+    let stream = churn_stream(12, 0.4, 19);
+    let make = || SubgraphSketch::new(12, 3, 0.34, 0xFF);
+    let feed = |s: &mut SubgraphSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
+    let central = sketch_central(&stream, make, feed);
+    let dist = sketch_distributed(&stream, 6, 21, make, feed);
+    assert_eq!(dist.raw_samples(), central.raw_samples());
+}
+
+#[test]
+fn merge_order_is_irrelevant() {
+    // Linear measurements commute: any merge order gives the same sketch.
+    let stream = churn_stream(16, 0.3, 23);
+    let parts = stream.split(4, 25);
+    let mk = |p: &GraphStream| {
+        let mut s = ForestSketch::new(16, 0x123);
+        p.replay(|u, v, d| s.update_edge(u, v, d));
+        s
+    };
+    let mut fwd = mk(&parts[0]);
+    for p in &parts[1..] {
+        fwd.merge(&mk(p));
+    }
+    let mut rev = mk(&parts[3]);
+    for p in parts[..3].iter().rev() {
+        rev.merge(&mk(p));
+    }
+    assert_eq!(fwd.decode().edges, rev.decode().edges);
+}
+
+#[test]
+#[should_panic]
+fn incompatible_seeds_refuse_to_merge() {
+    let mut a = ForestSketch::new(8, 1);
+    let b = ForestSketch::new(8, 2);
+    a.merge(&b);
+}
