@@ -35,7 +35,10 @@ fn ablation_share_rounds(c: &mut Criterion) {
 
 fn ablation_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_hash_backend");
-    for (name, kind) in [("oracle", BackendKind::Oracle), ("nisan", BackendKind::Nisan)] {
+    for (name, kind) in [
+        ("oracle", BackendKind::Oracle),
+        ("nisan", BackendKind::Nisan),
+    ] {
         let h: HashBackend = kind.backend(1, 2);
         let mut x = 0u64;
         group.bench_function(name, |b| {

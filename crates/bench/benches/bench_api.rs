@@ -1,0 +1,51 @@
+//! The unified-API hot path: batched [`LinearSketch::absorb`] ingestion
+//! through [`AnySketch`] runtime dispatch, single-site vs distributed
+//! (one thread per site, merged at a coordinator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_sketches::api::{SketchSpec, SketchTask};
+use gs_graph::gen;
+use gs_sketch::LinearSketch;
+use gs_stream::distributed::sketch_distributed;
+use gs_stream::GraphStream;
+
+fn bench_absorb_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_absorb");
+    group.sample_size(10);
+    let n = 64;
+    let g = gen::gnp(n, 0.2, 1);
+    let updates = GraphStream::with_churn(&g, g.m(), 2).edge_updates();
+    for task in [SketchTask::Connectivity, SketchTask::MinCut] {
+        let spec = SketchSpec::new(task, n).with_seed(3);
+        group.bench_with_input(
+            BenchmarkId::new(task.command(), updates.len()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut s = spec.build();
+                    s.absorb(&updates);
+                    s
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distributed_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_distributed_ingest");
+    group.sample_size(10);
+    let n = 64;
+    let g = gen::gnp(n, 0.2, 5);
+    let updates = GraphStream::with_churn(&g, g.m(), 6).edge_updates();
+    let spec = SketchSpec::new(SketchTask::Connectivity, n).with_seed(7);
+    for sites in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sites", sites), &sites, |b, &sites| {
+            b.iter(|| sketch_distributed(&updates, sites, 9, || spec.build()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_absorb_dispatch, bench_distributed_ingest);
+criterion_main!(benches);

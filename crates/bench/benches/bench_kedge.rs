@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_sketches::{ForestSketch, KEdgeConnectSketch};
 use gs_graph::gen;
+use gs_sketch::LinearSketch;
 use gs_stream::GraphStream;
 
 fn bench_forest(c: &mut Criterion) {
@@ -11,16 +12,16 @@ fn bench_forest(c: &mut Criterion) {
     group.sample_size(10);
     for n in [32usize, 64, 128] {
         let g = gen::gnp(n, 0.2, 1);
-        let stream = GraphStream::with_churn(&g, g.m(), 2);
+        let updates = GraphStream::with_churn(&g, g.m(), 2).edge_updates();
         group.bench_with_input(BenchmarkId::new("ingest", n), &(), |b, _| {
             b.iter(|| {
                 let mut s = ForestSketch::new(n, 3);
-                stream.replay(|u, v, d| s.update_edge(u, v, d));
+                s.absorb(&updates);
                 s
             })
         });
         let mut s = ForestSketch::new(n, 3);
-        stream.replay(|u, v, d| s.update_edge(u, v, d));
+        s.absorb(&updates);
         group.bench_with_input(BenchmarkId::new("decode", n), &(), |b, _| {
             b.iter(|| s.decode())
         });
@@ -33,17 +34,17 @@ fn bench_kedge(c: &mut Criterion) {
     group.sample_size(10);
     let n = 48;
     let g = gen::gnp(n, 0.3, 5);
-    let stream = GraphStream::inserts_of(&g);
+    let updates = GraphStream::inserts_of(&g).edge_updates();
     for k in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("ingest", k), &k, |b, &k| {
             b.iter(|| {
                 let mut s = KEdgeConnectSketch::new(n, k, 7);
-                stream.replay(|u, v, d| s.update_edge(u, v, d));
+                s.absorb(&updates);
                 s
             })
         });
         let mut s = KEdgeConnectSketch::new(n, k, 7);
-        stream.replay(|u, v, d| s.update_edge(u, v, d));
+        s.absorb(&updates);
         group.bench_with_input(BenchmarkId::new("decode_witness", k), &(), |b, _| {
             b.iter(|| s.decode_witness())
         });

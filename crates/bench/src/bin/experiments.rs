@@ -5,21 +5,20 @@
 //! Each experiment regenerates the claim of a figure/theorem (DESIGN.md §5)
 //! and prints the rows recorded in EXPERIMENTS.md.
 
+use graph_sketches::mincut::MinCutParams;
 use graph_sketches::spanner::recurse::stretch_bound;
 use graph_sketches::spanner::{baswana_sen, recurse_connect, BaswanaSenParams, RecurseParams};
 use graph_sketches::weighted::WeightedSparsifySketch;
 use graph_sketches::{
-    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
-    SubgraphSketch,
+    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SketchSpec, SketchTask,
+    SparsifySketch, SubgraphSketch,
 };
-use graph_sketches::mincut::MinCutParams;
 use gs_bench::{fmax, header, median, row, CELL_BYTES};
 use gs_field::{BackendKind, NisanGenerator, SplitMix64};
 use gs_graph::cuts::random_cut_audit;
 use gs_graph::paths::max_stretch;
 use gs_graph::subgraph::{gamma, Pattern};
-use gs_graph::{gen, offline_sparsify, stoer_wagner, Graph, GomoryHuTree};
-use gs_sketch::domain::{edge_domain, edge_index};
+use gs_graph::{gen, offline_sparsify, stoer_wagner, GomoryHuTree, Graph};
 use gs_sketch::{L0Result, L0Sampler, SparseRecovery};
 use gs_stream::distributed::{sketch_central, sketch_distributed};
 use gs_stream::passes::Meter;
@@ -71,7 +70,14 @@ fn main() {
 fn e1_l0_sampling() {
     println!("\n== E1: Theorem 2.1 — l0-sampling (uniform support samples, FAIL <= delta) ==");
     header(
-        &["domain", "support", "trials", "fail%", "non-member%", "chi2/df"],
+        &[
+            "domain",
+            "support",
+            "trials",
+            "fail%",
+            "non-member%",
+            "chi2/df",
+        ],
         &[10, 8, 7, 7, 12, 8],
     );
     let mut rng = SplitMix64::new(1);
@@ -284,7 +290,11 @@ fn e4_mincut() {
                 .map(|v| (v / exact - 1.0).abs())
                 .fold(0.0f64, f64::max);
             row(
-                &[format!("{k}"), format!("{:.1}", median(&vals)), format!("{:.2}", worst)],
+                &[
+                    format!("{k}"),
+                    format!("{:.1}", median(&vals)),
+                    format!("{:.2}", worst),
+                ],
                 &[6, 8, 12],
             );
         }
@@ -372,9 +382,7 @@ fn e5_e6_sparsifiers() {
     for eps in [1.0f64, 0.5, 0.25, 0.125] {
         let f2 = fig2_cells(eps) * CELL_BYTES;
         let sp = graph_sketches::sparsify::SparsifyParams::scaled(n, eps);
-        let f3 = (fig2_cells(0.5)
-            + sp.levels * n * 4 * (2 * sp.recovery_k).max(8))
-            * CELL_BYTES;
+        let f3 = (fig2_cells(0.5) + sp.levels * n * 4 * (2 * sp.recovery_k).max(8)) * CELL_BYTES;
         row(
             &[
                 format!("{eps}"),
@@ -393,7 +401,13 @@ fn e5_e6_sparsifiers() {
 fn e7_weighted() {
     println!("\n== E7: §3.5 / Thm 3.8 — weighted sparsification by weight classes ==");
     header(
-        &["L (max w)", "classes", "worst-err", "edges(in)", "edges(out)"],
+        &[
+            "L (max w)",
+            "classes",
+            "worst-err",
+            "edges(in)",
+            "edges(out)",
+        ],
         &[10, 8, 10, 10, 10],
     );
     for max_w in [4u64, 16, 64] {
@@ -423,7 +437,14 @@ fn e7_weighted() {
 fn e8_subgraphs() {
     println!("\n== E8: Fig.4 / Thm 4.1 — gamma_H within additive eps with O(eps^-2) samples ==");
     header(
-        &["workload", "pattern", "eps", "exact", "median-err", "max-err"],
+        &[
+            "workload",
+            "pattern",
+            "eps",
+            "exact",
+            "median-err",
+            "max-err",
+        ],
         &[16, 10, 6, 8, 10, 8],
     );
     let workloads: Vec<(&str, Graph)> = vec![
@@ -463,7 +484,10 @@ fn e8_subgraphs() {
     }
     // eps sweep on triangles (the Buriol comparison case).
     println!("eps sweep, triangles on gnp(20,.45):");
-    header(&["eps", "samplers", "median-err", "max-err"], &[6, 9, 10, 8]);
+    header(
+        &["eps", "samplers", "median-err", "max-err"],
+        &[6, 9, 10, 8],
+    );
     let g = gen::gnp(20, 0.45, 35);
     let exact = gamma(&g, &Pattern::triangle());
     for eps in [0.4f64, 0.2, 0.1] {
@@ -498,10 +522,7 @@ fn e9_nisan() {
         "Nisan seed: {} bits for 2^40 output blocks (vs 61*2^40 truly random bits).",
         gen40.seed_bits()
     );
-    header(
-        &["task", "backend", "success%"],
-        &[22, 9, 9],
-    );
+    header(&["task", "backend", "success%"], &[22, 9, 9]);
     for kind in [BackendKind::Oracle, BackendKind::Nisan] {
         // Task 1: sparse recovery battery.
         let mut ok = 0;
@@ -590,7 +611,11 @@ fn e10_baswana_sen() {
         let stream = GraphStream::inserts_of(&g);
         for k in [2usize, 3, 5] {
             let mut meter = Meter::new(&stream);
-            let h = baswana_sen(&mut meter, BaswanaSenParams::scaled(g.n(), k), 0xEA + k as u64);
+            let h = baswana_sen(
+                &mut meter,
+                BaswanaSenParams::scaled(g.n(), k),
+                0xEA + k as u64,
+            );
             let s = max_stretch(&g, &h).unwrap_or(f64::INFINITY);
             row(
                 &[
@@ -629,7 +654,9 @@ fn e10_baswana_sen() {
 fn e11_e14_recurse() {
     println!("\n== E11: §5.1 / Thm 5.1 — RECURSECONNECT: (k^log2(5) - 1)-spanner in ceil(log k)+1 passes ==");
     header(
-        &["graph", "k", "passes", "<=logk+1", "edges", "stretch", "bound"],
+        &[
+            "graph", "k", "passes", "<=logk+1", "edges", "stretch", "bound",
+        ],
         &[16, 4, 7, 9, 7, 8, 7],
     );
     for (tag, g) in [
@@ -701,36 +728,36 @@ fn e12_distributed() {
     );
     let g = gen::gnp(30, 0.3, 47);
     let stream = GraphStream::with_churn(&g, 500, 49);
+    let updates = stream.edge_updates();
     for sites in [2usize, 4, 16] {
         let make = || ForestSketch::new(30, 0xEE);
-        let feed = |s: &mut ForestSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-        let central = sketch_central(&stream, make, feed);
-        let dist = sketch_distributed(&stream, sites, 51, make, feed);
+        let central = sketch_central(&updates, make);
+        let dist = sketch_distributed(&updates, sites, 51, make);
         row(
             &[
                 "forest".into(),
                 format!("{sites}"),
-                format!("{}", dist.decode().edges == central.decode().edges),
+                // Bit-identical sketch state, which implies identical decode.
+                format!("{}", dist == central),
             ],
             &[18, 6, 22],
         );
     }
-    for sites in [2usize, 8] {
-        let n = 30;
-        let make = || SparseRecovery::new(edge_domain(n), 64, 0xEF);
-        let feed = |s: &mut SparseRecovery, u: usize, v: usize, d: i64| {
-            s.update(edge_index(n, u, v), d)
-        };
-        let central = sketch_central(&stream, make, feed);
-        let dist = sketch_distributed(&stream, sites, 53, make, feed);
-        row(
-            &[
-                "edge-recovery".into(),
-                format!("{sites}"),
-                format!("{}", dist.decode() == central.decode()),
-            ],
-            &[18, 6, 22],
-        );
+    // Runtime dispatch takes the same path: AnySketch is a LinearSketch.
+    for task in [SketchTask::MinCut, SketchTask::Sparsify] {
+        let spec = SketchSpec::new(task, 30).with_seed(0xEF);
+        for sites in [2usize, 8] {
+            let central = sketch_central(&updates, || spec.build());
+            let dist = sketch_distributed(&updates, sites, 53, || spec.build());
+            row(
+                &[
+                    spec.task.command().into(),
+                    format!("{sites}"),
+                    format!("{}", dist == central),
+                ],
+                &[18, 6, 22],
+            );
+        }
     }
     println!("claim shape: true everywhere — linearity makes partitioning free.");
 }

@@ -17,7 +17,10 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus separator.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }

@@ -3,74 +3,136 @@
 //!
 //! ```text
 //! graph-sketch <command> --n <vertices> [options] < updates.txt
+//! graph-sketch --spec '<json>' [options] < updates.txt
 //!
 //! commands:
 //!   connectivity          components + spanning forest size
 //!   bipartite             bipartiteness test (double cover)
 //!   mincut                (1+eps)-approximate minimum cut        [--eps]
-//!   sparsify              eps-cut-sparsifier edge list           [--eps]
+//!   simple-sparsify       eps-cut-sparsifier (Fig. 2)            [--eps]
+//!   sparsify              eps-cut-sparsifier (Fig. 3)            [--eps]
+//!   weighted-sparsify     weighted-stream sparsifier (S3.5)      [--eps --max-weight]
 //!   triangles             gamma for order-3 patterns             [--eps]
 //!   mst                   (1+eps)-approx minimum spanning forest [--eps --max-weight]
 //!   kconnected            k-edge-connectivity test               [--k]
+//!   kedge                 k-EDGECONNECT witness subgraph         [--k]
+//!
+//! options:
+//!   --sites <int>   ingest the stream as <int> distributed sites, one
+//!                   thread per site, merged at a coordinator (S1.1);
+//!                   linearity makes the answer identical to --sites 1
+//!   --json          emit the answer as one JSON object
+//!   --seed <int>    master sketch seed
 //!
 //! stream format: one update per line: `+ u v [w]` or `- u v [w]`.
 //! ```
+//!
+//! Every command is parsed into a [`SketchSpec`] and executed through
+//! [`AnySketch`] — the CLI contains no per-algorithm plumbing.
 
 mod parse;
 
-use graph_sketches::extras::{BipartitenessSketch, KConnectivitySketch};
-use graph_sketches::mst::MstSketch;
-use graph_sketches::{ForestSketch, MinCutSketch, SparsifySketch, SubgraphSketch};
-use gs_graph::subgraph::Pattern;
-use parse::{parse_stream, ParsedUpdate};
+use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
+use gs_sketch::EdgeUpdate;
+use parse::parse_stream;
+use serde::{Serialize, Value};
 use std::io::Read;
 use std::process::ExitCode;
 
 struct Options {
-    command: String,
-    n: usize,
-    eps: f64,
-    k: usize,
-    max_weight: u64,
-    seed: u64,
+    spec: SketchSpec,
+    sites: usize,
+    json: bool,
 }
 
 fn usage() -> ExitCode {
+    let commands: Vec<&str> = SketchTask::ALL.iter().map(|t| t.command()).collect();
     eprintln!(
-        "usage: graph-sketch <connectivity|bipartite|mincut|sparsify|triangles|mst|kconnected> \
-         --n <vertices> [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] < stream"
+        "usage: graph-sketch <{}> --n <vertices> \
+         [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] \
+         [--sites <int>] [--json] < stream\n\
+         \x20      graph-sketch --spec '<json>' [--sites <int>] [--json] < stream",
+        commands.join("|")
     );
     ExitCode::from(2)
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or("missing command")?;
-    let mut opts = Options {
-        command,
-        n: 0,
-        eps: 0.5,
-        k: 2,
-        max_weight: 1024,
-        seed: 0xC0FFEE,
+    let mut args = std::env::args().skip(1).peekable();
+    let command = match args.peek() {
+        Some(first) if !first.starts_with("--") => {
+            let command = args.next().expect("peeked");
+            let task = SketchTask::from_command(&command)
+                .ok_or_else(|| format!("unknown command {command:?}"))?;
+            Some(task)
+        }
+        _ => None,
     };
+    // Flags are collected first and applied after the base spec is known,
+    // so their position relative to --spec does not matter.
+    let mut spec_json: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut eps: Option<f64> = None;
+    let mut k: Option<usize> = None;
+    let mut max_weight: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut sites = 1usize;
+    let mut json = false;
     while let Some(flag) = args.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let mut val = || args.next().ok_or(format!("missing value for {flag}"));
         match flag.as_str() {
-            "--n" => opts.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--eps" => opts.eps = val()?.parse().map_err(|e| format!("--eps: {e}"))?,
-            "--k" => opts.k = val()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--spec" => spec_json = Some(val()?),
+            "--n" => n = Some(val()?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--eps" => eps = Some(val()?.parse().map_err(|e| format!("--eps: {e}"))?),
+            "--k" => k = Some(val()?.parse().map_err(|e| format!("--k: {e}"))?),
             "--max-weight" => {
-                opts.max_weight = val()?.parse().map_err(|e| format!("--max-weight: {e}"))?
+                max_weight = Some(val()?.parse().map_err(|e| format!("--max-weight: {e}"))?)
             }
-            "--seed" => opts.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => seed = Some(val()?.parse().map_err(|e| format!("--seed: {e}"))?),
+            "--sites" => sites = val()?.parse().map_err(|e| format!("--sites: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if opts.n < 2 {
+    let mut spec = match (command, spec_json) {
+        (Some(_), Some(_)) => {
+            return Err("a command and --spec cannot be combined; use one or the other".into())
+        }
+        (None, None) => return Err("missing command or --spec".into()),
+        (Some(task), None) => {
+            let n = n.ok_or("missing required --n <vertices>")?;
+            SketchSpec::new(task, n)
+        }
+        (None, Some(text)) => {
+            let mut spec = SketchSpec::from_json(&text).map_err(|e| format!("--spec: {e}"))?;
+            if let Some(n) = n {
+                spec.n = n;
+            }
+            spec
+        }
+    };
+    if let Some(eps) = eps {
+        spec = spec.with_eps(eps);
+    }
+    if let Some(k) = k {
+        spec = spec.with_k(k);
+    }
+    if let Some(w) = max_weight {
+        spec = spec.with_max_weight(w);
+    }
+    if let Some(seed) = seed {
+        spec = spec.with_seed(seed);
+    }
+    if spec.n < 2 {
         return Err("--n must be at least 2".into());
     }
-    Ok(opts)
+    if sites < 1 {
+        return Err("--sites must be at least 1".into());
+    }
+    Ok(Options { spec, sites, json })
 }
 
 fn main() -> ExitCode {
@@ -86,108 +148,90 @@ fn main() -> ExitCode {
         eprintln!("error reading stdin: {e}");
         return ExitCode::FAILURE;
     }
-    let updates = match parse_stream(&input, opts.n) {
-        Ok(u) => u,
+    let updates: Vec<EdgeUpdate> = match parse_stream(&input, opts.spec.n) {
+        // Value-carrying convention: a weighted line `+ u v w` carries
+        // delta = +-w, read as multiplicity by unit sketches and as the
+        // edge weight by mst / weighted-sparsify.
+        Ok(parsed) => parsed
+            .iter()
+            .map(|up| EdgeUpdate {
+                u: up.u,
+                v: up.v,
+                delta: up.delta * up.w as i64,
+            })
+            .collect(),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("ingesting {} updates over {} vertices…", updates.len(), opts.n);
-    run(&opts, &updates)
-}
-
-fn run(opts: &Options, updates: &[ParsedUpdate]) -> ExitCode {
-    let n = opts.n;
-    match opts.command.as_str() {
-        "connectivity" => {
-            let mut s = ForestSketch::new(n, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta * up.w as i64);
-            }
-            let f = s.decode();
-            println!("components: {}", f.component_count());
-            println!("forest edges: {}", f.edges.len());
-            println!("connected: {}", f.is_spanning_tree());
+    // Weight-bounded tasks reject out-of-range weights deep inside the
+    // sketch (a panic); catch them here with a line-level error instead.
+    if matches!(
+        opts.spec.task,
+        SketchTask::Mst | SketchTask::WeightedSparsify
+    ) {
+        if let Some(up) = updates.iter().find(|up| up.weight() > opts.spec.max_weight) {
+            eprintln!(
+                "error: update ({}, {}) carries weight {} > --max-weight {}",
+                up.u,
+                up.v,
+                up.weight(),
+                opts.spec.max_weight
+            );
+            return ExitCode::FAILURE;
         }
-        "bipartite" => {
-            let mut s = BipartitenessSketch::new(n, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta * up.w as i64);
-            }
-            println!("bipartite: {}", s.is_bipartite());
+    }
+    // The Fig. 4 squash encoding needs unit multiplicities (a weight-w
+    // line would set the wrong bitmask bit); reject instead of corrupting.
+    if opts.spec.task == SketchTask::Subgraphs {
+        if let Some(up) = updates.iter().find(|up| up.weight() != 1) {
+            eprintln!(
+                "error: update ({}, {}) carries weight {}; the {} sketch requires a \
+                 simple graph (unit weights only)",
+                up.u,
+                up.v,
+                up.weight(),
+                opts.spec.task.command()
+            );
+            return ExitCode::FAILURE;
         }
-        "mincut" => {
-            let mut s = MinCutSketch::new(n, opts.eps, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta * up.w as i64);
-            }
-            match s.decode() {
-                Some(est) => {
-                    println!("min cut estimate: {}", est.value);
-                    println!("resolved at level: {}", est.level);
-                    let a: Vec<usize> =
-                        (0..n).filter(|&v| est.side[v]).collect();
-                    println!("witness side ({} vertices): {a:?}", a.len());
-                }
-                None => {
-                    eprintln!("unresolved: increase levels/k for this input");
-                    return ExitCode::FAILURE;
-                }
-            }
+    }
+    eprintln!(
+        "ingesting {} updates over {} vertices at {} site(s)…",
+        updates.len(),
+        opts.spec.n,
+        opts.sites
+    );
+    let answer = opts.spec.run(&updates, opts.sites);
+    let unresolved = matches!(
+        answer,
+        SketchAnswer::MinCut {
+            resolved: false,
+            ..
         }
-        "sparsify" => {
-            let mut s = SparsifySketch::new(n, opts.eps, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta * up.w as i64);
-            }
-            let h = s.decode();
-            println!("# eps-sparsifier: {} weighted edges", h.m());
-            for &(u, v, w) in h.edges() {
-                println!("{u} {v} {w}");
-            }
+    );
+    if opts.json {
+        let body = Value::Map(vec![
+            ("spec".into(), opts.spec.to_value()),
+            ("sites".into(), Value::UInt(opts.sites as u64)),
+            ("updates".into(), Value::UInt(updates.len() as u64)),
+            ("answer".into(), answer.to_value()),
+        ]);
+        println!("{}", body.to_json());
+    } else if unresolved {
+        // Diagnostics go to stderr; stdout stays empty on failure so
+        // scripts can keep treating stdout as data.
+        for line in answer.render_lines() {
+            eprintln!("{line}");
         }
-        "triangles" => {
-            let mut s = SubgraphSketch::new(n, 3, opts.eps, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta);
-            }
-            let pats = [
-                ("triangle", Pattern::triangle()),
-                ("path3", Pattern::path3()),
-                ("edge+isolated", Pattern::edge_plus_isolated()),
-            ];
-            let ests =
-                s.estimate_many(&pats.iter().map(|(_, p)| p.clone()).collect::<Vec<_>>());
-            for ((name, _), est) in pats.iter().zip(ests) {
-                match est {
-                    Some(v) => println!("gamma[{name}]: {v:.4}"),
-                    None => println!("gamma[{name}]: no non-empty samples"),
-                }
-            }
+    } else {
+        for line in answer.render_lines() {
+            println!("{line}");
         }
-        "mst" => {
-            let mut s = MstSketch::new(n, opts.eps, opts.max_weight, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.w, up.delta);
-            }
-            let f = s.decode();
-            println!("# approx MSF: {} edges, total weight {}", f.m(), f.total_weight());
-            for &(u, v, w) in f.edges() {
-                println!("{u} {v} {w}");
-            }
-        }
-        "kconnected" => {
-            let mut s = KConnectivitySketch::new(n, opts.k, opts.seed);
-            for up in updates {
-                s.update_edge(up.u, up.v, up.delta * up.w as i64);
-            }
-            println!("{}-edge-connected: {}", opts.k, s.is_k_connected());
-        }
-        other => {
-            eprintln!("unknown command {other:?}");
-            return usage();
-        }
+    }
+    if unresolved {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -45,7 +45,10 @@ impl std::error::Error for ParseError {}
 
 /// Parses one line; `Ok(None)` for blanks/comments.
 pub fn parse_line(line: &str, lineno: usize, n: usize) -> Result<Option<ParsedUpdate>, ParseError> {
-    let err = |message: String| ParseError { line: lineno, message };
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
@@ -84,6 +87,10 @@ pub fn parse_line(line: &str, lineno: usize, n: usize) -> Result<Option<ParsedUp
     if w == 0 {
         return Err(err("zero weight".into()));
     }
+    // Weights travel as the magnitude of a signed i64 delta downstream.
+    if w > i64::MAX as u64 {
+        return Err(err(format!("weight {w} exceeds {}", i64::MAX)));
+    }
     Ok(Some(ParsedUpdate { u, v, w, delta }))
 }
 
@@ -106,11 +113,21 @@ mod tests {
     fn parses_inserts_and_deletes() {
         assert_eq!(
             parse_line("+ 0 5", 1, 10).unwrap(),
-            Some(ParsedUpdate { u: 0, v: 5, w: 1, delta: 1 })
+            Some(ParsedUpdate {
+                u: 0,
+                v: 5,
+                w: 1,
+                delta: 1
+            })
         );
         assert_eq!(
             parse_line("- 3 7 12", 1, 10).unwrap(),
-            Some(ParsedUpdate { u: 3, v: 7, w: 12, delta: -1 })
+            Some(ParsedUpdate {
+                u: 3,
+                v: 7,
+                w: 12,
+                delta: -1
+            })
         );
     }
 
@@ -122,7 +139,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["* 1 2", "+ 1", "+ 1 2 3 4", "+ 1 1", "+ 0 99", "+ 0 1 0", "+ x y"] {
+        for bad in [
+            "* 1 2",
+            "+ 0 1 9223372036854775808", // weight > i64::MAX would wrap the delta
+            "+ 1",
+            "+ 1 2 3 4",
+            "+ 1 1",
+            "+ 0 99",
+            "+ 0 1 0",
+            "+ x y",
+        ] {
             assert!(parse_line(bad, 3, 10).is_err(), "accepted {bad:?}");
         }
     }

@@ -1,0 +1,689 @@
+//! Runtime dispatch over every sketch in the crate: one config struct in,
+//! one answer enum out.
+//!
+//! The static side of the unified interface is [`gs_sketch::LinearSketch`];
+//! this module adds the dynamic side for callers (the CLI, services,
+//! coordinators) that pick the algorithm at runtime:
+//!
+//! * [`SketchSpec`] — a serializable description of *which* sketch to run
+//!   (task, `n`, `ε`, `k`, max weight, seed). [`SketchSpec::build`]
+//!   constructs the sketch; two sites with equal specs build mergeable
+//!   sketches.
+//! * [`AnySketch`] — an enum over every sketch type, itself a
+//!   [`LinearSketch`] (feed it, merge it, ship it through
+//!   [`gs_stream::distributed::sketch_distributed`] like any other sketch).
+//! * [`SketchAnswer`] — the decoded result, serializable and renderable as
+//!   plain text lines.
+//!
+//! ```
+//! use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
+//! use gs_sketch::{EdgeUpdate, LinearSketch};
+//!
+//! let spec = SketchSpec::new(SketchTask::Connectivity, 4).with_seed(7);
+//! let mut sketch = spec.build();
+//! sketch.absorb(&[
+//!     EdgeUpdate::insert(0, 1),
+//!     EdgeUpdate::insert(1, 2),
+//!     EdgeUpdate::insert(2, 3),
+//!     EdgeUpdate::delete(1, 2),
+//! ]);
+//! match sketch.decode() {
+//!     SketchAnswer::Connectivity { components, .. } => assert_eq!(components, 2),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+use crate::extras::{BipartitenessSketch, KConnectivitySketch};
+use crate::mst::MstSketch;
+use crate::{
+    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
+    SubgraphSketch, WeightedSparsifySketch,
+};
+use gs_graph::subgraph::Pattern;
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
+use gs_stream::distributed::{sketch_central, sketch_distributed};
+use serde::{Deserialize, Serialize, Value};
+
+/// Which structural question a sketch answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SketchTask {
+    /// Components + spanning forest (AGM substrate).
+    Connectivity,
+    /// Bipartiteness via the double cover.
+    Bipartite,
+    /// (1+ε)-approximate minimum cut (Fig. 1).
+    MinCut,
+    /// ε-cut-sparsifier, Fig. 2 flavor.
+    SimpleSparsify,
+    /// ε-cut-sparsifier, Fig. 3 flavor (the paper's main result).
+    Sparsify,
+    /// ε-cut-sparsifier for weighted streams (§3.5).
+    WeightedSparsify,
+    /// Order-k subgraph fractions γ_H (§4).
+    Subgraphs,
+    /// (1+ε)-approximate minimum spanning forest.
+    Mst,
+    /// k-edge-connectivity test.
+    KConnect,
+    /// The k-EDGECONNECT witness subgraph itself (Theorem 2.3).
+    KEdgeWitness,
+}
+
+impl SketchTask {
+    /// Every task, in CLI listing order.
+    pub const ALL: [SketchTask; 10] = [
+        SketchTask::Connectivity,
+        SketchTask::Bipartite,
+        SketchTask::MinCut,
+        SketchTask::SimpleSparsify,
+        SketchTask::Sparsify,
+        SketchTask::WeightedSparsify,
+        SketchTask::Subgraphs,
+        SketchTask::Mst,
+        SketchTask::KConnect,
+        SketchTask::KEdgeWitness,
+    ];
+
+    /// The CLI command name.
+    pub fn command(&self) -> &'static str {
+        match self {
+            SketchTask::Connectivity => "connectivity",
+            SketchTask::Bipartite => "bipartite",
+            SketchTask::MinCut => "mincut",
+            SketchTask::SimpleSparsify => "simple-sparsify",
+            SketchTask::Sparsify => "sparsify",
+            SketchTask::WeightedSparsify => "weighted-sparsify",
+            SketchTask::Subgraphs => "triangles",
+            SketchTask::Mst => "mst",
+            SketchTask::KConnect => "kconnected",
+            SketchTask::KEdgeWitness => "kedge",
+        }
+    }
+
+    /// Parses a CLI command name.
+    pub fn from_command(cmd: &str) -> Option<SketchTask> {
+        SketchTask::ALL.into_iter().find(|t| t.command() == cmd)
+    }
+}
+
+/// A serializable recipe for constructing a sketch: everything two
+/// distributed sites must agree on for their sketches to be mergeable
+/// measurements of the same linear projection.
+///
+/// Fields not meaningful for a task (e.g. `max_weight` for connectivity)
+/// are simply unused by [`SketchSpec::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SketchSpec {
+    /// The structural question.
+    pub task: SketchTask,
+    /// Vertex count `n` (vertices are `0..n`).
+    pub n: usize,
+    /// Accuracy target ε (approximation tasks).
+    pub eps: f64,
+    /// Connectivity threshold (`KConnect` / `KEdgeWitness`) or pattern
+    /// order (`Subgraphs`).
+    pub k: usize,
+    /// Maximum edge weight (`WeightedSparsify` / `Mst`).
+    pub max_weight: u64,
+    /// Master seed: equal specs ⇒ mergeable sketches.
+    pub seed: u64,
+}
+
+impl SketchSpec {
+    /// A spec with the scaled-down default parameters (see DESIGN.md §3).
+    pub fn new(task: SketchTask, n: usize) -> Self {
+        SketchSpec {
+            task,
+            n,
+            eps: 0.5,
+            k: match task {
+                SketchTask::Subgraphs => 3,
+                _ => 2,
+            },
+            max_weight: 1024,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Sets the accuracy target ε.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets `k` (connectivity threshold or pattern order).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the maximum edge weight.
+    pub fn with_max_weight(mut self, max_weight: u64) -> Self {
+        self.max_weight = max_weight;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Constructs the empty sketch this spec describes.
+    pub fn build(&self) -> AnySketch {
+        match self.task {
+            SketchTask::Connectivity => AnySketch::Forest(ForestSketch::new(self.n, self.seed)),
+            SketchTask::Bipartite => {
+                AnySketch::Bipartite(BipartitenessSketch::new(self.n, self.seed))
+            }
+            SketchTask::MinCut => AnySketch::MinCut(MinCutSketch::new(self.n, self.eps, self.seed)),
+            SketchTask::SimpleSparsify => {
+                AnySketch::SimpleSparsify(SimpleSparsifySketch::new(self.n, self.eps, self.seed))
+            }
+            SketchTask::Sparsify => {
+                AnySketch::Sparsify(SparsifySketch::new(self.n, self.eps, self.seed))
+            }
+            SketchTask::WeightedSparsify => AnySketch::WeightedSparsify(
+                WeightedSparsifySketch::new(self.n, self.eps, self.max_weight, self.seed),
+            ),
+            SketchTask::Subgraphs => {
+                AnySketch::Subgraph(SubgraphSketch::new(self.n, self.k, self.eps, self.seed))
+            }
+            SketchTask::Mst => {
+                AnySketch::Mst(MstSketch::new(self.n, self.eps, self.max_weight, self.seed))
+            }
+            SketchTask::KConnect => {
+                AnySketch::KConnect(KConnectivitySketch::new(self.n, self.k, self.seed))
+            }
+            SketchTask::KEdgeWitness => {
+                AnySketch::KEdgeWitness(KEdgeConnectSketch::new(self.n, self.k, self.seed))
+            }
+        }
+    }
+
+    /// Builds, feeds, and decodes in one call. With `sites > 1` the batch
+    /// is hash-partitioned and sketched one thread per site (§1.1); the
+    /// answer is identical to `sites = 1` because the sketches are linear.
+    pub fn run(&self, updates: &[EdgeUpdate], sites: usize) -> SketchAnswer {
+        let sketch = if sites <= 1 {
+            sketch_central(updates, || self.build())
+        } else {
+            sketch_distributed(updates, sites, self.seed ^ 0x517E5, || self.build())
+        };
+        sketch.decode()
+    }
+
+    /// Serializes the spec as JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Parses a spec from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        SketchSpec::from_value(&Value::from_json(text)?)
+    }
+}
+
+/// Any sketch in the crate, behind one type: the runtime-dispatch
+/// counterpart of [`LinearSketch`]. Feed it, merge it (same-task,
+/// same-spec sketches only), decode it into a [`SketchAnswer`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AnySketch {
+    /// Spanning forest / connectivity.
+    Forest(ForestSketch),
+    /// Bipartiteness (double cover).
+    Bipartite(BipartitenessSketch),
+    /// Minimum cut (Fig. 1).
+    MinCut(MinCutSketch),
+    /// Sparsifier, Fig. 2.
+    SimpleSparsify(SimpleSparsifySketch),
+    /// Sparsifier, Fig. 3.
+    Sparsify(SparsifySketch),
+    /// Weighted sparsifier (§3.5).
+    WeightedSparsify(WeightedSparsifySketch),
+    /// Subgraph fractions (§4).
+    Subgraph(SubgraphSketch),
+    /// Approximate minimum spanning forest.
+    Mst(MstSketch),
+    /// k-edge-connectivity test.
+    KConnect(KConnectivitySketch),
+    /// k-EDGECONNECT witness.
+    KEdgeWitness(KEdgeConnectSketch),
+}
+
+impl AnySketch {
+    /// The task this sketch answers.
+    pub fn task(&self) -> SketchTask {
+        match self {
+            AnySketch::Forest(_) => SketchTask::Connectivity,
+            AnySketch::Bipartite(_) => SketchTask::Bipartite,
+            AnySketch::MinCut(_) => SketchTask::MinCut,
+            AnySketch::SimpleSparsify(_) => SketchTask::SimpleSparsify,
+            AnySketch::Sparsify(_) => SketchTask::Sparsify,
+            AnySketch::WeightedSparsify(_) => SketchTask::WeightedSparsify,
+            AnySketch::Subgraph(_) => SketchTask::Subgraphs,
+            AnySketch::Mst(_) => SketchTask::Mst,
+            AnySketch::KConnect(_) => SketchTask::KConnect,
+            AnySketch::KEdgeWitness(_) => SketchTask::KEdgeWitness,
+        }
+    }
+}
+
+impl Mergeable for AnySketch {
+    /// # Panics
+    /// Panics if the two sketches answer different tasks (in addition to
+    /// the per-sketch seed/parameter compatibility checks).
+    fn merge(&mut self, other: &Self) {
+        match (self, other) {
+            (AnySketch::Forest(a), AnySketch::Forest(b)) => a.merge(b),
+            (AnySketch::Bipartite(a), AnySketch::Bipartite(b)) => a.merge(b),
+            (AnySketch::MinCut(a), AnySketch::MinCut(b)) => a.merge(b),
+            (AnySketch::SimpleSparsify(a), AnySketch::SimpleSparsify(b)) => a.merge(b),
+            (AnySketch::Sparsify(a), AnySketch::Sparsify(b)) => a.merge(b),
+            (AnySketch::WeightedSparsify(a), AnySketch::WeightedSparsify(b)) => a.merge(b),
+            (AnySketch::Subgraph(a), AnySketch::Subgraph(b)) => a.merge(b),
+            (AnySketch::Mst(a), AnySketch::Mst(b)) => a.merge(b),
+            (AnySketch::KConnect(a), AnySketch::KConnect(b)) => a.merge(b),
+            (AnySketch::KEdgeWitness(a), AnySketch::KEdgeWitness(b)) => a.merge(b),
+            (a, b) => panic!(
+                "cannot merge a {:?} sketch into a {:?} sketch",
+                b.task(),
+                a.task()
+            ),
+        }
+    }
+}
+
+impl LinearSketch for AnySketch {
+    type Output = SketchAnswer;
+
+    fn n(&self) -> usize {
+        match self {
+            AnySketch::Forest(s) => s.n(),
+            AnySketch::Bipartite(s) => s.n(),
+            AnySketch::MinCut(s) => s.n(),
+            AnySketch::SimpleSparsify(s) => s.n(),
+            AnySketch::Sparsify(s) => s.n(),
+            AnySketch::WeightedSparsify(s) => s.n(),
+            AnySketch::Subgraph(s) => s.n(),
+            AnySketch::Mst(s) => LinearSketch::n(s),
+            AnySketch::KConnect(s) => s.n(),
+            AnySketch::KEdgeWitness(s) => s.n(),
+        }
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        match self {
+            AnySketch::Forest(s) => s.update_edge(u, v, delta),
+            AnySketch::Bipartite(s) => s.update_edge(u, v, delta),
+            AnySketch::MinCut(s) => s.update_edge(u, v, delta),
+            AnySketch::SimpleSparsify(s) => s.update_edge(u, v, delta),
+            AnySketch::Sparsify(s) => s.update_edge(u, v, delta),
+            AnySketch::WeightedSparsify(s) => LinearSketch::update_edge(s, u, v, delta),
+            AnySketch::Subgraph(s) => s.update_edge(u, v, delta),
+            AnySketch::Mst(s) => LinearSketch::update_edge(s, u, v, delta),
+            AnySketch::KConnect(s) => s.update_edge(u, v, delta),
+            AnySketch::KEdgeWitness(s) => s.update_edge(u, v, delta),
+        }
+    }
+
+    fn space_bytes(&self) -> usize {
+        match self {
+            AnySketch::Forest(s) => s.space_bytes(),
+            AnySketch::Bipartite(s) => s.space_bytes(),
+            AnySketch::MinCut(s) => s.space_bytes(),
+            AnySketch::SimpleSparsify(s) => s.space_bytes(),
+            AnySketch::Sparsify(s) => s.space_bytes(),
+            AnySketch::WeightedSparsify(s) => s.space_bytes(),
+            AnySketch::Subgraph(s) => s.space_bytes(),
+            AnySketch::Mst(s) => s.space_bytes(),
+            AnySketch::KConnect(s) => s.space_bytes(),
+            AnySketch::KEdgeWitness(s) => s.space_bytes(),
+        }
+    }
+
+    fn decode(&self) -> SketchAnswer {
+        match self {
+            AnySketch::Forest(s) => {
+                let f = s.decode();
+                SketchAnswer::Connectivity {
+                    components: f.component_count(),
+                    connected: f.is_spanning_tree(),
+                    forest_edges: f.edges.iter().map(|&(u, v, _)| (u, v)).collect(),
+                }
+            }
+            AnySketch::Bipartite(s) => SketchAnswer::Bipartite {
+                bipartite: s.decode(),
+            },
+            AnySketch::MinCut(s) => match s.decode() {
+                Some(est) => SketchAnswer::MinCut {
+                    resolved: true,
+                    value: est.value,
+                    level: est.level,
+                    side: (0..est.side.len()).filter(|&v| est.side[v]).collect(),
+                },
+                None => SketchAnswer::MinCut {
+                    resolved: false,
+                    value: 0,
+                    level: 0,
+                    side: Vec::new(),
+                },
+            },
+            AnySketch::SimpleSparsify(s) => Self::sparsifier_answer(s.decode()),
+            AnySketch::Sparsify(s) => Self::sparsifier_answer(s.decode()),
+            AnySketch::WeightedSparsify(s) => Self::sparsifier_answer(s.decode()),
+            AnySketch::Subgraph(s) => {
+                // Built-in pattern tables exist for orders 3 and 4; other
+                // orders report raw samples only (render_lines says so).
+                let patterns: Vec<(&str, Pattern)> = match s.k() {
+                    3 => vec![
+                        ("triangle", Pattern::triangle()),
+                        ("path3", Pattern::path3()),
+                        ("edge+isolated", Pattern::edge_plus_isolated()),
+                    ],
+                    4 => vec![("k4", Pattern::k4()), ("c4", Pattern::c4())],
+                    _ => Vec::new(),
+                };
+                // One sample draw serves the count and every pattern
+                // estimate (querying the samplers is the expensive part).
+                let samples = s.raw_samples();
+                let gammas = patterns
+                    .iter()
+                    .map(|(name, p)| {
+                        let est = if samples.is_empty() {
+                            None
+                        } else {
+                            let class = p.iso_class();
+                            let hits = samples.iter().filter(|m| class.contains(m)).count();
+                            Some(hits as f64 / samples.len() as f64)
+                        };
+                        (name.to_string(), est)
+                    })
+                    .collect();
+                SketchAnswer::Subgraphs {
+                    order: s.k(),
+                    samples: samples.len(),
+                    gammas,
+                }
+            }
+            AnySketch::Mst(s) => {
+                let f = LinearSketch::decode(s);
+                SketchAnswer::Msf {
+                    total_weight: f.total_weight(),
+                    edges: f.edges().to_vec(),
+                }
+            }
+            AnySketch::KConnect(s) => SketchAnswer::KConnected {
+                k: s.k(),
+                connected: s.decode(),
+            },
+            AnySketch::KEdgeWitness(s) => {
+                let h = LinearSketch::decode(s);
+                SketchAnswer::Witness {
+                    edges: h.edges().to_vec(),
+                }
+            }
+        }
+    }
+}
+
+impl AnySketch {
+    fn sparsifier_answer(h: gs_graph::Graph) -> SketchAnswer {
+        SketchAnswer::Sparsifier {
+            total_weight: h.total_weight(),
+            edges: h.edges().to_vec(),
+        }
+    }
+}
+
+/// A decoded sketch answer: serializable (for `--json` / wire transport)
+/// and renderable as plain text lines (for the CLI).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SketchAnswer {
+    /// Components and a spanning forest.
+    Connectivity {
+        /// Number of connected components.
+        components: usize,
+        /// `true` iff one component spans all vertices.
+        connected: bool,
+        /// The decoded spanning-forest edges.
+        forest_edges: Vec<(usize, usize)>,
+    },
+    /// Bipartiteness verdict.
+    Bipartite {
+        /// `true` iff the streamed graph is bipartite (w.h.p.).
+        bipartite: bool,
+    },
+    /// Minimum-cut estimate (Fig. 1 step 3).
+    MinCut {
+        /// `false` iff every level stayed ≥ k-connected (parameters too
+        /// small for this input).
+        resolved: bool,
+        /// The estimate `2^j · λ(H_j)`.
+        value: u64,
+        /// The level `j` that resolved.
+        level: usize,
+        /// Vertices on the witness side of the cut.
+        side: Vec<usize>,
+    },
+    /// A weighted ε-sparsifier.
+    Sparsifier {
+        /// Total sparsifier weight.
+        total_weight: u64,
+        /// Weighted sparsifier edges `(u, v, w)`.
+        edges: Vec<(usize, usize, u64)>,
+    },
+    /// Subgraph-fraction estimates (§4).
+    Subgraphs {
+        /// Pattern order `k`.
+        order: usize,
+        /// Number of successful ℓ0 samples backing the estimates.
+        samples: usize,
+        /// `(pattern name, γ_H estimate)`; `None` when no sampler
+        /// produced a sample.
+        gammas: Vec<(String, Option<f64>)>,
+    },
+    /// An approximate minimum spanning forest.
+    Msf {
+        /// Total forest weight (threshold-charged).
+        total_weight: u64,
+        /// Forest edges `(u, v, w)`.
+        edges: Vec<(usize, usize, u64)>,
+    },
+    /// k-edge-connectivity verdict.
+    KConnected {
+        /// The threshold tested.
+        k: usize,
+        /// `true` iff every cut has ≥ k edges (w.h.p.).
+        connected: bool,
+    },
+    /// The k-EDGECONNECT witness subgraph.
+    Witness {
+        /// Witness edges `(u, v, multiplicity)`.
+        edges: Vec<(usize, usize, u64)>,
+    },
+}
+
+impl SketchAnswer {
+    /// Renders the answer as the CLI's human-readable lines.
+    pub fn render_lines(&self) -> Vec<String> {
+        match self {
+            SketchAnswer::Connectivity {
+                components,
+                connected,
+                forest_edges,
+            } => vec![
+                format!("components: {components}"),
+                format!("forest edges: {}", forest_edges.len()),
+                format!("connected: {connected}"),
+            ],
+            SketchAnswer::Bipartite { bipartite } => vec![format!("bipartite: {bipartite}")],
+            SketchAnswer::MinCut {
+                resolved,
+                value,
+                level,
+                side,
+            } => {
+                if *resolved {
+                    vec![
+                        format!("min cut estimate: {value}"),
+                        format!("resolved at level: {level}"),
+                        format!("witness side ({} vertices): {side:?}", side.len()),
+                    ]
+                } else {
+                    vec!["unresolved: increase levels/k for this input".to_string()]
+                }
+            }
+            SketchAnswer::Sparsifier {
+                total_weight,
+                edges,
+            } => {
+                let mut lines = vec![format!(
+                    "# eps-sparsifier: {} weighted edges, total weight {total_weight}",
+                    edges.len()
+                )];
+                lines.extend(edges.iter().map(|(u, v, w)| format!("{u} {v} {w}")));
+                lines
+            }
+            SketchAnswer::Subgraphs {
+                order,
+                samples,
+                gammas,
+            } => {
+                let mut lines = vec![format!("# order-{order} samples: {samples}")];
+                if gammas.is_empty() {
+                    lines.push(format!(
+                        "no built-in pattern table for order {order} (orders 3 and 4 \
+                         have one); raw samples only"
+                    ));
+                }
+                lines.extend(gammas.iter().map(|(name, est)| match est {
+                    Some(v) => format!("gamma[{name}]: {v:.4}"),
+                    None => format!("gamma[{name}]: no non-empty samples"),
+                }));
+                lines
+            }
+            SketchAnswer::Msf {
+                total_weight,
+                edges,
+            } => {
+                let mut lines = vec![format!(
+                    "# approx MSF: {} edges, total weight {total_weight}",
+                    edges.len()
+                )];
+                lines.extend(edges.iter().map(|(u, v, w)| format!("{u} {v} {w}")));
+                lines
+            }
+            SketchAnswer::KConnected { k, connected } => {
+                vec![format!("{k}-edge-connected: {connected}")]
+            }
+            SketchAnswer::Witness { edges } => {
+                let mut lines = vec![format!("# k-EDGECONNECT witness: {} edges", edges.len())];
+                lines.extend(edges.iter().map(|(u, v, w)| format!("{u} {v} {w}")));
+                lines
+            }
+        }
+    }
+
+    /// Serializes the answer as JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_graph::gen;
+    use gs_stream::GraphStream;
+
+    fn churn_updates(n: usize, p: f64, seed: u64) -> Vec<EdgeUpdate> {
+        let g = gen::gnp(n, p, seed);
+        GraphStream::with_churn(&g, 200, seed ^ 0xD1).edge_updates()
+    }
+
+    #[test]
+    fn every_task_builds_feeds_and_decodes() {
+        let updates = churn_updates(12, 0.3, 1);
+        for task in SketchTask::ALL {
+            let spec = SketchSpec::new(task, 12).with_eps(0.75);
+            let mut sketch = spec.build();
+            assert_eq!(sketch.task(), task);
+            assert_eq!(LinearSketch::n(&sketch), 12);
+            assert!(sketch.space_bytes() > 0, "{task:?} reports no space");
+            sketch.absorb(&updates);
+            let answer = sketch.decode();
+            assert!(
+                !answer.render_lines().is_empty(),
+                "{task:?} renders nothing"
+            );
+            // The JSON body must parse back as a value.
+            let v = Value::from_json(&answer.to_json()).expect("valid JSON");
+            assert!(v.as_map().is_some());
+        }
+    }
+
+    #[test]
+    fn distributed_run_equals_central_run() {
+        let updates = churn_updates(14, 0.3, 2);
+        for task in SketchTask::ALL {
+            let spec = SketchSpec::new(task, 14).with_eps(0.75).with_seed(0xFEED);
+            let central = spec.run(&updates, 1);
+            for sites in [2, 4, 9] {
+                assert_eq!(
+                    spec.run(&updates, sites),
+                    central,
+                    "{task:?} @ {sites} sites"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SketchSpec::new(SketchTask::MinCut, 64)
+            .with_eps(0.25)
+            .with_k(5)
+            .with_max_weight(128)
+            .with_seed(42);
+        let text = spec.to_json();
+        assert_eq!(SketchSpec::from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn command_names_round_trip() {
+        for task in SketchTask::ALL {
+            assert_eq!(SketchTask::from_command(task.command()), Some(task));
+        }
+        assert_eq!(SketchTask::from_command("nope"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_task_merge_refused() {
+        let mut a = SketchSpec::new(SketchTask::Connectivity, 8).build();
+        let b = SketchSpec::new(SketchTask::Bipartite, 8).build();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn weighted_tasks_take_value_carrying_updates() {
+        let updates = vec![
+            EdgeUpdate::weighted(0, 1, 5, 1),
+            EdgeUpdate::weighted(1, 2, 17, 1),
+            EdgeUpdate::weighted(2, 3, 3, 1),
+            EdgeUpdate::weighted(0, 1, 5, -1),
+        ];
+        let spec = SketchSpec::new(SketchTask::WeightedSparsify, 4).with_max_weight(32);
+        let mut sketch = spec.build();
+        sketch.absorb(&updates);
+        match sketch.decode() {
+            SketchAnswer::Sparsifier { edges, .. } => {
+                // (0,1) cancelled; the two surviving low-connectivity edges
+                // freeze at level 0 with exact weights.
+                assert_eq!(edges, vec![(1, 2, 17), (2, 3, 3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -17,11 +17,11 @@ use crate::incidence::update_both_endpoints;
 use gs_field::BackendKind;
 use gs_graph::UnionFind;
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
-use gs_sketch::{L0Detector, L0Result, Mergeable};
+use gs_sketch::{L0Detector, L0Result, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`ForestSketch`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ForestParams {
     /// Boruvka rounds (each with its own detector bank). The default is
     /// `⌈log2 n⌉ + 2`: components at least halve per successful round and
@@ -83,7 +83,7 @@ impl Forest {
 
 /// Linear sketch from which a spanning forest of the current multigraph
 /// can be decoded (w.h.p.).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ForestSketch {
     n: usize,
     params: ForestParams,
@@ -102,7 +102,11 @@ impl ForestSketch {
     /// Full-control constructor.
     pub fn with_params(n: usize, params: ForestParams, seed: u64) -> Self {
         assert!(n >= 2);
-        let banks = if params.share_rounds { 1 } else { params.rounds };
+        let banks = if params.share_rounds {
+            1
+        } else {
+            params.rounds
+        };
         let domain = edge_domain(n);
         // All nodes within one round share the SAME seed: summing
         // Σ_{u∈A} sketch(x^u) is only meaningful when every node sketch is
@@ -140,7 +144,11 @@ impl ForestSketch {
             return;
         }
         let idx = edge_index(self.n, u, v);
-        let banks = if self.params.share_rounds { 1 } else { self.params.rounds };
+        let banks = if self.params.share_rounds {
+            1
+        } else {
+            self.params.rounds
+        };
         update_both_endpoints(u, v, delta, |node, d| {
             for b in 0..banks {
                 self.detectors[b * self.n + node].update(idx, d);
@@ -198,11 +206,34 @@ impl ForestSketch {
 
 impl Mergeable for ForestSketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging forest sketches with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging forest sketches with different seeds"
+        );
         assert_eq!(self.n, other.n);
         for (a, b) in self.detectors.iter_mut().zip(&other.detectors) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for ForestSketch {
+    type Output = Forest;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        ForestSketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    fn decode(&self) -> Forest {
+        ForestSketch::decode(self)
     }
 }
 

@@ -14,11 +14,11 @@
 use crate::connectivity::{ForestParams, ForestSketch};
 use crate::kedge::KEdgeConnectSketch;
 use gs_graph::stoer_wagner;
-use gs_sketch::Mergeable;
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Single-pass bipartiteness tester for dynamic graph streams.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BipartitenessSketch {
     n: usize,
     /// Forest sketch of G itself.
@@ -40,6 +40,16 @@ impl BipartitenessSketch {
             base: ForestSketch::with_params(n, params, seed ^ 0xB1_0001),
             cover: ForestSketch::with_params(2 * n, params, seed ^ 0xB1_0002),
         }
+    }
+
+    /// Vertex count of the streamed graph (the cover works on `2n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sketch size in 1-sparse cells (base forest + double cover).
+    pub fn cell_count(&self) -> usize {
+        self.base.cell_count() + self.cover.cell_count()
     }
 
     /// Applies a stream update (Definition 1).
@@ -68,8 +78,29 @@ impl Mergeable for BipartitenessSketch {
     }
 }
 
+impl LinearSketch for BipartitenessSketch {
+    type Output = bool;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        BipartitenessSketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// `true` iff the streamed graph is bipartite (w.h.p.).
+    fn decode(&self) -> bool {
+        self.is_bipartite()
+    }
+}
+
 /// Single-pass k-edge-connectivity tester.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KConnectivitySketch {
     k: usize,
     inner: KEdgeConnectSketch,
@@ -82,6 +113,21 @@ impl KConnectivitySketch {
             k,
             inner: KEdgeConnectSketch::new(n, k, seed),
         }
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// The connectivity threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sketch size in 1-sparse cells.
+    pub fn cell_count(&self) -> usize {
+        self.inner.cell_count()
     }
 
     /// Applies a stream update.
@@ -103,6 +149,27 @@ impl Mergeable for KConnectivitySketch {
     fn merge(&mut self, other: &Self) {
         assert_eq!(self.k, other.k);
         self.inner.merge(&other.inner);
+    }
+}
+
+impl LinearSketch for KConnectivitySketch {
+    type Output = bool;
+
+    fn n(&self) -> usize {
+        KConnectivitySketch::n(self)
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        KConnectivitySketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// `true` iff the streamed graph is k-edge-connected (w.h.p.).
+    fn decode(&self) -> bool {
+        self.is_k_connected()
     }
 }
 
@@ -159,7 +226,11 @@ mod tests {
     #[test]
     fn bipartite_components_mixed() {
         // One bipartite component + one odd cycle: not bipartite overall.
-        let mut edges: Vec<(usize, usize)> = gen::cycle(6).edges().iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut edges: Vec<(usize, usize)> = gen::cycle(6)
+            .edges()
+            .iter()
+            .map(|&(u, v, _)| (u, v))
+            .collect();
         edges.extend([(6, 7), (7, 8), (6, 8)]); // triangle on 6,7,8
         let g = Graph::from_edges(9, edges);
         assert!(!bip_of(&g, 9));

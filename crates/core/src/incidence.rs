@@ -32,12 +32,7 @@ pub fn sign_for(u: usize, other: usize) -> i64 {
 /// `apply(node, edge_slot_delta)` for each endpoint. `edge_index` must be
 /// the slot of `{u,v}` in `[0, C(n,2))`.
 #[inline]
-pub fn update_both_endpoints(
-    u: usize,
-    v: usize,
-    delta: i64,
-    mut apply: impl FnMut(usize, i64),
-) {
+pub fn update_both_endpoints(u: usize, v: usize, delta: i64, mut apply: impl FnMut(usize, i64)) {
     apply(u, sign_for(u, v) * delta);
     apply(v, sign_for(v, u) * delta);
 }
@@ -65,7 +60,15 @@ mod tests {
         // Explicitly materialize Σ_{u∈A} x^u for a small graph and verify
         // support = crossing edges (the Eq. 1 property).
         let n = 6;
-        let edges = [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)];
+        let edges = [
+            (0usize, 1usize),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (0, 5),
+            (1, 4),
+        ];
         let a_side = [true, true, false, false, true, false]; // A = {0,1,4}
         let mut sum = vec![0i64; edge_domain(n) as usize];
         for &(u, v) in &edges {

@@ -17,7 +17,7 @@
 
 use crate::connectivity::{ForestParams, ForestSketch};
 use gs_graph::Graph;
-use gs_sketch::Mergeable;
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// How a recovered forest edge is removed from the next layer's sketch.
@@ -35,7 +35,7 @@ pub enum SubtractMode {
 }
 
 /// Sketch state for `k-EDGECONNECT`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KEdgeConnectSketch {
     n: usize,
     k: usize,
@@ -75,7 +75,13 @@ impl KEdgeConnectSketch {
                 )
             })
             .collect();
-        KEdgeConnectSketch { n, k, seed, subtract, forests }
+        KEdgeConnectSketch {
+            n,
+            k,
+            seed,
+            subtract,
+            forests,
+        }
     }
 
     /// Vertex count.
@@ -108,7 +114,9 @@ impl KEdgeConnectSketch {
     pub fn decode_witness(&self) -> Graph {
         Graph::from_edges(
             self.n,
-            self.decode_witness_edges().into_iter().map(|(u, v, _)| (u, v)),
+            self.decode_witness_edges()
+                .into_iter()
+                .map(|(u, v, _)| (u, v)),
         )
     }
 
@@ -149,12 +157,36 @@ impl KEdgeConnectSketch {
 
 impl Mergeable for KEdgeConnectSketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging witnesses with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging witnesses with different seeds"
+        );
         assert_eq!(self.k, other.k);
         assert_eq!(self.n, other.n);
         for (a, b) in self.forests.iter_mut().zip(&other.forests) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for KEdgeConnectSketch {
+    type Output = Graph;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        KEdgeConnectSketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// Decodes the witness `H = F_1 ∪ … ∪ F_k`.
+    fn decode(&self) -> Graph {
+        self.decode_witness()
     }
 }
 
@@ -229,7 +261,10 @@ mod tests {
         let mut s = KEdgeConnectSketch::new(g.n(), 4, 17);
         stream.replay(|u, v, d| s.update_edge(u, v, d));
         let h = s.decode_witness();
-        assert!(h.has_edge(0, 8) && h.has_edge(1, 9), "bridges lost under churn");
+        assert!(
+            h.has_edge(0, 8) && h.has_edge(1, 9),
+            "bridges lost under churn"
+        );
         assert_eq!(stoer_wagner::min_cut_value(&h), 2);
     }
 

@@ -23,27 +23,44 @@
 //!
 //! ## Quick start
 //!
+//! Every sketch speaks the unified [`gs_sketch::LinearSketch`] interface;
+//! the [`api`] module adds runtime dispatch over all of them:
+//!
 //! ```
-//! use graph_sketches::connectivity::ForestSketch;
+//! use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
 //! use gs_graph::gen;
+//! use gs_sketch::LinearSketch;
 //! use gs_stream::GraphStream;
 //!
 //! let g = gen::connected_gnp(40, 0.2, 7);
 //! // A dynamic stream with insertions and deletions that nets out to `g`.
 //! let stream = GraphStream::with_churn(&g, 200, 1);
-//! let mut sketch = ForestSketch::new(40, 0xC0FFEE);
-//! stream.replay(|u, v, d| sketch.update_edge(u, v, d));
-//! let forest = sketch.decode();
-//! assert_eq!(forest.component_count(), 1);
-//! assert_eq!(forest.edges.len(), 39);
+//! let mut sketch = SketchSpec::new(SketchTask::Connectivity, 40)
+//!     .with_seed(0xC0FFEE)
+//!     .build();
+//! sketch.absorb(&stream.edge_updates());
+//! match sketch.decode() {
+//!     SketchAnswer::Connectivity { components, forest_edges, .. } => {
+//!         assert_eq!(components, 1);
+//!         assert_eq!(forest_edges.len(), 39);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
 //! ```
 //!
+//! Static dispatch works identically — [`ForestSketch::new`],
+//! [`MinCutSketch::new`], … all implement [`gs_sketch::LinearSketch`]
+//! directly.
+//!
 //! All sketches are linear: they can be [`gs_sketch::Mergeable::merge`]d
-//! across distributed sites (§1.1) and deletions cancel insertions.
-//! Every structure takes explicit parameter structs whose defaults are
-//! *scaled-down* versions of the paper's constants (the paper's own
-//! constants are available via the `paper_*` constructors); see DESIGN.md.
+//! across distributed sites (§1.1) and deletions cancel insertions —
+//! `gs_stream::distributed::sketch_distributed` drives any of them one
+//! thread per site and folds the results. Every structure takes explicit
+//! parameter structs whose defaults are *scaled-down* versions of the
+//! paper's constants (the paper's own constants are available via the
+//! `paper_*` constructors); see DESIGN.md.
 
+pub mod api;
 pub mod connectivity;
 pub mod extras;
 pub mod incidence;
@@ -56,6 +73,7 @@ pub mod sparsify;
 pub mod subgraphs;
 pub mod weighted;
 
+pub use api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
 pub use connectivity::ForestSketch;
 pub use kedge::KEdgeConnectSketch;
 pub use mincut::MinCutSketch;

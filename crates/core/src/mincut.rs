@@ -21,12 +21,12 @@ use crate::kedge::{KEdgeConnectSketch, SubtractMode};
 use gs_field::{BackendKind, HashBackend, Randomness};
 use gs_graph::{stoer_wagner, Graph};
 use gs_sketch::domain::edge_index;
-use gs_sketch::Mergeable;
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`MinCutSketch`] (and, with a different `k`, the
 /// sparsifiers built on the same level machinery).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MinCutParams {
     /// Levels `i = 0, …, levels−1`. The paper uses `1 + 2 log₂ n`; fewer
     /// levels suffice whenever `2^levels ≥ m/k` (deeper levels are empty).
@@ -86,7 +86,7 @@ impl MinCutParams {
 /// for &(u, v, w) in g.edges() { s.update_edge(u, v, w as i64); }
 /// assert_eq!(s.decode().unwrap().value, 2);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MinCutSketch {
     n: usize,
     params: MinCutParams,
@@ -174,7 +174,10 @@ impl MinCutSketch {
     /// Per-level detailed witnesses `(u, v, removed_amount)` — the
     /// value-carrying form used by the weighted wrapper (§3.5).
     pub fn decode_witness_edges_per_level(&self) -> Vec<Vec<(usize, usize, i64)>> {
-        self.levels.iter().map(|l| l.decode_witness_edges()).collect()
+        self.levels
+            .iter()
+            .map(|l| l.decode_witness_edges())
+            .collect()
     }
 
     /// Step 3: find `j = min{i : λ(H_i) < k}` and return `2^j λ(H_j)`.
@@ -208,13 +211,36 @@ impl MinCutSketch {
 
 impl Mergeable for MinCutSketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging MINCUT sketches with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging MINCUT sketches with different seeds"
+        );
         assert_eq!(self.n, other.n);
         assert_eq!(self.params.levels, other.params.levels);
         assert_eq!(self.params.k, other.params.k);
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for MinCutSketch {
+    type Output = Option<MinCutEstimate>;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        MinCutSketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    fn decode(&self) -> Option<MinCutEstimate> {
+        MinCutSketch::decode(self)
     }
 }
 

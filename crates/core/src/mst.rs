@@ -25,11 +25,11 @@
 
 use crate::connectivity::{ForestParams, ForestSketch};
 use gs_graph::{Graph, UnionFind};
-use gs_sketch::Mergeable;
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`MstSketch`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MstParams {
     /// Approximation accuracy: output weight ≤ (1+ε)·OPT.
     pub eps: f64,
@@ -41,7 +41,7 @@ pub struct MstParams {
 
 /// Linear sketch for (1+ε)-approximate minimum spanning forests of
 /// weighted dynamic streams.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MstSketch {
     n: usize,
     params: MstParams,
@@ -103,12 +103,20 @@ impl MstSketch {
         self.levels.len()
     }
 
+    /// Sketch size in 1-sparse cells across all threshold levels.
+    pub fn cell_count(&self) -> usize {
+        self.levels.iter().map(|l| l.cell_count()).sum()
+    }
+
     /// Inserts (`delta = +1`) or deletes (`delta = −1`) a weighted edge.
     ///
     /// # Panics
     /// Panics if `w` is 0 or exceeds `max_weight`.
     pub fn update_edge(&mut self, u: usize, v: usize, w: u64, delta: i64) {
-        assert!(w >= 1 && w <= self.params.max_weight, "weight {w} out of range");
+        assert!(
+            w >= 1 && w <= self.params.max_weight,
+            "weight {w} out of range"
+        );
         for (i, &t) in self.thresholds.iter().enumerate() {
             if w <= t {
                 self.levels[i].update_edge(u, v, delta);
@@ -147,12 +155,39 @@ impl MstSketch {
 
 impl Mergeable for MstSketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging MST sketches with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging MST sketches with different seeds"
+        );
         assert_eq!(self.n, other.n);
         assert_eq!(self.thresholds, other.thresholds);
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for MstSketch {
+    type Output = Graph;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Value-carrying convention: `delta = sign · w` inserts or deletes
+    /// the edge as one object of weight `w = |delta|` (an edge is one
+    /// object with one weight, as in §3.5).
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        assert!(delta != 0, "value-carrying update must be non-zero");
+        MstSketch::update_edge(self, u, v, delta.unsigned_abs(), delta.signum());
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    fn decode(&self) -> Graph {
+        MstSketch::decode(self)
     }
 }
 
@@ -205,7 +240,10 @@ mod tests {
             let exact = exact_msf_weight(&g);
             let s = sketch_of(&g, eps, 50, 100 + seed);
             let approx = s.approximate_weight();
-            assert!(approx as f64 >= exact as f64 * 0.999, "below OPT: {approx} < {exact}");
+            assert!(
+                approx as f64 >= exact as f64 * 0.999,
+                "below OPT: {approx} < {exact}"
+            );
             assert!(
                 approx as f64 <= (1.0 + eps) * exact as f64 + 1.0,
                 "seed {seed}: {approx} > (1+eps)*{exact}"
@@ -246,7 +284,10 @@ mod tests {
         let exact = exact_msf_weight(&g); // 8 + 64 = 72
         assert_eq!(exact, 72);
         let approx = f.total_weight();
-        assert!(approx >= 72 && approx as f64 <= 72.0 * 1.5 + 1.0, "approx {approx}");
+        assert!(
+            approx >= 72 && approx as f64 <= 72.0 * 1.5 + 1.0,
+            "approx {approx}"
+        );
     }
 
     #[test]

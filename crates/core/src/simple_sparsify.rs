@@ -16,12 +16,12 @@
 
 use crate::mincut::{MinCutParams, MinCutSketch};
 use gs_field::BackendKind;
-use gs_graph::{Graph, GomoryHuTree};
-use gs_sketch::Mergeable;
+use gs_graph::{GomoryHuTree, Graph};
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters: the Fig. 2 instantiation of the level machinery.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimpleSparsifyParams(pub MinCutParams);
 
 impl SimpleSparsifyParams {
@@ -54,7 +54,7 @@ impl SimpleSparsifyParams {
 }
 
 /// Sketch state of Fig. 2 (shares the MINCUT level machinery).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimpleSparsifySketch {
     inner: MinCutSketch,
 }
@@ -206,6 +206,27 @@ impl Mergeable for SimpleSparsifySketch {
     }
 }
 
+impl LinearSketch for SimpleSparsifySketch {
+    type Output = Graph;
+
+    fn n(&self) -> usize {
+        SimpleSparsifySketch::n(self)
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        SimpleSparsifySketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// Decodes the weighted ε-sparsifier (Fig. 2 step 3).
+    fn decode(&self) -> Graph {
+        SimpleSparsifySketch::decode(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,12 +326,7 @@ mod tests {
         // (high-connectivity edges get subsampled).
         let g = gen::complete(48);
         let h = sparsify(&g, 1.0, 27);
-        assert!(
-            h.m() < g.m(),
-            "no sparsification: {} vs {}",
-            h.m(),
-            g.m()
-        );
+        assert!(h.m() < g.m(), "no sparsification: {} vs {}", h.m(), g.m());
     }
 
     #[test]

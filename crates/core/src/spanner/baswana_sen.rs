@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Parameters for [`baswana_sen`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BaswanaSenParams {
     /// Stretch parameter: the spanner satisfies `d_H ≤ (2k−1)·d_G` w.h.p.
     pub k: usize,
@@ -95,7 +95,11 @@ pub fn baswana_sen(meter: &mut Meter<'_>, params: BaswanaSenParams, seed: u64) -
     for phase in 1..k {
         let sampled = sample_prob_shift(phase);
         let bucket_hashes: Vec<HashBackend> = (0..params.reps)
-            .map(|r| params.kind.backend(seed, 0xB5_1000 + (phase * 64 + r) as u64))
+            .map(|r| {
+                params
+                    .kind
+                    .backend(seed, 0xB5_1000 + (phase * 64 + r) as u64)
+            })
             .collect();
         let mk_bank = |v: usize| PhaseBank {
             sampled: L0Detector::with_params(
@@ -122,7 +126,9 @@ pub fn baswana_sen(meter: &mut Meter<'_>, params: BaswanaSenParams, seed: u64) -
         // ---- pass ----
         meter.pass(|u, v, d| {
             let (cu, cv) = (center[u], center[v]);
-            let (Some(cu), Some(cv)) = (cu, cv) else { return };
+            let (Some(cu), Some(cv)) = (cu, cv) else {
+                return;
+            };
             if cu == cv {
                 return; // intra-cluster edges play no role this phase
             }
@@ -192,7 +198,9 @@ pub fn baswana_sen(meter: &mut Meter<'_>, params: BaswanaSenParams, seed: u64) -
         })
         .collect();
     meter.pass(|u, v, d| {
-        let (Some(cu), Some(cv)) = (center[u], center[v]) else { return };
+        let (Some(cu), Some(cv)) = (center[u], center[v]) else {
+            return;
+        };
         if cu == cv {
             return; // same final cluster: connected through its tree
         }
@@ -206,7 +214,9 @@ pub fn baswana_sen(meter: &mut Meter<'_>, params: BaswanaSenParams, seed: u64) -
     });
     #[allow(clippy::needless_range_loop)] // banks is vertex-indexed
     for u in 0..n {
-        let Some(bank) = banks[u].take() else { continue };
+        let Some(bank) = banks[u].take() else {
+            continue;
+        };
         let mut per_cluster: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
         for det in &bank {
             if let L0Result::Sample(y, _) = det.query() {
@@ -282,12 +292,7 @@ mod tests {
     fn spanner_is_sparser_on_dense_graphs() {
         let g = gen::complete(40);
         let (h, _) = run(&g, 2, 19);
-        assert!(
-            h.m() < g.m() / 2,
-            "spanner kept {}/{} edges",
-            h.m(),
-            g.m()
-        );
+        assert!(h.m() < g.m() / 2, "spanner kept {}/{} edges", h.m(), g.m());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Parameters for [`recurse_connect`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RecurseParams {
     /// The `k` of the `n^{1/k}` space/stretch trade-off. Stretch bound:
     /// `k^{log₂ 5} − 1`.
@@ -118,7 +118,11 @@ pub fn recurse_connect(
             .max(2.0) as usize;
         let buckets = ((target as f64) * params.bucket_factor).ceil() as usize;
         let hashes: Vec<HashBackend> = (0..params.reps)
-            .map(|r| params.kind.backend(seed, 0x7C_0000 + (phase * 64 + r) as u64))
+            .map(|r| {
+                params
+                    .kind
+                    .backend(seed, 0x7C_0000 + (phase * 64 + r) as u64)
+            })
             .collect();
 
         // One bank (reps × buckets detectors over edge slots) per
@@ -141,7 +145,9 @@ pub fn recurse_connect(
 
         // ---- pass ----
         meter.pass(|u, v, d| {
-            let (Some(p), Some(q)) = (super_of[u], super_of[v]) else { return };
+            let (Some(p), Some(q)) = (super_of[u], super_of[v]) else {
+                return;
+            };
             if p == q {
                 return;
             }
@@ -156,8 +162,7 @@ pub fn recurse_connect(
 
         // ---- decode: discovered neighbors with witness edges ----
         // adjacency[p]: neighbor supervertex -> witness (u, v).
-        let mut adjacency: Vec<BTreeMap<usize, (usize, usize)>> =
-            vec![BTreeMap::new(); sv_count];
+        let mut adjacency: Vec<BTreeMap<usize, (usize, usize)>> = vec![BTreeMap::new(); sv_count];
         for (p, bank) in banks.iter().enumerate() {
             for det in bank {
                 if let L0Result::Sample(idx, _) = det.query() {
@@ -165,7 +170,9 @@ pub fn recurse_connect(
                     if u >= n || v >= n {
                         continue;
                     }
-                    let (Some(pu), Some(pv)) = (super_of[u], super_of[v]) else { continue };
+                    let (Some(pu), Some(pv)) = (super_of[u], super_of[v]) else {
+                        continue;
+                    };
                     let q = if pu == p {
                         pv
                     } else if pv == p {
@@ -279,7 +286,9 @@ pub fn recurse_connect(
         let pair_count = sv_count * sv_count;
         let mut pair_dets: Vec<Option<L0Detector>> = (0..pair_count).map(|_| None).collect();
         meter.pass(|u, v, d| {
-            let (Some(p), Some(q)) = (super_of[u], super_of[v]) else { return };
+            let (Some(p), Some(q)) = (super_of[u], super_of[v]) else {
+                return;
+            };
             if p == q {
                 return;
             }
@@ -385,7 +394,11 @@ mod tests {
         let mut prev = g.n();
         for p in &t.phases {
             let sv = p.members.len();
-            assert!(sv < prev, "phase {} did not shrink: {sv} vs {prev}", p.phase);
+            assert!(
+                sv < prev,
+                "phase {} did not shrink: {sv} vs {prev}",
+                p.phase
+            );
             prev = sv;
         }
     }

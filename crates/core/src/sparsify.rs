@@ -23,11 +23,11 @@ use crate::simple_sparsify::{SimpleSparsifyParams, SimpleSparsifySketch};
 use gs_field::{BackendKind, HashBackend, Randomness};
 use gs_graph::{GomoryHuTree, Graph};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
-use gs_sketch::{Mergeable, SparseRecovery};
+use gs_sketch::{LinearSketch, Mergeable, SparseRecovery, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`SparsifySketch`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SparsifyParams {
     /// Target accuracy ε of the final sparsifier.
     pub eps: f64,
@@ -69,7 +69,7 @@ impl SparsifyParams {
 }
 
 /// Sketch state of Fig. 3.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SparsifySketch {
     n: usize,
     params: SparsifyParams,
@@ -136,7 +136,12 @@ impl SparsifySketch {
     /// Sketch size in 1-sparse cells: rough part + samplers
     /// (`O(n(log⁵n + ε⁻² log⁴n))`, Theorem 3.4).
     pub fn cell_count(&self) -> usize {
-        self.rough.cell_count() + self.recoveries.iter().map(|r| r.cell_count()).sum::<usize>()
+        self.rough.cell_count()
+            + self
+                .recoveries
+                .iter()
+                .map(|r| r.cell_count())
+                .sum::<usize>()
     }
 
     /// Step 4: decode the ε-sparsifier.
@@ -185,13 +190,37 @@ impl SparsifySketch {
 
 impl Mergeable for SparsifySketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging sparsifiers with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging sparsifiers with different seeds"
+        );
         assert_eq!(self.n, other.n);
         assert_eq!(self.params.levels, other.params.levels);
         self.rough.merge(&other.rough);
         for (a, b) in self.recoveries.iter_mut().zip(&other.recoveries) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for SparsifySketch {
+    type Output = Graph;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        SparsifySketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// Decodes the ε-sparsifier (Fig. 3 step 4).
+    fn decode(&self) -> Graph {
+        SparsifySketch::decode(self)
     }
 }
 

@@ -24,12 +24,12 @@
 use gs_field::BackendKind;
 use gs_graph::subgraph::Pattern;
 use gs_sketch::domain::{pair_slot, subset_domain, subset_rank};
-use gs_sketch::{L0Result, L0Sampler, Mergeable};
+use gs_sketch::{L0Result, L0Sampler, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Parameters for [`SubgraphSketch`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SubgraphParams {
     /// Number of independent ℓ0 samplers `s = O(ε⁻² log δ⁻¹)`.
     pub samples: usize,
@@ -63,7 +63,7 @@ impl SubgraphParams {
 /// for &(u, v, _) in g.edges() { s.update_edge(u, v, 1); }
 /// assert_eq!(s.estimate_gamma(&Pattern::triangle()), Some(1.0));
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SubgraphSketch {
     n: usize,
     k: usize,
@@ -95,7 +95,13 @@ impl SubgraphSketch {
                 )
             })
             .collect();
-        SubgraphSketch { n, k, params, seed, samplers }
+        SubgraphSketch {
+            n,
+            k,
+            params,
+            seed,
+            samplers,
+        }
     }
 
     /// Vertex count `n`.
@@ -111,6 +117,11 @@ impl SubgraphSketch {
     /// Number of samplers.
     pub fn sample_count(&self) -> usize {
         self.samplers.len()
+    }
+
+    /// Sketch size in 1-sparse cells across all samplers.
+    pub fn cell_count(&self) -> usize {
+        self.samplers.iter().map(|s| s.cell_count()).sum()
     }
 
     /// Applies a stream update of edge `{u,v}` to every column containing
@@ -217,12 +228,38 @@ impl SubgraphSketch {
 
 impl Mergeable for SubgraphSketch {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging subgraph sketches with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging subgraph sketches with different seeds"
+        );
         assert_eq!(self.n, other.n);
         assert_eq!(self.k, other.k);
         for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for SubgraphSketch {
+    type Output = Vec<u64>;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        SubgraphSketch::update_edge(self, u, v, delta);
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    /// Decodes the raw column samples (induced-subgraph bitmasks); feed
+    /// them to [`SubgraphSketch::estimate_gamma`] /
+    /// [`SubgraphSketch::estimate_class_fraction`] for pattern fractions.
+    fn decode(&self) -> Vec<u64> {
+        self.raw_samples()
     }
 }
 

@@ -18,11 +18,11 @@ use crate::kedge::SubtractMode;
 use crate::simple_sparsify::{SimpleSparsifyParams, SimpleSparsifySketch};
 use gs_field::BackendKind;
 use gs_graph::Graph;
-use gs_sketch::Mergeable;
+use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`WeightedSparsifySketch`].
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WeightedParams {
     /// Per-class Fig. 2 parameters (with `k` already carrying the L = 2
     /// factor of Lemma 3.6/3.7).
@@ -53,7 +53,7 @@ impl WeightedParams {
 }
 
 /// Single-pass ε-sparsifier for dynamic streams of **weighted** edges.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WeightedSparsifySketch {
     n: usize,
     params: WeightedParams,
@@ -84,7 +84,12 @@ impl WeightedSparsifySketch {
                 )
             })
             .collect();
-        WeightedSparsifySketch { n, params, seed, classes }
+        WeightedSparsifySketch {
+            n,
+            params,
+            seed,
+            classes,
+        }
     }
 
     /// Vertex count.
@@ -141,6 +146,29 @@ impl Mergeable for WeightedSparsifySketch {
         for (a, b) in self.classes.iter_mut().zip(&other.classes) {
             a.merge(b);
         }
+    }
+}
+
+impl LinearSketch for WeightedSparsifySketch {
+    type Output = Graph;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Value-carrying convention (§3.5): `delta = sign · w` inserts or
+    /// deletes the edge as one object of weight `w = |delta|`.
+    fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        assert!(delta != 0, "value-carrying update must be non-zero");
+        WeightedSparsifySketch::update_edge(self, u, v, delta.unsigned_abs(), delta.signum());
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_count() * CELL_BYTES
+    }
+
+    fn decode(&self) -> Graph {
+        WeightedSparsifySketch::decode(self)
     }
 }
 

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// A hash function drawn from a k-wise independent family
 /// `h(x) = Σ_{i<k} a_i x^i mod (2^61 − 1)`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KWiseHash {
     coeffs: Vec<M61>,
 }

@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 /// Sketch structures hold one of these per hash role, so an entire
 /// algorithm can be switched between the random-oracle assumption of §2.3
 /// and the Nisan-derandomized regime of §3.4 (experiment E9).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HashBackend {
     /// Seeded mixer standing in for a fully independent random function.
     Oracle(OracleHash),

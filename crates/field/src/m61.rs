@@ -210,7 +210,10 @@ mod tests {
         assert_eq!(M61::from_i64(-1), -M61::ONE);
         assert_eq!(M61::from_i64(-(P as i64)), M61::ZERO);
         assert_eq!(M61::from_i64(5), M61::new(5));
-        assert_eq!(M61::from_i64(i64::MIN) + M61::from_i64(i64::MIN).neg().neg().neg(), M61::ZERO);
+        assert_eq!(
+            M61::from_i64(i64::MIN) + M61::from_i64(i64::MIN).neg().neg().neg(),
+            M61::ZERO
+        );
     }
 
     #[test]

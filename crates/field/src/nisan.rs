@@ -35,7 +35,7 @@ use crate::Randomness;
 use serde::{Deserialize, Serialize};
 
 /// Nisan's generator with lazily evaluated output blocks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NisanGenerator {
     /// The truly random start block `x`.
     x0: M61,
@@ -54,9 +54,7 @@ impl NisanGenerator {
         assert!(k > 0 && k <= 62, "depth {k} out of range");
         let mut sm = SplitMix64::new(seed ^ 0x4E49_5341_4E00_0000); // "NISAN"
         let x0 = M61::new(sm.next_u64());
-        let hs = (0..k)
-            .map(|_| KWiseHash::pairwise(sm.next_u64()))
-            .collect();
+        let hs = (0..k).map(|_| KWiseHash::pairwise(sm.next_u64())).collect();
         NisanGenerator { x0, hs }
     }
 
@@ -94,7 +92,7 @@ impl NisanGenerator {
 }
 
 /// A [`Randomness`] backend whose bits come from Nisan's generator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NisanHash {
     gen: NisanGenerator,
     mask: u64,

@@ -59,5 +59,9 @@ fn distinct_blocks_are_plentiful() {
     // by accident of the pairwise functions).
     let g = NisanGenerator::new(12, 5);
     let blocks: std::collections::HashSet<u64> = (0..(1u64 << 12)).map(|j| g.block(j)).collect();
-    assert!(blocks.len() > (1 << 12) * 9 / 10, "only {} distinct", blocks.len());
+    assert!(
+        blocks.len() > (1 << 12) * 9 / 10,
+        "only {} distinct",
+        blocks.len()
+    );
 }

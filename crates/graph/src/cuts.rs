@@ -13,11 +13,16 @@ use gs_field::SplitMix64;
 /// Iterates all `2^{n−1} − 1` distinct non-trivial cuts of a graph with
 /// `n ≤ 24`, yielding the side mask (vertex 0 always on the `false` side).
 pub fn enumerate_cuts(n: usize) -> impl Iterator<Item = Vec<bool>> {
-    assert!((2..=24).contains(&n), "cut enumeration is exponential; n = {n}");
+    assert!(
+        (2..=24).contains(&n),
+        "cut enumeration is exponential; n = {n}"
+    );
     (1u32..(1 << (n - 1))).map(move |mask| {
         // Vertex v ∈ A iff bit v−1 set; vertex 0 never in A, so each cut
         // appears exactly once.
-        (0..n).map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1).collect()
+        (0..n)
+            .map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1)
+            .collect()
     })
 }
 

@@ -87,7 +87,11 @@ pub fn planted_partition(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.next_f64() < p {
                 edges.push((u, v));
             }

@@ -92,10 +92,8 @@ impl GomoryHuTree {
             let side = dinic.min_cut_side(id_of[s]);
 
             // Split x: s-side vertices stay in x, t-side moves to new node.
-            let (s_verts, t_verts): (Vec<usize>, Vec<usize>) = nodes[x]
-                .verts
-                .iter()
-                .partition(|&&v| side[id_of[v]]);
+            let (s_verts, t_verts): (Vec<usize>, Vec<usize>) =
+                nodes[x].verts.iter().partition(|&&v| side[id_of[v]]);
             debug_assert!(!s_verts.is_empty() && !t_verts.is_empty());
 
             let new_id = nodes.len();
@@ -200,7 +198,10 @@ impl GomoryHuTree {
     pub fn min_cut_value(&self, u: usize, v: usize) -> u64 {
         assert!(u != v);
         let path = self.path(u, v).expect("tree is connected");
-        path.iter().map(|&ei| self.edges[ei].2).min().expect("path non-empty")
+        path.iter()
+            .map(|&ei| self.edges[ei].2)
+            .min()
+            .expect("path non-empty")
     }
 
     /// The index of a minimum-weight edge on the `u`-`v` tree path — the
@@ -272,11 +273,7 @@ mod tests {
         for u in 0..g.n() {
             for v in (u + 1)..g.n() {
                 let exact = min_cut_uv(g, u, v).0;
-                assert_eq!(
-                    t.min_cut_value(u, v),
-                    exact,
-                    "pair ({u},{v}): tree vs flow"
-                );
+                assert_eq!(t.min_cut_value(u, v), exact, "pair ({u},{v}): tree vs flow");
             }
         }
         // Strong property: every tree edge's induced partition achieves

@@ -38,7 +38,10 @@ impl Graph {
     ///
     /// # Panics
     /// Panics on self-loops or out-of-range endpoints.
-    pub fn from_weighted_edges(n: usize, iter: impl IntoIterator<Item = (usize, usize, u64)>) -> Self {
+    pub fn from_weighted_edges(
+        n: usize,
+        iter: impl IntoIterator<Item = (usize, usize, u64)>,
+    ) -> Self {
         let mut acc: BTreeMap<(usize, usize), u64> = BTreeMap::new();
         for (u, v, w) in iter {
             assert!(u != v, "self-loop at {u}");
@@ -102,7 +105,9 @@ impl Graph {
 
     /// Neighbors of `u` as `(neighbor, weight)`.
     pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.adj[u].iter().map(move |&(v, idx)| (v, self.edges[idx].2))
+        self.adj[u]
+            .iter()
+            .map(move |&(v, idx)| (v, self.edges[idx].2))
     }
 
     /// Unweighted degree (number of distinct neighbors).
@@ -172,7 +177,10 @@ impl Graph {
     pub fn filter_edges(&self, mut keep: impl FnMut(usize, usize, u64) -> bool) -> Graph {
         Graph::from_weighted_edges(
             self.n,
-            self.edges.iter().copied().filter(|&(u, v, w)| keep(u, v, w)),
+            self.edges
+                .iter()
+                .copied()
+                .filter(|&(u, v, w)| keep(u, v, w)),
         )
     }
 

@@ -72,7 +72,14 @@ impl Dinic {
         }
     }
 
-    fn dfs_push(&mut self, u: usize, t: usize, pushed: u64, level: &[u32], it: &mut [usize]) -> u64 {
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: u64,
+        level: &[u32],
+        it: &mut [usize],
+    ) -> u64 {
         if u == t {
             return pushed;
         }
@@ -159,10 +166,8 @@ mod tests {
     #[test]
     fn parallel_paths_add() {
         // Two vertex-disjoint 0→3 paths with bottlenecks 3 and 4.
-        let g = Graph::from_weighted_edges(
-            6,
-            [(0, 1, 3), (1, 3, 7), (0, 2, 9), (2, 3, 4), (4, 5, 1)],
-        );
+        let g =
+            Graph::from_weighted_edges(6, [(0, 1, 3), (1, 3, 7), (0, 2, 9), (2, 3, 4), (4, 5, 1)]);
         assert_eq!(min_cut_uv(&g, 0, 3).0, 7);
     }
 

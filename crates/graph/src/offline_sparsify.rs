@@ -88,21 +88,24 @@ pub fn fung_connectivity(g: &Graph, eps: f64, c: f64, seed: u64) -> Graph {
     let mut rng = SplitMix64::new(seed);
     Graph::from_weighted_edges(
         g.n(),
-        g.edges().iter().zip(&lambdas).filter_map(|(&(u, v, w), &le)| {
-            let pe = if le == 0 {
-                1.0
-            } else {
-                (c * ln2n / (le as f64 * eps * eps)).min(1.0)
-            };
-            let inv = (SCALE as f64 / pe).round() as u64;
-            let mut kept = 0u64;
-            for _ in 0..w {
-                if rng.next_f64() < pe {
-                    kept += 1;
+        g.edges()
+            .iter()
+            .zip(&lambdas)
+            .filter_map(|(&(u, v, w), &le)| {
+                let pe = if le == 0 {
+                    1.0
+                } else {
+                    (c * ln2n / (le as f64 * eps * eps)).min(1.0)
+                };
+                let inv = (SCALE as f64 / pe).round() as u64;
+                let mut kept = 0u64;
+                for _ in 0..w {
+                    if rng.next_f64() < pe {
+                        kept += 1;
+                    }
                 }
-            }
-            (kept > 0).then_some((u, v, kept * inv))
-        }),
+                (kept > 0).then_some((u, v, kept * inv))
+            }),
     )
 }
 
@@ -146,12 +149,7 @@ mod tests {
         // so real subsampling happens.
         let g = gen::complete(160);
         let s = karger_uniform(&g, 0.5, 6.0, 3);
-        assert!(
-            s.m() < g.m(),
-            "sampling kept {} of {} edges",
-            s.m(),
-            g.m()
-        );
+        assert!(s.m() < g.m(), "sampling kept {} of {} edges", s.m(), g.m());
         let err = random_cut_audit(&scaled_reference(&g), &s, 100, 4);
         assert!(err < 0.5, "audit error {err}");
     }

@@ -31,7 +31,6 @@ pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
 
 /// All-pairs hop distances (`n` BFS traversals).
 pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
-
     (0..g.n()).map(|s| bfs_distances(g, s)).collect()
 }
 

@@ -192,7 +192,13 @@ mod tests {
     #[test]
     fn triangle_iso_class_is_single_mask() {
         // The triangle is vertex-transitive: A_H = {0b111}.
-        assert_eq!(Pattern::triangle().iso_class().into_iter().collect::<Vec<_>>(), vec![0b111]);
+        assert_eq!(
+            Pattern::triangle()
+                .iso_class()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![0b111]
+        );
     }
 
     #[test]
@@ -277,15 +283,23 @@ mod tests {
     #[test]
     fn gamma_bounds() {
         let g = gen::gnp(20, 0.3, 5);
-        for h in [Pattern::triangle(), Pattern::path3(), Pattern::edge_plus_isolated()] {
+        for h in [
+            Pattern::triangle(),
+            Pattern::path3(),
+            Pattern::edge_plus_isolated(),
+        ] {
             let gam = gamma(&g, &h);
             assert!((0.0..=1.0).contains(&gam));
         }
         // The three order-3 classes partition all non-empty subgraphs.
-        let total: f64 = [Pattern::triangle(), Pattern::path3(), Pattern::edge_plus_isolated()]
-            .iter()
-            .map(|h| gamma(&g, h))
-            .sum();
+        let total: f64 = [
+            Pattern::triangle(),
+            Pattern::path3(),
+            Pattern::edge_plus_isolated(),
+        ]
+        .iter()
+        .map(|h| gamma(&g, h))
+        .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

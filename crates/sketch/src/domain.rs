@@ -224,10 +224,7 @@ mod tests {
         // {0,1,2} is rank 0; the element with largest max comes last.
         assert_eq!(subset_rank(&[0, 1, 2]), 0);
         let n = 8;
-        assert_eq!(
-            subset_rank(&[n - 3, n - 2, n - 1]),
-            subset_domain(n, 3) - 1
-        );
+        assert_eq!(subset_rank(&[n - 3, n - 2, n - 1]), subset_domain(n, 3) - 1);
     }
 
     #[test]

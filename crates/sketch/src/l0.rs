@@ -57,7 +57,7 @@ impl L0Result {
 }
 
 /// Cheap support detector: returns *some* non-zero coordinate w.h.p.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L0Detector {
     domain: u64,
     levels: u32,
@@ -113,7 +113,11 @@ impl L0Detector {
 
     /// Applies `x[index] += delta`.
     pub fn update(&mut self, index: u64, delta: i64) {
-        debug_assert!(index < self.domain, "index {index} out of domain {}", self.domain);
+        debug_assert!(
+            index < self.domain,
+            "index {index} out of domain {}",
+            self.domain
+        );
         if delta == 0 {
             return;
         }
@@ -152,7 +156,10 @@ impl L0Detector {
 
 impl Mergeable for L0Detector {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging detectors with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging detectors with different seeds"
+        );
         assert_eq!(self.kind, other.kind);
         assert_eq!(self.domain, other.domain);
         assert_eq!(self.reps, other.reps);
@@ -173,7 +180,7 @@ impl Mergeable for L0Detector {
 ///     other => panic!("{other:?}"),
 /// }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L0Sampler {
     domain: u64,
     levels: u32,
@@ -221,6 +228,11 @@ impl L0Sampler {
         self.domain
     }
 
+    /// Sketch size in 1-sparse cells (across all level recoveries).
+    pub fn cell_count(&self) -> usize {
+        self.level_sketch.iter().map(|s| s.cell_count()).sum()
+    }
+
     /// Applies `x[index] += delta`.
     pub fn update(&mut self, index: u64, delta: i64) {
         debug_assert!(index < self.domain);
@@ -242,7 +254,11 @@ impl L0Sampler {
         for l in 0..self.levels as usize {
             match self.level_sketch[l].decode() {
                 Some(items) if items.is_empty() => {
-                    return if l == 0 { L0Result::Empty } else { L0Result::Fail };
+                    return if l == 0 {
+                        L0Result::Empty
+                    } else {
+                        L0Result::Fail
+                    };
                 }
                 Some(items) => {
                     let (&(i, v), _) = items
@@ -261,7 +277,10 @@ impl L0Sampler {
 
 impl Mergeable for L0Sampler {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging samplers with different seeds");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging samplers with different seeds"
+        );
         assert_eq!(self.kind, other.kind);
         assert_eq!(self.domain, other.domain);
         assert_eq!(self.s, other.s);
@@ -321,8 +340,9 @@ mod tests {
         let mut failures = 0;
         for trial in 0..300u64 {
             let mut d = L0Detector::new(1 << 20, trial);
-            let support: HashSet<u64> =
-                (0..1 + rng.next_range(200)).map(|_| rng.next_range(1 << 20)).collect();
+            let support: HashSet<u64> = (0..1 + rng.next_range(200))
+                .map(|_| rng.next_range(1 << 20))
+                .collect();
             let mut truth: BTreeMap<u64, i64> = BTreeMap::new();
             for &i in &support {
                 let v = 1 + rng.next_range(5) as i64;

@@ -28,10 +28,12 @@
 
 pub mod domain;
 pub mod l0;
+pub mod linear;
 pub mod one_sparse;
 pub mod sparse_recovery;
 
 pub use l0::{L0Detector, L0Result, L0Sampler};
+pub use linear::{EdgeUpdate, LinearSketch, CELL_BYTES};
 pub use one_sparse::{OneSparseCell, OneSparseState};
 pub use sparse_recovery::SparseRecovery;
 

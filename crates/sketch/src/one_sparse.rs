@@ -22,7 +22,7 @@
 //! per update with the same failure bound (documented substitution, see
 //! DESIGN.md §4.2).
 
-use gs_field::{M61, Randomness};
+use gs_field::{Randomness, M61};
 use serde::{Deserialize, Serialize};
 
 /// Decode outcome of a [`OneSparseCell`].

@@ -20,7 +20,7 @@
 
 use crate::one_sparse::{OneSparseCell, OneSparseState};
 use crate::Mergeable;
-use gs_field::{BackendKind, HashBackend, M61, Randomness};
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use serde::{Deserialize, Serialize};
 
 /// Sketch-side state of `k-RECOVERY`.
@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// s.update(17, -5); // cancels the first update
 /// assert_eq!(s.decode(), Some(vec![(999_999, -2)]));
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SparseRecovery {
     domain: u64,
     k: usize,
@@ -114,7 +114,11 @@ impl SparseRecovery {
     /// # Panics
     /// Panics if `index ≥ domain`.
     pub fn update(&mut self, index: u64, delta: i64) {
-        assert!(index < self.domain, "index {index} out of domain {}", self.domain);
+        assert!(
+            index < self.domain,
+            "index {index} out of domain {}",
+            self.domain
+        );
         if delta == 0 {
             return;
         }
@@ -169,7 +173,9 @@ impl SparseRecovery {
     /// Decodes the *sum* of several compatible sketches without mutating
     /// them — the linear-composition step of Fig. 3:
     /// `Σ_{u∈A} k-RECOVERY(x^u) = k-RECOVERY(Σ_{u∈A} x^u)`.
-    pub fn decode_sum<'a>(sketches: impl IntoIterator<Item = &'a SparseRecovery>) -> Option<Vec<(u64, i64)>> {
+    pub fn decode_sum<'a>(
+        sketches: impl IntoIterator<Item = &'a SparseRecovery>,
+    ) -> Option<Vec<(u64, i64)>> {
         let mut iter = sketches.into_iter();
         let first = iter.next()?;
         let mut acc = first.clone();
@@ -182,9 +188,18 @@ impl SparseRecovery {
 
 impl Mergeable for SparseRecovery {
     fn merge(&mut self, other: &Self) {
-        assert_eq!(self.seed, other.seed, "merging sketches with different seeds");
-        assert_eq!(self.kind, other.kind, "merging sketches with different backends");
-        assert_eq!(self.domain, other.domain, "merging sketches with different domains");
+        assert_eq!(
+            self.seed, other.seed,
+            "merging sketches with different seeds"
+        );
+        assert_eq!(
+            self.kind, other.kind,
+            "merging sketches with different backends"
+        );
+        assert_eq!(
+            self.domain, other.domain,
+            "merging sketches with different domains"
+        );
         assert_eq!(self.k, other.k, "merging sketches with different sparsity");
         for (a, b) in self.cells.iter_mut().zip(&other.cells) {
             a.add(b);
@@ -330,7 +345,9 @@ mod tests {
             }
             truth.retain(|_, v| *v != 0);
             let expected: Vec<(u64, i64)> = truth.into_iter().collect();
-            if let Some(got) = s.decode() { assert_eq!(got, expected, "trial {trial}") }
+            if let Some(got) = s.decode() {
+                assert_eq!(got, expected, "trial {trial}")
+            }
             if expected.len() <= k {
                 trials_within_k += 1;
                 if s.decode().is_some() {

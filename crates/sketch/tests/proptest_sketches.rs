@@ -1,19 +1,33 @@
 //! Property-based tests for the sketch primitives (Theorems 2.1 / 2.2):
 //! linearity, exactness, and never-wrong decoding under arbitrary
 //! insert/delete interleavings.
+//!
+//! Inputs are generated from seeded [`SplitMix64`] streams (the offline
+//! workspace carries no external property-testing dependency); every case
+//! is deterministic and reproducible from its loop index.
+//!
+//! Graph-level linearity (merge-of-split-streams == central, bit for bit)
+//! is covered once for *every* sketch type by the generic
+//! `gs_stream::distributed::linearity_holds` harness; this file keeps the
+//! index-space primitives honest.
 
-use gs_sketch::domain::{
-    edge_domain, edge_index, edge_unindex, subset_rank, subset_unrank,
+use gs_field::SplitMix64;
+use gs_sketch::domain::{edge_domain, edge_index, edge_unindex, subset_rank, subset_unrank};
+use gs_sketch::{
+    L0Detector, L0Result, L0Sampler, Mergeable, OneSparseCell, OneSparseState, SparseRecovery,
 };
-use gs_sketch::{L0Detector, L0Result, L0Sampler, Mergeable, OneSparseCell, OneSparseState, SparseRecovery};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const DOMAIN: u64 = 10_000;
+const CASES: u64 = 256;
 
-/// An arbitrary update stream over a small index domain.
-fn updates() -> impl Strategy<Value = Vec<(u64, i64)>> {
-    prop::collection::vec((0..DOMAIN, -5i64..=5), 0..120)
+/// A pseudo-random update stream over a small index domain.
+fn updates(seed: u64) -> Vec<(u64, i64)> {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED);
+    let len = rng.next_range(120) as usize;
+    (0..len)
+        .map(|_| (rng.next_range(DOMAIN), rng.next_range(11) as i64 - 5))
+        .collect()
 }
 
 fn net(updates: &[(u64, i64)]) -> BTreeMap<u64, i64> {
@@ -25,111 +39,155 @@ fn net(updates: &[(u64, i64)]) -> BTreeMap<u64, i64> {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn one_sparse_cell_never_misdecodes(ups in updates(), seed in 0u64..1000) {
-        let h = gs_field::OracleHash::new(seed, 0);
+#[test]
+fn one_sparse_cell_never_misdecodes() {
+    for case in 0..CASES {
+        let ups = updates(case);
+        let h = gs_field::OracleHash::new(case % 1000, 0);
         let mut cell = OneSparseCell::new();
         for &(i, v) in &ups {
             cell.update(i, v, &h);
         }
         let truth = net(&ups);
         match cell.decode(DOMAIN, &h) {
-            OneSparseState::Zero => prop_assert!(truth.is_empty()),
+            OneSparseState::Zero => assert!(truth.is_empty()),
             OneSparseState::One(i, v) => {
-                prop_assert_eq!(truth.len(), 1);
+                assert_eq!(truth.len(), 1, "case {case}");
                 let (&ti, &tv) = truth.iter().next().unwrap();
-                prop_assert_eq!((i, v), (ti, tv));
+                assert_eq!((i, v), (ti, tv), "case {case}");
             }
-            OneSparseState::Many => prop_assert!(truth.len() >= 2),
+            OneSparseState::Many => assert!(truth.len() >= 2, "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn sparse_recovery_exact_or_fail(ups in updates(), seed in 0u64..1000) {
-        let mut s = SparseRecovery::new(DOMAIN, 16, seed);
+#[test]
+fn sparse_recovery_exact_or_fail() {
+    for case in 0..CASES {
+        let ups = updates(case ^ 0x1000);
+        let mut s = SparseRecovery::new(DOMAIN, 16, case % 1000);
         for &(i, v) in &ups {
             s.update(i, v);
         }
         let truth: Vec<(u64, i64)> = net(&ups).into_iter().collect();
         match s.decode() {
-            Some(got) => prop_assert_eq!(got, truth),
-            None => prop_assert!(truth.len() > 16, "FAIL on {}-sparse input", truth.len()),
+            Some(got) => assert_eq!(got, truth, "case {case}"),
+            None => assert!(
+                truth.len() > 16,
+                "case {case}: FAIL on {}-sparse input",
+                truth.len()
+            ),
         }
     }
+}
 
-    #[test]
-    fn sketch_linearity_split_equals_whole(ups in updates(), cut in 0usize..120, seed in 0u64..500) {
-        // sketch(prefix) + sketch(suffix) must equal sketch(whole) for
-        // every structure — the §1.1 property everything relies on.
-        let cut = cut.min(ups.len());
+#[test]
+fn sketch_linearity_split_equals_whole() {
+    // sketch(prefix) + sketch(suffix) must equal sketch(whole) for every
+    // structure — the §1.1 property everything relies on.
+    for case in 0..CASES {
+        let ups = updates(case ^ 0x2000);
+        let seed = case % 500;
+        let cut = (case as usize * 31) % (ups.len() + 1);
         let (a, b) = ups.split_at(cut);
 
         let mut whole = SparseRecovery::new(DOMAIN, 8, seed);
         let mut pa = SparseRecovery::new(DOMAIN, 8, seed);
         let mut pb = SparseRecovery::new(DOMAIN, 8, seed);
-        for &(i, v) in &ups { whole.update(i, v); }
-        for &(i, v) in a { pa.update(i, v); }
-        for &(i, v) in b { pb.update(i, v); }
+        for &(i, v) in &ups {
+            whole.update(i, v);
+        }
+        for &(i, v) in a {
+            pa.update(i, v);
+        }
+        for &(i, v) in b {
+            pb.update(i, v);
+        }
         pa.merge(&pb);
-        prop_assert_eq!(pa.decode(), whole.decode());
+        // Bit-for-bit: the merged state IS the whole-stream state.
+        assert_eq!(pa, whole, "case {case}");
 
         let mut dw = L0Detector::new(DOMAIN, seed);
         let mut da = L0Detector::new(DOMAIN, seed);
         let mut db = L0Detector::new(DOMAIN, seed);
-        for &(i, v) in &ups { dw.update(i, v); }
-        for &(i, v) in a { da.update(i, v); }
-        for &(i, v) in b { db.update(i, v); }
+        for &(i, v) in &ups {
+            dw.update(i, v);
+        }
+        for &(i, v) in a {
+            da.update(i, v);
+        }
+        for &(i, v) in b {
+            db.update(i, v);
+        }
         da.merge(&db);
-        prop_assert_eq!(da.query(), dw.query());
+        assert_eq!(da, dw, "case {case}");
     }
+}
 
-    #[test]
-    fn l0_sampler_membership(ups in updates(), seed in 0u64..500) {
-        let mut s = L0Sampler::new(DOMAIN, seed);
+#[test]
+fn l0_sampler_membership() {
+    for case in 0..CASES {
+        let ups = updates(case ^ 0x3000);
+        let mut s = L0Sampler::new(DOMAIN, case % 500);
         for &(i, v) in &ups {
             s.update(i, v);
         }
         let truth = net(&ups);
         match s.query() {
             L0Result::Sample(i, v) => {
-                prop_assert_eq!(truth.get(&i), Some(&v), "non-member sample");
+                assert_eq!(truth.get(&i), Some(&v), "case {case}: non-member sample");
             }
-            L0Result::Empty => prop_assert!(truth.is_empty()),
+            L0Result::Empty => assert!(truth.is_empty(), "case {case}"),
             L0Result::Fail => {} // allowed with probability delta
         }
     }
+}
 
-    #[test]
-    fn l0_detector_membership_and_zero_certificate(ups in updates(), seed in 0u64..500) {
-        let mut d = L0Detector::new(DOMAIN, seed);
+#[test]
+fn l0_detector_membership_and_zero_certificate() {
+    for case in 0..CASES {
+        let ups = updates(case ^ 0x4000);
+        let mut d = L0Detector::new(DOMAIN, case % 500);
         for &(i, v) in &ups {
             d.update(i, v);
         }
         let truth = net(&ups);
         if truth.is_empty() {
-            prop_assert_eq!(d.query(), L0Result::Empty);
+            assert_eq!(d.query(), L0Result::Empty, "case {case}");
         } else if let L0Result::Sample(i, v) = d.query() {
-            prop_assert_eq!(truth.get(&i), Some(&v));
+            assert_eq!(truth.get(&i), Some(&v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn edge_ranking_roundtrip(u in 0usize..500, v in 0usize..500) {
-        prop_assume!(u != v);
-        let n = 500;
+#[test]
+fn edge_ranking_roundtrip() {
+    let n = 500;
+    let mut rng = SplitMix64::new(0xE);
+    for _ in 0..2000 {
+        let u = rng.next_range(n as u64) as usize;
+        let v = rng.next_range(n as u64) as usize;
+        if u == v {
+            continue;
+        }
         let idx = edge_index(n, u, v);
-        prop_assert!(idx < edge_domain(n));
+        assert!(idx < edge_domain(n));
         let (a, b) = edge_unindex(idx);
-        prop_assert_eq!((a, b), (u.min(v), u.max(v)));
+        assert_eq!((a, b), (u.min(v), u.max(v)));
     }
+}
 
-    #[test]
-    fn subset_ranking_roundtrip(mut s in prop::collection::btree_set(0usize..200, 3..=5)) {
-        let subset: Vec<usize> = std::mem::take(&mut s).into_iter().collect();
+#[test]
+fn subset_ranking_roundtrip() {
+    let mut rng = SplitMix64::new(0xF);
+    for _ in 0..2000 {
+        let k = 3 + rng.next_range(3) as usize; // 3..=5
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < k {
+            set.insert(rng.next_range(200) as usize);
+        }
+        let subset: Vec<usize> = set.into_iter().collect();
         let r = subset_rank(&subset);
-        prop_assert_eq!(subset_unrank(r, subset.len()), subset);
+        assert_eq!(subset_unrank(r, subset.len()), subset);
     }
 }

@@ -6,68 +6,116 @@
 //! > locations, e.g., data partitioned between reducer nodes in a
 //! > MapReduce job or between different data centers."*
 //!
-//! [`sketch_distributed`] runs one OS thread per site (crossbeam scoped
-//! threads standing in for machines), each feeding its share of the stream
-//! into a private sketch; the coordinator folds the site sketches with
-//! [`Mergeable::merge`]. Because every sketch in this workspace is a linear
-//! projection, the folded sketch is **bit-for-bit identical** to a
-//! single-site sketch of the whole stream — experiment E12 asserts this.
+//! [`sketch_distributed`] drives any [`LinearSketch`] directly: the update
+//! batch is hash-partitioned across `sites`, one OS thread per *non-empty*
+//! site (`std::thread::scope` standing in for machines) absorbs its share
+//! into a private sketch, and the coordinator folds the site sketches with
+//! [`Mergeable::merge`] in site order. Because every sketch in this
+//! workspace is a linear projection, the folded sketch is **bit-for-bit
+//! identical** to a single-site sketch of the whole stream —
+//! [`linearity_holds`] asserts exactly that, and experiment E12 measures it.
 
 use crate::stream::GraphStream;
-use gs_sketch::Mergeable;
+use gs_sketch::{EdgeUpdate, LinearSketch};
 
-/// Builds a sketch of `stream` as if it were observed at `sites` distinct
-/// locations. `make()` constructs an empty sketch (all sites must use the
-/// same seed/parameters — that is what makes the measurements compatible);
-/// `feed` applies one stream update to a sketch.
+/// Partitions `updates` across `sites`, the §1.1 setting: every update
+/// goes to exactly one (seeded-pseudorandom) site; concatenating the parts
+/// in site order is a reordering of the original stream (which linear
+/// sketches are insensitive to). Sites beyond the stream length simply
+/// receive empty shares. Shares [`crate::stream::site_of`] with
+/// [`GraphStream::split`] so both splits realize the same partition.
+pub fn split_updates(updates: &[EdgeUpdate], sites: usize, seed: u64) -> Vec<Vec<EdgeUpdate>> {
+    assert!(sites >= 1);
+    let mut site = crate::stream::site_of(sites, seed);
+    let mut parts: Vec<Vec<EdgeUpdate>> = (0..sites).map(|_| Vec::new()).collect();
+    for &up in updates {
+        parts[site()].push(up);
+    }
+    parts
+}
+
+/// Builds a sketch of `updates` as if they were observed at `sites`
+/// distinct locations. `make()` constructs an empty sketch (all sites must
+/// use the same seed/parameters — that is what makes the measurements
+/// compatible). Each non-empty site runs on its own thread; site sketches
+/// are merged in site order at the end.
 ///
-/// Each site runs on its own thread; site sketches are merged in site
-/// order at the end.
-pub fn sketch_distributed<S, F, U>(
-    stream: &GraphStream,
-    sites: usize,
-    split_seed: u64,
-    make: F,
-    feed: U,
-) -> S
+/// Degenerate cases are explicit: with more sites than updates the surplus
+/// sites contribute nothing (an empty-constructed sketch is the zero of the
+/// merge group, so skipping it is exact), and an empty stream returns the
+/// empty-constructed sketch itself.
+pub fn sketch_distributed<S, F>(updates: &[EdgeUpdate], sites: usize, split_seed: u64, make: F) -> S
 where
-    S: Mergeable + Send,
+    S: LinearSketch + Send,
     F: Fn() -> S + Sync,
-    U: Fn(&mut S, usize, usize, i64) + Sync,
 {
     assert!(sites >= 1);
-    let parts = stream.split(sites, split_seed);
+    let parts = split_updates(updates, sites, split_seed);
     let mut site_sketches: Vec<Option<S>> = (0..sites).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, part) in site_sketches.iter_mut().zip(&parts) {
+            if part.is_empty() {
+                continue; // an idle site has nothing to measure
+            }
             let make = &make;
-            let feed = &feed;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut sk = make();
-                part.replay(|u, v, d| feed(&mut sk, u, v, d));
+                sk.absorb(part);
                 *slot = Some(sk);
             });
         }
-    })
-    .expect("site thread panicked");
+    });
 
-    let mut iter = site_sketches.into_iter().map(|s| s.expect("site finished"));
-    let mut acc = iter.next().expect("at least one site");
-    for s in iter {
-        acc.merge(&s);
+    let mut acc: Option<S> = None;
+    for sk in site_sketches.into_iter().flatten() {
+        match &mut acc {
+            None => acc = Some(sk),
+            Some(a) => a.merge(&sk),
+        }
     }
-    acc
+    acc.unwrap_or_else(make)
 }
 
-/// Single-site reference: sketches the whole stream sequentially.
-pub fn sketch_central<S>(
-    stream: &GraphStream,
-    make: impl Fn() -> S,
-    feed: impl Fn(&mut S, usize, usize, i64),
-) -> S {
+/// Single-site reference: sketches the whole update batch sequentially.
+pub fn sketch_central<S: LinearSketch>(updates: &[EdgeUpdate], make: impl FnOnce() -> S) -> S {
     let mut sk = make();
-    stream.replay(|u, v, d| feed(&mut sk, u, v, d));
+    sk.absorb(updates);
     sk
+}
+
+/// The linearity law every [`LinearSketch`] must satisfy, as a reusable
+/// property-test harness: for each site count, hash-splitting the stream,
+/// sketching the parts independently (on threads), and merging must equal
+/// the central sketch of the whole stream **bit for bit** (structural
+/// equality of the sketch state, not merely of the decoded answer).
+///
+/// # Panics
+/// Panics (via `assert_eq!`) if any site count violates the law.
+pub fn linearity_holds<S, F>(updates: &[EdgeUpdate], site_counts: &[usize], make: F)
+where
+    S: LinearSketch + Send + PartialEq + std::fmt::Debug,
+    F: Fn() -> S + Sync,
+{
+    let central = sketch_central(updates, &make);
+    for &sites in site_counts {
+        let dist = sketch_distributed(updates, sites, 0x5EED ^ sites as u64, &make);
+        assert_eq!(dist, central, "merge-of-{sites}-sites != central sketch");
+    }
+}
+
+impl GraphStream {
+    /// The stream as a value-carrying [`EdgeUpdate`] batch — the form
+    /// [`LinearSketch::absorb`] and [`sketch_distributed`] ingest.
+    pub fn edge_updates(&self) -> Vec<EdgeUpdate> {
+        self.updates()
+            .iter()
+            .map(|up| EdgeUpdate {
+                u: up.u,
+                v: up.v,
+                delta: up.delta as i64,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -75,20 +123,73 @@ mod tests {
     use super::*;
     use gs_graph::gen;
     use gs_sketch::domain::{edge_domain, edge_index};
-    use gs_sketch::{L0Result, SparseRecovery};
+    use gs_sketch::{Mergeable, SparseRecovery};
+    use serde::{Deserialize, Serialize};
+
+    /// Minimal LinearSketch used to test the distributed plumbing without
+    /// depending on the algorithm crate: exact recovery of the net edge
+    /// vector.
+    #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+    struct EdgeVectorSketch {
+        n: usize,
+        inner: SparseRecovery,
+    }
+
+    impl EdgeVectorSketch {
+        fn new(n: usize, k: usize, seed: u64) -> Self {
+            EdgeVectorSketch {
+                n,
+                inner: SparseRecovery::new(edge_domain(n), k, seed),
+            }
+        }
+    }
+
+    impl Mergeable for EdgeVectorSketch {
+        fn merge(&mut self, other: &Self) {
+            assert_eq!(self.n, other.n);
+            self.inner.merge(&other.inner);
+        }
+    }
+
+    impl LinearSketch for EdgeVectorSketch {
+        type Output = Option<Vec<(u64, i64)>>;
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+            self.inner.update(edge_index(self.n, u, v), delta);
+        }
+
+        fn space_bytes(&self) -> usize {
+            self.inner.cell_count() * gs_sketch::CELL_BYTES
+        }
+
+        fn decode(&self) -> Self::Output {
+            self.inner.decode()
+        }
+    }
 
     #[test]
-    fn distributed_equals_central_sparse_recovery() {
+    fn distributed_equals_central_bit_for_bit() {
         let g = gen::gnp(30, 0.05, 3);
         let stream = GraphStream::with_churn(&g, 300, 4);
-        let n = stream.n();
-        let make = || SparseRecovery::new(edge_domain(n), 32, 0xD15C);
-        let feed = |s: &mut SparseRecovery, u: usize, v: usize, d: i64| {
-            s.update(edge_index(n, u, v), d);
-        };
-        let central = sketch_central(&stream, make, feed);
+        let updates = stream.edge_updates();
+        linearity_holds(&updates, &[1, 2, 5, 16], || {
+            EdgeVectorSketch::new(30, 32, 0xD15C)
+        });
+    }
+
+    #[test]
+    fn decoded_answers_agree_too() {
+        let g = gen::gnp(30, 0.05, 3);
+        let stream = GraphStream::with_churn(&g, 300, 4);
+        let updates = stream.edge_updates();
+        let make = || EdgeVectorSketch::new(30, 32, 0xD15C);
+        let central = sketch_central(&updates, make);
         for sites in [1, 2, 5, 16] {
-            let dist = sketch_distributed(&stream, sites, 7, make, feed);
+            let dist = sketch_distributed(&updates, sites, 7, make);
             assert_eq!(dist.decode(), central.decode(), "sites = {sites}");
         }
     }
@@ -97,27 +198,77 @@ mod tests {
     fn cross_site_cancellation() {
         // An insertion at site A and its deletion at site B must cancel in
         // the merged sketch even though neither site saw both.
-        use crate::stream::Update;
-        let stream = GraphStream::from_updates(
-            4,
-            vec![
-                Update::insert(0, 1),
-                Update::insert(2, 3),
-                Update::delete(0, 1),
-            ],
-        );
+        let updates = vec![
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(2, 3),
+            EdgeUpdate::delete(0, 1),
+        ];
         let n = 4;
-        let make = || gs_sketch::L0Detector::new(edge_domain(n), 5);
-        let feed = |s: &mut gs_sketch::L0Detector, u: usize, v: usize, d: i64| {
-            s.update(edge_index(n, u, v), d);
-        };
-        // Round-robin-ish split with a seed that separates the updates.
         for seed in 0..5 {
-            let merged = sketch_distributed(&stream, 3, seed, make, feed);
-            match merged.query() {
-                L0Result::Sample(idx, 1) => assert_eq!(idx, edge_index(n, 2, 3)),
-                other => panic!("unexpected {other:?}"),
-            }
+            let merged = sketch_distributed(&updates, 3, seed, || EdgeVectorSketch::new(n, 4, 0xA));
+            let got = merged.decode().expect("recovers");
+            assert_eq!(got, vec![(edge_index(n, 2, 3), 1)]);
         }
+    }
+
+    #[test]
+    fn more_sites_than_updates_is_exact() {
+        // 3 updates over 16 sites: most sites are empty; the fold must
+        // still produce the central sketch, not panic.
+        let updates = vec![
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(1, 2),
+            EdgeUpdate::delete(0, 1),
+        ];
+        let make = || EdgeVectorSketch::new(4, 4, 0xB);
+        let central = sketch_central(&updates, make);
+        for sites in [4, 16, 64] {
+            let dist = sketch_distributed(&updates, sites, 11, make);
+            assert_eq!(dist, central, "sites = {sites}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_returns_empty_constructed_sketch() {
+        let updates: Vec<EdgeUpdate> = Vec::new();
+        let make = || EdgeVectorSketch::new(4, 4, 0xC);
+        let dist = sketch_distributed(&updates, 8, 13, make);
+        assert_eq!(dist, make());
+        assert_eq!(dist.decode(), Some(vec![]));
+    }
+
+    #[test]
+    fn split_updates_agrees_with_stream_split() {
+        // Both §1.1 splits share site_of: equal (sites, seed) must yield
+        // the same partition of the same stream.
+        let g = gen::gnp(12, 0.4, 8);
+        let stream = GraphStream::with_churn(&g, 80, 9);
+        let by_stream = stream.split(5, 42);
+        let by_updates = split_updates(&stream.edge_updates(), 5, 42);
+        for (a, b) in by_stream.iter().zip(&by_updates) {
+            assert_eq!(&a.edge_updates(), b);
+        }
+    }
+
+    #[test]
+    fn split_partitions_every_update_once() {
+        let g = gen::gnp(20, 0.4, 5);
+        let stream = GraphStream::with_churn(&g, 100, 6);
+        let updates = stream.edge_updates();
+        let parts = split_updates(&updates, 4, 7);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), updates.len());
+    }
+
+    #[test]
+    fn absorb_equals_per_update_feed() {
+        let g = gen::gnp(16, 0.3, 9);
+        let updates = GraphStream::inserts_of(&g).edge_updates();
+        let mut a = EdgeVectorSketch::new(16, 64, 0xD);
+        a.absorb(&updates);
+        let mut b = EdgeVectorSketch::new(16, 64, 0xD);
+        for up in &updates {
+            b.update_edge(up.u, up.v, up.delta);
+        }
+        assert_eq!(a, b);
     }
 }

@@ -37,7 +37,10 @@ pub struct GraphStream {
 impl GraphStream {
     /// An empty stream on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphStream { n, updates: Vec::new() }
+        GraphStream {
+            n,
+            updates: Vec::new(),
+        }
     }
 
     /// Builds a stream from explicit updates.
@@ -89,7 +92,11 @@ impl GraphStream {
                 v = (v + 1) % n;
             }
             let (a, b) = (rng.next_u64(), rng.next_u64());
-            let (t_ins, t_del) = if a < b { (a, b) } else { (b, a.max(b.wrapping_add(1))) };
+            let (t_ins, t_del) = if a < b {
+                (a, b)
+            } else {
+                (b, a.max(b.wrapping_add(1)))
+            };
             timed.push((t_ins, Update::insert(u, v)));
             timed.push((t_del, Update::delete(u, v)));
         }
@@ -157,7 +164,11 @@ impl GraphStream {
     pub fn materialize(&self) -> Graph {
         let mut mult: std::collections::BTreeMap<(usize, usize), i64> = Default::default();
         for up in &self.updates {
-            let key = if up.u < up.v { (up.u, up.v) } else { (up.v, up.u) };
+            let key = if up.u < up.v {
+                (up.u, up.v)
+            } else {
+                (up.v, up.u)
+            };
             let m = mult.entry(key).or_insert(0);
             *m += up.delta as i64;
             assert!(*m >= 0, "negative multiplicity for {key:?}");
@@ -170,17 +181,19 @@ impl GraphStream {
         )
     }
 
-    /// Splits the stream across `sites` in round-robin or hashed fashion —
-    /// the distributed setting of §1.1. Every update goes to exactly one
-    /// site; concatenating the parts in site order is a reordering of the
-    /// original stream (which linear sketches are insensitive to).
+    /// Splits the stream across `sites` — the distributed setting of §1.1.
+    /// Every update goes to exactly one (seeded-pseudorandom) site;
+    /// concatenating the parts in site order is a reordering of the
+    /// original stream (which linear sketches are insensitive to). Uses the
+    /// same [`site_of`] assignment as
+    /// [`crate::distributed::split_updates`], so the two splits agree for
+    /// equal `(sites, seed)`.
     pub fn split(&self, sites: usize, seed: u64) -> Vec<GraphStream> {
         assert!(sites >= 1);
-        let mut rng = SplitMix64::new(seed);
+        let mut site = site_of(sites, seed);
         let mut parts = vec![GraphStream::new(self.n); sites];
         for &up in &self.updates {
-            let site = rng.next_range(sites as u64) as usize;
-            parts[site].updates.push(up);
+            parts[site()].updates.push(up);
         }
         parts
     }
@@ -192,6 +205,13 @@ impl GraphStream {
         updates.extend_from_slice(&other.updates);
         GraphStream { n: self.n, updates }
     }
+}
+
+/// The site-assignment sequence shared by every §1.1 split in this crate:
+/// each call of the returned closure yields the next update's site.
+pub fn site_of(sites: usize, seed: u64) -> impl FnMut() -> usize {
+    let mut rng = SplitMix64::new(seed);
+    move || rng.next_range(sites as u64) as usize
 }
 
 #[cfg(test)]
@@ -240,10 +260,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn shuffle_rejects_deletions() {
-        let s = GraphStream::from_updates(
-            3,
-            vec![Update::insert(0, 1), Update::delete(0, 1)],
-        );
+        let s = GraphStream::from_updates(3, vec![Update::insert(0, 1), Update::delete(0, 1)]);
         let _ = s.shuffled(1);
     }
 
@@ -281,10 +298,7 @@ mod tests {
     fn concat_preserves_order_and_materialization() {
         let g = gen::gnp(10, 0.4, 8);
         let a = GraphStream::inserts_of(&g);
-        let b = GraphStream::from_updates(
-            10,
-            vec![Update::delete(g.edges()[0].0, g.edges()[0].1)],
-        );
+        let b = GraphStream::from_updates(10, vec![Update::delete(g.edges()[0].0, g.edges()[0].1)]);
         let c = a.concat(&b);
         assert_eq!(c.len(), a.len() + 1);
         let m = c.materialize();
@@ -320,7 +334,11 @@ mod tests {
     fn replay_visits_in_order() {
         let s = GraphStream::from_updates(
             4,
-            vec![Update::insert(0, 1), Update::insert(2, 3), Update::delete(0, 1)],
+            vec![
+                Update::insert(0, 1),
+                Update::insert(2, 3),
+                Update::delete(0, 1),
+            ],
         );
         let mut seen = Vec::new();
         s.replay(|u, v, d| seen.push((u, v, d)));

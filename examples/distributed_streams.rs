@@ -5,67 +5,68 @@
 //! of which sees the whole stream — a flow can even *start* at one site
 //! and *end* at another. Each site maintains its own sketch; the
 //! coordinator adds the sketches and decodes global structure. Linearity
-//! makes the merged sketch **bit-for-bit identical** to a single observer's.
+//! makes the merged sketch **bit-for-bit identical** to a single
+//! observer's — and with the unified [`SketchSpec`]/[`AnySketch`] API the
+//! same distributed path serves *every* sketch in the crate.
 //!
 //! Run: `cargo run --release --example distributed_streams`
 
-use graph_sketches::{ForestSketch, SimpleSparsifySketch};
-use gs_graph::{cuts, gen};
-use gs_sketch::Mergeable;
+use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
+use gs_graph::{cuts, gen, Graph};
+use gs_sketch::LinearSketch;
 use gs_stream::distributed::{sketch_central, sketch_distributed};
 use gs_stream::GraphStream;
 
 fn main() {
     let n = 40;
     let sites = 6;
-    let seed = 0xF10;
 
     // The flow graph: heavy-tailed degrees (a few talkative hosts).
     let g = gen::preferential_attachment(n, 3, 11);
     let stream = GraphStream::with_churn(&g, 800, 13);
+    let updates = stream.edge_updates();
     println!(
         "{} updates across {sites} sites; net graph: {} edges / {} hosts",
-        stream.len(),
+        updates.len(),
         g.m(),
         n
     );
 
     // ---- connectivity sketch, one thread per site ----
-    let make = || ForestSketch::new(n, seed);
-    let feed = |s: &mut ForestSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-    let merged = sketch_distributed(&stream, sites, 17, make, feed);
-    let central = sketch_central(&stream, make, feed);
-
-    let f_merged = merged.decode();
-    let f_central = central.decode();
+    let spec = SketchSpec::new(SketchTask::Connectivity, n).with_seed(0xF10);
+    let merged = sketch_distributed(&updates, sites, 17, || spec.build());
+    let central = sketch_central(&updates, || spec.build());
     println!(
-        "forest from merged site sketches: {} edges; central observer: {} edges; identical: {}",
-        f_merged.edges.len(),
-        f_central.edges.len(),
-        f_merged.edges == f_central.edges
+        "forest from merged site sketches == central observer's sketch: {}",
+        merged == central
     );
-
-    // ---- sparsifier, merged manually (site order is irrelevant) ----
-    let parts = stream.split(sites, 19);
-    let mut site_sketches: Vec<SimpleSparsifySketch> = parts
-        .iter()
-        .map(|p| {
-            let mut s = SimpleSparsifySketch::new(n, 0.6, seed ^ 1);
-            p.replay(|u, v, d| s.update_edge(u, v, d));
-            s
-        })
-        .collect();
-    // Merge in reverse order just to make the point.
-    let mut acc = site_sketches.pop().expect("at least one site");
-    for s in site_sketches.iter().rev() {
-        acc.merge(s);
+    if let SketchAnswer::Connectivity {
+        components,
+        forest_edges,
+        ..
+    } = merged.decode()
+    {
+        println!(
+            "decoded at the coordinator: {components} component(s), {} forest edges",
+            forest_edges.len()
+        );
     }
-    let h = acc.decode();
-    let err = cuts::random_cut_audit(&g, &h, 400, 21);
+
+    // ---- sparsifier through the very same path (any task works) ----
+    let spec = SketchSpec::new(SketchTask::SimpleSparsify, n)
+        .with_eps(0.6)
+        .with_seed(0xF11);
+    let answer = spec.run(&updates, sites);
+    if let SketchAnswer::Sparsifier { edges, .. } = answer {
+        let h = Graph::from_weighted_edges(n, edges);
+        let err = cuts::random_cut_audit(&g, &h, 400, 21);
+        println!(
+            "distributed sparsifier: {} edges, worst random-cut error {:.3}",
+            h.m(),
+            err
+        );
+    }
     println!(
-        "distributed sparsifier: {} edges, worst random-cut error {:.3}",
-        h.m(),
-        err
+        "bytes on the wire scale with the sketch, not the stream — that is the point of §1.1."
     );
-    println!("bytes on the wire scale with the sketch, not the stream — that is the point of §1.1.");
 }

@@ -9,8 +9,8 @@
 //!
 //! Run: `cargo run --release --example road_spanner`
 
-use graph_sketches::spanner::{baswana_sen, recurse_connect, BaswanaSenParams, RecurseParams};
 use graph_sketches::spanner::recurse::stretch_bound;
+use graph_sketches::spanner::{baswana_sen, recurse_connect, BaswanaSenParams, RecurseParams};
 use gs_graph::paths::max_stretch;
 use gs_graph::{gen, Graph};
 use gs_stream::passes::Meter;
@@ -35,7 +35,10 @@ fn main() {
 
     let stream = GraphStream::inserts_of(&g);
 
-    println!("{:<22} {:>6} {:>7} {:>10} {:>10}", "algorithm", "passes", "edges", "stretch", "bound");
+    println!(
+        "{:<22} {:>6} {:>7} {:>10} {:>10}",
+        "algorithm", "passes", "edges", "stretch", "bound"
+    );
     for k in [2usize, 3, 4] {
         let mut meter = Meter::new(&stream);
         let h = baswana_sen(&mut meter, BaswanaSenParams::scaled(n, k), 100 + k as u64);

@@ -1,94 +1,91 @@
 //! Distributed-stream integration (§1.1): merged site sketches must equal
 //! the single-observer sketch for every structure in the crate, including
 //! under cross-site insert/delete splits and with threads.
+//!
+//! The per-type test copies this file used to carry are gone: the generic
+//! [`linearity_holds`] harness asserts the law **bit for bit** (structural
+//! sketch equality, not merely equal decodes) once, and is instantiated
+//! for every [`AnySketch`] variant through [`SketchSpec`].
 
-use graph_sketches::{
-    ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
-    SubgraphSketch,
-};
+use graph_sketches::api::{SketchSpec, SketchTask};
+use graph_sketches::ForestSketch;
 use gs_graph::gen;
-use gs_sketch::Mergeable;
-use gs_stream::distributed::{sketch_central, sketch_distributed};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
+use gs_stream::distributed::{linearity_holds, sketch_central, sketch_distributed};
 use gs_stream::GraphStream;
 
-fn churn_stream(n: usize, p: f64, seed: u64) -> GraphStream {
+fn churn_updates(n: usize, p: f64, seed: u64) -> Vec<EdgeUpdate> {
     let g = gen::gnp(n, p, seed);
-    GraphStream::with_churn(&g, 400, seed ^ 0xD1)
+    GraphStream::with_churn(&g, 400, seed ^ 0xD1).edge_updates()
+}
+
+/// Weighted value-carrying workload for the §3.5 tasks: every edge is one
+/// object with one weight; deletions carry the insertion's weight.
+fn weighted_updates(n: usize, seed: u64) -> Vec<EdgeUpdate> {
+    let g = gen::gnp_weighted(n, 0.4, 8, seed);
+    let mut ups: Vec<EdgeUpdate> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| EdgeUpdate::weighted(u, v, w, 1))
+        .collect();
+    // Insert-then-delete churn on a few decoy edges.
+    for (i, &(u, v, w)) in g.edges().iter().enumerate().take(5) {
+        let decoy_w = (w % 7) + 1;
+        ups.insert(i * 2, EdgeUpdate::weighted(u, v, decoy_w, 1));
+        ups.push(EdgeUpdate::weighted(u, v, decoy_w, -1));
+    }
+    ups
 }
 
 #[test]
-fn forest_sketch_distributed_equals_central() {
-    let stream = churn_stream(30, 0.2, 1);
-    let make = || ForestSketch::new(30, 0xAA);
-    let feed = |s: &mut ForestSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-    let central = sketch_central(&stream, make, feed);
-    for sites in [2, 3, 8] {
-        let dist = sketch_distributed(&stream, sites, 3, make, feed);
-        assert_eq!(dist.decode().edges, central.decode().edges, "sites={sites}");
+fn linearity_holds_for_every_any_sketch_variant() {
+    for task in SketchTask::ALL {
+        let spec = SketchSpec::new(task, 16).with_eps(0.75).with_seed(0xAB);
+        let updates = match task {
+            // Value-carrying tasks get a weighted workload.
+            SketchTask::WeightedSparsify | SketchTask::Mst => weighted_updates(16, 3),
+            _ => churn_updates(16, 0.3, 3),
+        };
+        linearity_holds(&updates, &[1, 2, 3, 8], || spec.build());
     }
 }
 
 #[test]
-fn kedge_distributed_equals_central() {
-    let stream = churn_stream(20, 0.3, 5);
-    let make = || KEdgeConnectSketch::new(20, 3, 0xBB);
-    let feed = |s: &mut KEdgeConnectSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-    let central = sketch_central(&stream, make, feed);
-    let dist = sketch_distributed(&stream, 4, 7, make, feed);
-    assert_eq!(dist.decode_witness().edges(), central.decode_witness().edges());
+fn static_dispatch_takes_the_same_path() {
+    // The harness also works on a concrete sketch type (no AnySketch
+    // wrapper): the trait is the interface, dispatch is orthogonal.
+    let updates = churn_updates(30, 0.2, 1);
+    linearity_holds(&updates, &[2, 3, 8], || ForestSketch::new(30, 0xAA));
 }
 
 #[test]
-fn mincut_distributed_equals_central() {
-    let stream = churn_stream(16, 0.4, 9);
-    let make = || MinCutSketch::new(16, 0.5, 0xCC);
-    let feed = |s: &mut MinCutSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-    let central = sketch_central(&stream, make, feed);
-    let dist = sketch_distributed(&stream, 5, 11, make, feed);
-    assert_eq!(
-        dist.decode().map(|e| e.value),
-        central.decode().map(|e| e.value)
-    );
-}
-
-#[test]
-fn sparsifiers_distributed_equal_central() {
-    let stream = churn_stream(18, 0.35, 13);
-    {
-        let make = || SimpleSparsifySketch::new(18, 0.6, 0xDD);
-        let feed =
-            |s: &mut SimpleSparsifySketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-        let central = sketch_central(&stream, make, feed);
-        let dist = sketch_distributed(&stream, 3, 15, make, feed);
-        assert_eq!(dist.decode().edges(), central.decode().edges());
+fn decoded_answers_match_across_sites() {
+    let updates = churn_updates(18, 0.35, 13);
+    for task in [
+        SketchTask::MinCut,
+        SketchTask::Sparsify,
+        SketchTask::Subgraphs,
+    ] {
+        let spec = SketchSpec::new(task, 18).with_eps(0.6).with_seed(0xDD);
+        let central = spec.run(&updates, 1);
+        for sites in [3, 5] {
+            assert_eq!(
+                spec.run(&updates, sites),
+                central,
+                "{task:?} @ {sites} sites"
+            );
+        }
     }
-    {
-        let make = || SparsifySketch::new(18, 0.6, 0xEE);
-        let feed = |s: &mut SparsifySketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-        let central = sketch_central(&stream, make, feed);
-        let dist = sketch_distributed(&stream, 3, 17, make, feed);
-        assert_eq!(dist.decode().edges(), central.decode().edges());
-    }
-}
-
-#[test]
-fn subgraph_sketch_distributed_equals_central() {
-    let stream = churn_stream(12, 0.4, 19);
-    let make = || SubgraphSketch::new(12, 3, 0.34, 0xFF);
-    let feed = |s: &mut SubgraphSketch, u: usize, v: usize, d: i64| s.update_edge(u, v, d);
-    let central = sketch_central(&stream, make, feed);
-    let dist = sketch_distributed(&stream, 6, 21, make, feed);
-    assert_eq!(dist.raw_samples(), central.raw_samples());
 }
 
 #[test]
 fn merge_order_is_irrelevant() {
     // Linear measurements commute: any merge order gives the same sketch.
-    let stream = churn_stream(16, 0.3, 23);
-    let parts = stream.split(4, 25);
-    let mk = |p: &GraphStream| {
+    let updates = churn_updates(16, 0.3, 23);
+    let parts = gs_stream::distributed::split_updates(&updates, 4, 25);
+    let mk = |part: &[EdgeUpdate]| {
         let mut s = ForestSketch::new(16, 0x123);
-        p.replay(|u, v, d| s.update_edge(u, v, d));
+        s.absorb(part);
         s
     };
     let mut fwd = mk(&parts[0]);
@@ -99,7 +96,26 @@ fn merge_order_is_irrelevant() {
     for p in parts[..3].iter().rev() {
         rev.merge(&mk(p));
     }
-    assert_eq!(fwd.decode().edges, rev.decode().edges);
+    assert_eq!(fwd, rev);
+}
+
+#[test]
+fn more_sites_than_updates_returns_exact_sketch() {
+    // 3 updates, up to 64 sites: surplus sites are idle, the answer is
+    // unchanged, and an empty stream yields the empty-constructed sketch.
+    let updates = vec![
+        EdgeUpdate::insert(0, 1),
+        EdgeUpdate::insert(1, 2),
+        EdgeUpdate::delete(0, 1),
+    ];
+    let spec = SketchSpec::new(SketchTask::Connectivity, 4).with_seed(9);
+    let central = sketch_central(&updates, || spec.build());
+    for sites in [4, 16, 64] {
+        let dist = sketch_distributed(&updates, sites, 11, || spec.build());
+        assert_eq!(dist, central, "sites = {sites}");
+    }
+    let empty = sketch_distributed(&[], 16, 11, || spec.build());
+    assert_eq!(empty, spec.build());
 }
 
 #[test]
@@ -107,5 +123,13 @@ fn merge_order_is_irrelevant() {
 fn incompatible_seeds_refuse_to_merge() {
     let mut a = ForestSketch::new(8, 1);
     let b = ForestSketch::new(8, 2);
+    a.merge(&b);
+}
+
+#[test]
+#[should_panic]
+fn cross_task_merge_refuses() {
+    let mut a = SketchSpec::new(SketchTask::Connectivity, 8).build();
+    let b = SketchSpec::new(SketchTask::MinCut, 8).build();
     a.merge(&b);
 }

@@ -120,7 +120,9 @@ fn recurse_trace_respects_contraction_invariant() {
     let (_, trace) = recurse_connect(&mut meter, RecurseParams::scaled(k), 25);
     let n = 80f64;
     for p in &trace.phases {
-        let bound = n.powf(1.0 - ((1u64 << (p.phase + 1)) - 1) as f64 / k as f64).ceil();
+        let bound = n
+            .powf(1.0 - ((1u64 << (p.phase + 1)) - 1) as f64 / k as f64)
+            .ceil();
         assert!(
             (p.members.len() as f64) <= bound + 1.0,
             "phase {}: {} supervertices > bound {bound}",

@@ -4,7 +4,7 @@
 
 use graph_sketches::{SimpleSparsifySketch, SparsifySketch};
 use gs_graph::cuts::{cut_family_audit, random_cut_audit};
-use gs_graph::{gen, offline_sparsify, Graph, GomoryHuTree};
+use gs_graph::{gen, offline_sparsify, GomoryHuTree, Graph};
 use gs_stream::GraphStream;
 
 fn run_simple(g: &Graph, eps: f64, seed: u64, churn: usize) -> Graph {
@@ -57,12 +57,7 @@ fn sketch_sparsifiers_behave_like_offline_baselines() {
     let sketch = run_better(&g, eps, 13, 100);
     let offline = offline_sparsify::fung_connectivity(&g, eps, 1.0, 15);
     let e_sketch = random_cut_audit(&g, &sketch, 300, 17);
-    let e_off = random_cut_audit(
-        &offline_sparsify::scaled_reference(&g),
-        &offline,
-        300,
-        17,
-    );
+    let e_off = random_cut_audit(&offline_sparsify::scaled_reference(&g), &offline, 300, 17);
     assert!(e_sketch <= eps, "sketch error {e_sketch}");
     assert!(e_off <= eps, "offline error {e_off}");
 }

@@ -69,8 +69,14 @@ fn order4_estimation_end_to_end() {
     GraphStream::inserts_of(&g).replay(|u, v, d| s.update_edge(u, v, d));
     let est_c4 = s.estimate_gamma(&Pattern::c4()).expect("samples");
     let est_k4 = s.estimate_gamma(&Pattern::k4()).expect("samples");
-    assert!((est_c4 - exact_c4).abs() <= 0.3, "C4 {est_c4} vs {exact_c4}");
-    assert!((est_k4 - exact_k4).abs() <= 0.3, "K4 {est_k4} vs {exact_k4}");
+    assert!(
+        (est_c4 - exact_c4).abs() <= 0.3,
+        "C4 {est_c4} vs {exact_c4}"
+    );
+    assert!(
+        (est_k4 - exact_k4).abs() <= 0.3,
+        "K4 {est_k4} vs {exact_k4}"
+    );
 }
 
 #[test]
