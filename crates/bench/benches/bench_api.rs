@@ -1,12 +1,15 @@
 //! The unified-API hot path: batched [`LinearSketch::absorb`] ingestion
 //! through [`AnySketch`] runtime dispatch, single-site vs distributed
-//! (one thread per site, merged at a coordinator).
+//! (engine shards on capped worker threads, merged at a coordinator), and
+//! the resident [`SketchEngine`]'s multi-shard ingest throughput vs a
+//! single-thread absorb of the same stream.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_sketches::api::{SketchSpec, SketchTask};
 use gs_graph::gen;
 use gs_sketch::LinearSketch;
 use gs_stream::distributed::sketch_distributed;
+use gs_stream::engine::{EngineConfig, SketchEngine};
 use gs_stream::GraphStream;
 
 fn bench_absorb_dispatch(c: &mut Criterion) {
@@ -47,5 +50,51 @@ fn bench_distributed_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_absorb_dispatch, bench_distributed_ingest);
+/// Engine throughput: the same update stream, chunk-ingested through a
+/// sharded engine at increasing shard counts, against the single-thread
+/// `absorb` baseline (`shards = 0` row). On a machine with ≥ 4 cores the
+/// multi-shard rows should absorb ≥ 2× faster than the baseline — the
+/// per-update sketch work dominates routing by ~20× and shard sketches
+/// are private, so workers never contend on a cell. (On a 1-core box
+/// `EngineConfig` caps workers at 1 and the rows simply measure the
+/// engine's routing/queueing overhead over the baseline.)
+fn bench_engine_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_engine_ingest");
+    group.sample_size(10);
+    let n = 128;
+    let g = gen::gnp(n, 0.2, 11);
+    let updates = GraphStream::with_churn(&g, 4 * g.m(), 12).edge_updates();
+    let spec = SketchSpec::new(SketchTask::Connectivity, n).with_seed(13);
+    group.bench_with_input(BenchmarkId::new("absorb_1thread", 0), &(), |b, _| {
+        b.iter(|| {
+            let mut s = spec.build();
+            s.absorb(&updates);
+            s
+        })
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine_shards", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut engine =
+                        SketchEngine::new(EngineConfig::new(shards).with_seed(15), || spec.build());
+                    for chunk in updates.chunks(2048) {
+                        engine.ingest(chunk);
+                    }
+                    engine.seal()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_absorb_dispatch,
+    bench_distributed_ingest,
+    bench_engine_ingest
+);
 criterion_main!(benches);

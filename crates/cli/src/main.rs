@@ -4,6 +4,10 @@
 //! ```text
 //! graph-sketch <command> --n <vertices> [options] < updates.txt
 //! graph-sketch --spec '<json>' [options] < updates.txt
+//! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] < updates.txt
+//! graph-sketch merge      <sketch-file>... [--out FILE]
+//! graph-sketch decode     <sketch-file> [--json]
+//! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
 //! commands:
 //!   connectivity          components + spanning forest size
@@ -17,10 +21,22 @@
 //!   kconnected            k-edge-connectivity test               [--k]
 //!   kedge                 k-EDGECONNECT witness subgraph         [--k]
 //!
+//! verbs (the cross-process coordinator topology of S1.1):
+//!   sketch                ingest stdin, write a versioned sketch file
+//!   merge                 fold sketch files from independent processes
+//!   decode                answer the query from a sketch file
+//!   serve-demo            resident engine: ingest stdin, decode periodic
+//!                         quiesce-free snapshots on stderr while streaming
+//!
 //! options:
-//!   --sites <int>   ingest the stream as <int> distributed sites, one
-//!                   thread per site, merged at a coordinator (S1.1);
-//!                   linearity makes the answer identical to --sites 1
+//!   --sites <int>   shard the resident engine <int> ways (worker threads
+//!                   are capped at the machine's parallelism); linearity
+//!                   makes the answer identical to --sites 1
+//!   --chunk <int>   stdin ingest chunk size in updates (memory is
+//!                   O(chunk), not O(stream))
+//!   --stats         report updates/sec and engine counters on stderr
+//!   --every <int>   serve-demo: snapshot-decode period, in updates
+//!   --out <file>    sketch/merge: write the sketch file here (default stdout)
 //!   --json          emit the answer as one JSON object
 //!   --seed <int>    master sketch seed
 //!
@@ -28,37 +44,58 @@
 //! ```
 //!
 //! Every command is parsed into a [`SketchSpec`] and executed through
-//! [`AnySketch`] — the CLI contains no per-algorithm plumbing.
+//! [`AnySketch`] — the CLI contains no per-algorithm plumbing. Streams are
+//! ingested in fixed-size chunks through a sharded
+//! [`gs_stream::engine::SketchEngine`], so resident memory scales with the
+//! sketch and the chunk, never with the stream.
 
 mod parse;
 
-use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
-use gs_sketch::EdgeUpdate;
-use parse::parse_stream;
+use graph_sketches::api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
+use graph_sketches::wire::SketchFile;
+use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_stream::engine::{EngineConfig, EngineStats, SketchEngine};
+use parse::parse_line;
 use serde::{Serialize, Value};
-use std::io::Read;
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Default stdin ingest chunk, in updates.
+const DEFAULT_CHUNK: usize = 8192;
+/// Default serve-demo snapshot period, in updates.
+const DEFAULT_EVERY: u64 = 1000;
 
 struct Options {
     spec: SketchSpec,
     sites: usize,
     json: bool,
+    stats: bool,
+    chunk: usize,
+    every: Option<u64>,
+    out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     let commands: Vec<&str> = SketchTask::ALL.iter().map(|t| t.command()).collect();
     eprintln!(
-        "usage: graph-sketch <{}> --n <vertices> \
+        "usage: graph-sketch <{commands}> --n <vertices> \
          [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] \
-         [--sites <int>] [--json] < stream\n\
-         \x20      graph-sketch --spec '<json>' [--sites <int>] [--json] < stream",
-        commands.join("|")
+         [--sites <int>] [--chunk <int>] [--stats] [--json] < stream\n\
+         \x20      graph-sketch --spec '<json>' [options] < stream\n\
+         \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] < stream\n\
+         \x20      graph-sketch merge <sketch-file>... [--out FILE]\n\
+         \x20      graph-sketch decode <sketch-file> [--json]\n\
+         \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream",
+        commands = commands.join("|")
     );
     ExitCode::from(2)
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1).peekable();
+/// Parses the spec-shaped argument form shared by queries, `sketch`, and
+/// `serve-demo`: an optional leading task command, then flags.
+fn parse_spec_args(args: &[String]) -> Result<Options, String> {
+    let mut args = args.iter().cloned().peekable();
     let command = match args.peek() {
         Some(first) if !first.starts_with("--") => {
             let command = args.next().expect("peeked");
@@ -78,10 +115,21 @@ fn parse_args() -> Result<Options, String> {
     let mut seed: Option<u64> = None;
     let mut sites = 1usize;
     let mut json = false;
+    let mut stats = false;
+    let mut chunk = DEFAULT_CHUNK;
+    let mut every: Option<u64> = None;
+    let mut out: Option<String> = None;
     while let Some(flag) = args.next() {
-        if flag == "--json" {
-            json = true;
-            continue;
+        match flag.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--stats" => {
+                stats = true;
+                continue;
+            }
+            _ => {}
         }
         let mut val = || args.next().ok_or(format!("missing value for {flag}"));
         match flag.as_str() {
@@ -94,6 +142,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--seed" => seed = Some(val()?.parse().map_err(|e| format!("--seed: {e}"))?),
             "--sites" => sites = val()?.parse().map_err(|e| format!("--sites: {e}"))?,
+            "--chunk" => chunk = val()?.parse().map_err(|e| format!("--chunk: {e}"))?,
+            "--every" => every = Some(val()?.parse().map_err(|e| format!("--every: {e}"))?),
+            "--out" => out = Some(val()?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -132,78 +183,153 @@ fn parse_args() -> Result<Options, String> {
     if sites < 1 {
         return Err("--sites must be at least 1".into());
     }
-    Ok(Options { spec, sites, json })
+    if chunk < 1 {
+        return Err("--chunk must be at least 1".into());
+    }
+    if every == Some(0) {
+        return Err("--every must be at least 1".into());
+    }
+    Ok(Options {
+        spec,
+        sites,
+        json,
+        stats,
+        chunk,
+        every,
+        out,
+    })
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return usage();
-        }
-    };
-    let mut input = String::new();
-    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
-        eprintln!("error reading stdin: {e}");
-        return ExitCode::FAILURE;
+/// Per-update admission checks that used to require materializing the
+/// whole stream; running them per line keeps the line number in the error.
+fn check_update(spec: &SketchSpec, up: &EdgeUpdate) -> Result<(), String> {
+    let w = up.weight();
+    match spec.task {
+        // Weight-bounded tasks reject out-of-range weights deep inside the
+        // sketch (a panic); refuse here with context instead.
+        SketchTask::Mst | SketchTask::WeightedSparsify if w > spec.max_weight => Err(format!(
+            "update ({}, {}) carries weight {} > --max-weight {}",
+            up.u, up.v, w, spec.max_weight
+        )),
+        // The Fig. 4 squash encoding needs unit multiplicities (a weight-w
+        // line would set the wrong bitmask bit); reject, don't corrupt.
+        SketchTask::Subgraphs if w != 1 => Err(format!(
+            "update ({}, {}) carries weight {w}; the {} sketch requires a \
+             simple graph (unit weights only)",
+            up.u,
+            up.v,
+            spec.task.command()
+        )),
+        _ => Ok(()),
     }
-    let updates: Vec<EdgeUpdate> = match parse_stream(&input, opts.spec.n) {
-        // Value-carrying convention: a weighted line `+ u v w` carries
-        // delta = +-w, read as multiplicity by unit sketches and as the
-        // edge weight by mst / weighted-sparsify.
-        Ok(parsed) => parsed
-            .iter()
-            .map(|up| EdgeUpdate {
-                u: up.u,
-                v: up.v,
-                delta: up.delta * up.w as i64,
-            })
-            .collect(),
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Weight-bounded tasks reject out-of-range weights deep inside the
-    // sketch (a panic); catch them here with a line-level error instead.
-    if matches!(
-        opts.spec.task,
-        SketchTask::Mst | SketchTask::WeightedSparsify
-    ) {
-        if let Some(up) = updates.iter().find(|up| up.weight() > opts.spec.max_weight) {
-            eprintln!(
-                "error: update ({}, {}) carries weight {} > --max-weight {}",
-                up.u,
-                up.v,
-                up.weight(),
-                opts.spec.max_weight
-            );
-            return ExitCode::FAILURE;
-        }
+}
+
+struct IngestReport {
+    updates: u64,
+    elapsed_secs: f64,
+    stats: EngineStats,
+}
+
+impl IngestReport {
+    fn print(&self) {
+        let rate = if self.elapsed_secs > 0.0 {
+            self.updates as f64 / self.elapsed_secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "stats: {} updates in {:.3}s ({:.0} updates/s) via {} shard(s) on {} worker \
+             thread(s); {} batches enqueued; {} sketch bytes resident",
+            self.updates,
+            self.elapsed_secs,
+            rate,
+            self.stats.shards,
+            self.stats.workers,
+            self.stats.batches_enqueued,
+            self.stats.bytes_resident,
+        );
     }
-    // The Fig. 4 squash encoding needs unit multiplicities (a weight-w
-    // line would set the wrong bitmask bit); reject instead of corrupting.
-    if opts.spec.task == SketchTask::Subgraphs {
-        if let Some(up) = updates.iter().find(|up| up.weight() != 1) {
-            eprintln!(
-                "error: update ({}, {}) carries weight {}; the {} sketch requires a \
-                 simple graph (unit weights only)",
-                up.u,
-                up.v,
-                up.weight(),
-                opts.spec.task.command()
-            );
-            return ExitCode::FAILURE;
-        }
-    }
-    eprintln!(
-        "ingesting {} updates over {} vertices at {} site(s)…",
-        updates.len(),
-        opts.spec.n,
-        opts.sites
+}
+
+/// Streams stdin through a sharded engine in `--chunk`-sized batches —
+/// resident memory is O(chunk + sketch), never O(stream). With
+/// `snapshots`, decodes a quiesce-free snapshot every `--every` updates
+/// (the serve-demo path).
+fn ingest_stdin(opts: &Options, snapshots: bool) -> Result<(AnySketch, IngestReport), String> {
+    let spec = opts.spec;
+    let mut engine = SketchEngine::new(
+        EngineConfig::new(opts.sites).with_seed(spec.seed ^ 0x517E5),
+        || spec.build(),
     );
-    let answer = opts.spec.run(&updates, opts.sites);
+    let start = Instant::now();
+    let stdin = std::io::stdin();
+    let mut chunk: Vec<EdgeUpdate> = Vec::with_capacity(opts.chunk);
+    let mut total: u64 = 0;
+    let every = opts.every.unwrap_or(DEFAULT_EVERY);
+    let mut next_snapshot = if snapshots { every } else { u64::MAX };
+    for (i, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let Some(parsed) = parse_line(&line, i + 1, spec.n).map_err(|e| e.to_string())? else {
+            continue;
+        };
+        let up = EdgeUpdate {
+            u: parsed.u,
+            v: parsed.v,
+            // Value-carrying convention: a weighted line `+ u v w` carries
+            // delta = +-w, read as multiplicity by unit sketches and as
+            // the edge weight by mst / weighted-sparsify.
+            delta: parsed.delta * parsed.w as i64,
+        };
+        check_update(&spec, &up).map_err(|msg| format!("line {}: {msg}", i + 1))?;
+        chunk.push(up);
+        total += 1;
+        if chunk.len() >= opts.chunk {
+            engine.ingest(&chunk);
+            chunk.clear();
+        }
+        if total >= next_snapshot {
+            if !chunk.is_empty() {
+                engine.ingest(&chunk);
+                chunk.clear();
+            }
+            // Merge-on-read: ingestion is not quiesced for the query.
+            let answer = engine.snapshot().decode();
+            let headline = answer.render_lines().into_iter().next().unwrap_or_default();
+            eprintln!("[snapshot @ {total} updates] {headline}");
+            next_snapshot = total + every;
+        }
+    }
+    if !chunk.is_empty() {
+        engine.ingest(&chunk);
+    }
+    engine.flush();
+    let stats = engine.stats();
+    let sketch = engine.seal();
+    Ok((
+        sketch,
+        IngestReport {
+            updates: total,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+            stats,
+        },
+    ))
+}
+
+/// Writes `text` (plus a newline) to `--out` or stdout.
+fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, format!("{text}\n")).map_err(|e| format!("{path}: {e}")),
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Renders a decoded answer exactly like the original one-shot CLI:
+/// human lines on stdout (stderr + exit 1 for an unresolved min cut), or
+/// one JSON object with `--json`.
+fn render_answer(answer: &SketchAnswer, json_body: Option<Value>) -> ExitCode {
     let unresolved = matches!(
         answer,
         SketchAnswer::MinCut {
@@ -211,13 +337,7 @@ fn main() -> ExitCode {
             ..
         }
     );
-    if opts.json {
-        let body = Value::Map(vec![
-            ("spec".into(), opts.spec.to_value()),
-            ("sites".into(), Value::UInt(opts.sites as u64)),
-            ("updates".into(), Value::UInt(updates.len() as u64)),
-            ("answer".into(), answer.to_value()),
-        ]);
+    if let Some(body) = json_body {
         println!("{}", body.to_json());
     } else if unresolved {
         // Diagnostics go to stderr; stdout stays empty on failure so
@@ -234,4 +354,215 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `graph-sketch <command> … < stream` — ingest and answer in one process.
+fn cmd_query(args: &[String], snapshots: bool) -> ExitCode {
+    let opts = match parse_spec_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    // Refuse flags that would be silently ignored here.
+    if opts.out.is_some() {
+        eprintln!("error: --out only applies to the sketch and merge verbs");
+        return usage();
+    }
+    if opts.every.is_some() && !snapshots {
+        eprintln!("error: --every only applies to serve-demo");
+        return usage();
+    }
+    let (sketch, report) = match ingest_stdin(&opts, snapshots) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ingested {} updates over {} vertices across {} shard(s)",
+        report.updates, opts.spec.n, opts.sites
+    );
+    if opts.stats {
+        report.print();
+    }
+    let answer = sketch.decode();
+    let json_body = opts.json.then(|| {
+        Value::Map(vec![
+            ("spec".into(), opts.spec.to_value()),
+            ("sites".into(), Value::UInt(opts.sites as u64)),
+            ("updates".into(), Value::UInt(report.updates)),
+            ("answer".into(), answer.to_value()),
+        ])
+    });
+    render_answer(&answer, json_body)
+}
+
+/// `graph-sketch sketch … < stream` — ingest stdin, emit a sketch file.
+fn cmd_sketch(args: &[String]) -> ExitCode {
+    let opts = match parse_spec_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    // Refuse flags that would be silently ignored here.
+    if opts.json {
+        eprintln!("error: --json does not apply to sketch (the sketch file is already JSON)");
+        return usage();
+    }
+    if opts.every.is_some() {
+        eprintln!("error: --every only applies to serve-demo");
+        return usage();
+    }
+    let (sketch, report) = match ingest_stdin(&opts, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.stats {
+        report.print();
+    }
+    let file = match SketchFile::new(opts.spec, sketch) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = emit(&opts.out, &file.to_json()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "sketched {} updates into a {} sketch ({} bytes resident)",
+        report.updates,
+        opts.spec.task.command(),
+        report.stats.bytes_resident
+    );
+    ExitCode::SUCCESS
+}
+
+/// `graph-sketch merge <file>… [--out FILE]` — fold independently-built
+/// sketch files, refusing incompatible specs with a per-file error.
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("error: missing value for --out");
+                    return usage();
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: merge needs at least one sketch file");
+        return usage();
+    }
+    let mut acc: Option<SketchFile> = None;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let file = match SketchFile::from_json(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match &mut acc {
+            None => acc = Some(file),
+            Some(merged) => {
+                if let Err(e) = merged.try_merge(&file) {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let merged = acc.expect("at least one file");
+    eprintln!("merged {} sketch file(s)", files.len());
+    if let Err(e) = emit(&out, &merged.to_json()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `graph-sketch decode <file> [--json]` — answer the query from a sketch
+/// file, exactly as if the stream had been ingested here.
+fn cmd_decode(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return usage();
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => {
+                eprintln!("error: decode takes one sketch file, got extra {extra:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: decode needs a sketch file");
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match SketchFile::from_json(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let answer = file.decode();
+    let json_body = json.then(|| {
+        Value::Map(vec![
+            ("spec".into(), file.spec.to_value()),
+            ("answer".into(), answer.to_value()),
+        ])
+    });
+    render_answer(&answer, json_body)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sketch") => cmd_sketch(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("serve-demo") => cmd_query(&args[1..], true),
+        _ => cmd_query(&args, false),
+    }
 }

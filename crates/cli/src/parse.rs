@@ -94,20 +94,21 @@ pub fn parse_line(line: &str, lineno: usize, n: usize) -> Result<Option<ParsedUp
     Ok(Some(ParsedUpdate { u, v, w, delta }))
 }
 
-/// Parses a whole stream (e.g. stdin contents).
-pub fn parse_stream(input: &str, n: usize) -> Result<Vec<ParsedUpdate>, ParseError> {
-    let mut out = Vec::new();
-    for (i, line) in input.lines().enumerate() {
-        if let Some(up) = parse_line(line, i + 1, n)? {
-            out.push(up);
-        }
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Whole-buffer convenience for the tests; the CLI itself parses
+    /// stdin line by line so memory stays O(chunk).
+    fn parse_stream(input: &str, n: usize) -> Result<Vec<ParsedUpdate>, ParseError> {
+        let mut out = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            if let Some(up) = parse_line(line, i + 1, n)? {
+                out.push(up);
+            }
+        }
+        Ok(out)
+    }
 
     #[test]
     fn parses_inserts_and_deletes() {

@@ -1,0 +1,309 @@
+//! End-to-end tests of the `graph-sketch` binary: the cross-process
+//! coordinator topology of §1.1 run as actual OS processes — `sketch` at
+//! each site, `merge` at the coordinator, `decode` for the answer — must
+//! give byte-identical output to a single process seeing the whole stream.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_graph-sketch")
+}
+
+/// Runs the binary with `args`, feeding `stdin`; returns
+/// `(stdout, stderr, exit code)`.
+fn run(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn graph-sketch");
+    // A child that rejects its flags can exit before reading stdin; the
+    // resulting broken pipe is fine, the test only cares about the output.
+    match child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
+    let out = child.wait_with_output().expect("wait for graph-sketch");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// A scratch directory cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gs-cli-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small dynamic stream with churn: a cycle plus chords, every third
+/// chord deleted again.
+fn demo_stream(n: usize) -> String {
+    let mut lines = String::new();
+    for v in 0..n {
+        lines.push_str(&format!("+ {v} {}\n", (v + 1) % n));
+    }
+    for v in 0..n / 2 {
+        lines.push_str(&format!("+ {v} {}\n", (v + n / 2) % n));
+        if v % 3 == 0 {
+            lines.push_str(&format!("- {v} {}\n", (v + n / 2) % n));
+        }
+    }
+    lines
+}
+
+/// Splits a stream's lines round-robin across `ways` site files.
+fn split_lines(stream: &str, ways: usize) -> Vec<String> {
+    let mut parts = vec![String::new(); ways];
+    for (i, line) in stream.lines().enumerate() {
+        parts[i % ways].push_str(line);
+        parts[i % ways].push('\n');
+    }
+    parts
+}
+
+#[test]
+fn two_process_pipeline_matches_single_process() {
+    let n = 12;
+    let stream = demo_stream(n);
+    let n_flag = n.to_string();
+    for task_args in [
+        vec!["connectivity", "--n", &n_flag],
+        vec!["mincut", "--n", &n_flag, "--eps", "0.75"],
+        vec!["mst", "--n", &n_flag],
+    ] {
+        let dir = Scratch::new(task_args[0]);
+        let (a_file, b_file) = (dir.path("a.sketch"), dir.path("b.sketch"));
+        let merged_file = dir.path("merged.sketch");
+        let parts = split_lines(&stream, 2);
+        for (part, file) in parts.iter().zip([&a_file, &b_file]) {
+            let mut args = vec!["sketch"];
+            args.extend(&task_args);
+            args.extend(["--seed", "77", "--out", file]);
+            let (_, err, code) = run(&args, part);
+            assert_eq!(code, 0, "sketch failed: {err}");
+        }
+        let (_, err, code) = run(&["merge", &a_file, &b_file, "--out", &merged_file], "");
+        assert_eq!(code, 0, "merge failed: {err}");
+        let (decoded, _, code) = run(&["decode", &merged_file], "");
+        assert_eq!(code, 0);
+        let mut central_args = task_args.clone();
+        central_args.extend(["--seed", "77"]);
+        let (central, _, code) = run(&central_args, &stream);
+        assert_eq!(code, 0);
+        assert_eq!(
+            decoded, central,
+            "{}: cross-process answer differs from single-process",
+            task_args[0]
+        );
+    }
+}
+
+#[test]
+fn merged_sketch_file_is_byte_identical_to_central_sketch_file() {
+    // Stronger than equal answers: the merged *sketch state* written by
+    // the coordinator equals the single process's sketch file byte for
+    // byte (linearity at the wire level).
+    let n = 10;
+    let stream = demo_stream(n);
+    let dir = Scratch::new("bytes");
+    let parts = split_lines(&stream, 3);
+    let mut files = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        let f = dir.path(&format!("site{i}.sketch"));
+        let (_, err, code) = run(
+            &[
+                "sketch",
+                "connectivity",
+                "--n",
+                "10",
+                "--seed",
+                "5",
+                "--out",
+                &f,
+            ],
+            part,
+        );
+        assert_eq!(code, 0, "sketch failed: {err}");
+        files.push(f);
+    }
+    let merged_file = dir.path("merged.sketch");
+    let mut args: Vec<&str> = vec!["merge"];
+    args.extend(files.iter().map(String::as_str));
+    args.extend(["--out", &merged_file]);
+    let (_, err, code) = run(&args, "");
+    assert_eq!(code, 0, "merge failed: {err}");
+    let central_file = dir.path("central.sketch");
+    let (_, _, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "10",
+            "--seed",
+            "5",
+            "--out",
+            &central_file,
+        ],
+        &stream,
+    );
+    assert_eq!(code, 0);
+    assert_eq!(
+        std::fs::read_to_string(&merged_file).unwrap(),
+        std::fs::read_to_string(&central_file).unwrap()
+    );
+}
+
+#[test]
+fn chunked_and_sharded_ingest_answer_like_the_default() {
+    let stream = demo_stream(14);
+    let (want, _, code) = run(&["connectivity", "--n", "14", "--seed", "3"], &stream);
+    assert_eq!(code, 0);
+    for extra in [
+        vec!["--chunk", "3"],
+        vec!["--sites", "4"],
+        vec!["--sites", "4", "--chunk", "2"],
+    ] {
+        let mut args = vec!["connectivity", "--n", "14", "--seed", "3"];
+        args.extend(&extra);
+        let (got, _, code) = run(&args, &stream);
+        assert_eq!(code, 0);
+        assert_eq!(got, want, "{extra:?} changed the answer");
+    }
+}
+
+#[test]
+fn merge_refuses_incompatible_sketch_files() {
+    let stream = demo_stream(8);
+    let dir = Scratch::new("refuse");
+    let (a, b) = (dir.path("a.sketch"), dir.path("b.sketch"));
+    run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "8",
+            "--seed",
+            "1",
+            "--out",
+            &a,
+        ],
+        &stream,
+    );
+    run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "8",
+            "--seed",
+            "2",
+            "--out",
+            &b,
+        ],
+        &stream,
+    );
+    let (_, err, code) = run(&["merge", &a, &b], "");
+    assert_ne!(code, 0, "merging different seeds must fail");
+    assert!(err.contains("specs differ"), "unhelpful error: {err}");
+}
+
+#[test]
+fn decode_refuses_future_wire_format() {
+    let stream = demo_stream(8);
+    let dir = Scratch::new("format");
+    let a = dir.path("a.sketch");
+    run(
+        &["sketch", "connectivity", "--n", "8", "--out", &a],
+        &stream,
+    );
+    let bumped = std::fs::read_to_string(&a)
+        .unwrap()
+        .replacen("\"format\":1", "\"format\":2", 1);
+    std::fs::write(&a, bumped).unwrap();
+    let (_, err, code) = run(&["decode", &a], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("wire format 2"), "unhelpful error: {err}");
+}
+
+#[test]
+fn serve_demo_snapshots_while_streaming() {
+    let stream = demo_stream(12);
+    let (out, err, code) = run(
+        &["serve-demo", "connectivity", "--n", "12", "--every", "5"],
+        &stream,
+    );
+    assert_eq!(code, 0, "serve-demo failed: {err}");
+    assert!(
+        err.contains("[snapshot @ 5 updates]"),
+        "no snapshot decode on stderr: {err}"
+    );
+    // The final answer still arrives on stdout, like a plain query.
+    assert!(out.contains("components:"), "no final answer: {out}");
+}
+
+#[test]
+fn stats_flag_reports_throughput() {
+    let stream = demo_stream(10);
+    let (_, err, code) = run(
+        &["connectivity", "--n", "10", "--stats", "--sites", "2"],
+        &stream,
+    );
+    assert_eq!(code, 0);
+    assert!(err.contains("updates/s"), "no throughput report: {err}");
+    assert!(err.contains("2 shard(s)"), "no shard report: {err}");
+}
+
+#[test]
+fn line_errors_keep_their_line_numbers() {
+    let (_, err, code) = run(&["connectivity", "--n", "4"], "+ 0 1\n+ 9 1\n");
+    assert_ne!(code, 0);
+    assert!(err.contains("line 2"), "lost the line number: {err}");
+}
+
+#[test]
+fn out_of_place_flags_are_refused_not_ignored() {
+    // `--out` on a plain query used to exit 0 without creating the file.
+    let (_, err, code) = run(
+        &["connectivity", "--n", "4", "--out", "nowhere.json"],
+        "+ 0 1\n",
+    );
+    assert_ne!(code, 0);
+    assert!(err.contains("--out"), "unhelpful error: {err}");
+    let (_, err, code) = run(&["connectivity", "--n", "4", "--every", "5"], "+ 0 1\n");
+    assert_ne!(code, 0);
+    assert!(err.contains("--every"), "unhelpful error: {err}");
+    let (_, err, code) = run(&["sketch", "connectivity", "--n", "4", "--json"], "+ 0 1\n");
+    assert_ne!(code, 0);
+    assert!(err.contains("--json"), "unhelpful error: {err}");
+}

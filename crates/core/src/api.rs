@@ -251,7 +251,70 @@ pub enum AnySketch {
     KEdgeWitness(KEdgeConnectSketch),
 }
 
+/// Why two [`AnySketch`]es refused to merge. Returned by
+/// [`AnySketch::try_merge`] — the fallible coordinator-path counterpart of
+/// the panicking [`Mergeable::merge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The sketches answer different tasks.
+    TaskMismatch {
+        /// Task of the sketch merged into.
+        left: SketchTask,
+        /// Task of the sketch merged from.
+        right: SketchTask,
+    },
+    /// The sketches cover different vertex counts.
+    SizeMismatch {
+        /// `n` of the sketch merged into.
+        left: usize,
+        /// `n` of the sketch merged from.
+        right: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::TaskMismatch { left, right } => {
+                write!(f, "cannot merge a {right:?} sketch into a {left:?} sketch")
+            }
+            MergeError::SizeMismatch { left, right } => write!(
+                f,
+                "cannot merge a sketch over {right} vertices into one over {left}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 impl AnySketch {
+    /// Fallible merge for coordinator paths (the CLI `merge` verb, wire
+    /// imports): same-task, same-`n` sketches merge; mismatches return a
+    /// [`MergeError`] instead of aborting the process.
+    ///
+    /// Seed/parameter compatibility *within* a task is not re-derivable
+    /// from the sketch state alone; coordinator paths that accept foreign
+    /// sketches should compare full [`SketchSpec`]s first
+    /// ([`crate::wire::SketchFile::try_merge`] does), after which this
+    /// merge cannot panic.
+    pub fn try_merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.task() != other.task() {
+            return Err(MergeError::TaskMismatch {
+                left: self.task(),
+                right: other.task(),
+            });
+        }
+        if LinearSketch::n(self) != LinearSketch::n(other) {
+            return Err(MergeError::SizeMismatch {
+                left: LinearSketch::n(self),
+                right: LinearSketch::n(other),
+            });
+        }
+        self.merge(other);
+        Ok(())
+    }
+
     /// The task this sketch answers.
     pub fn task(&self) -> SketchTask {
         match self {

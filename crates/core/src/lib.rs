@@ -72,8 +72,9 @@ pub mod spanner;
 pub mod sparsify;
 pub mod subgraphs;
 pub mod weighted;
+pub mod wire;
 
-pub use api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
+pub use api::{AnySketch, MergeError, SketchAnswer, SketchSpec, SketchTask};
 pub use connectivity::ForestSketch;
 pub use kedge::KEdgeConnectSketch;
 pub use mincut::MinCutSketch;
@@ -81,3 +82,4 @@ pub use simple_sparsify::SimpleSparsifySketch;
 pub use sparsify::SparsifySketch;
 pub use subgraphs::SubgraphSketch;
 pub use weighted::WeightedSparsifySketch;
+pub use wire::{SketchFile, WireError};

@@ -1,0 +1,298 @@
+//! Cross-process sketch shipping: the versioned sketch-file format.
+//!
+//! §1.1's coordinator topology only becomes real once sketches cross a
+//! process boundary. A **sketch file** is one JSON object:
+//!
+//! ```json
+//! {"format": 1, "spec": { …SketchSpec… }, "state": { …AnySketch… }}
+//! ```
+//!
+//! * `format` — the wire version ([`WIRE_FORMAT`]); loads of any other
+//!   version are rejected, so a future incompatible layout fails loudly
+//!   instead of mis-merging.
+//! * `spec` — the full [`SketchSpec`] the sketch was built from:
+//!   everything two sites must agree on for their measurements to be
+//!   compatible. Shipping it alongside the state is what lets the
+//!   coordinator *check* compatibility instead of trusting the sender.
+//! * `state` — the [`AnySketch`] measurement itself.
+//!
+//! [`SketchFile::try_merge`] refuses (with a [`WireError`]) to fold files
+//! whose specs differ in any field — task, `n`, ε, `k`, max weight, or
+//! seed — and loading validates the state against its *declared* spec
+//! (including a contained probe merge against a spec-built empty sketch),
+//! so a corrupted or tampered file fails at [`SketchFile::from_json`]
+//! rather than aborting a coordinator mid-merge. The CLI's
+//! `sketch` / `merge` / `decode` verbs are thin shells over this module;
+//! `tests/integration_wire.rs` asserts the round trip is bit-exact for
+//! every task.
+
+use crate::api::{AnySketch, MergeError, SketchAnswer, SketchSpec};
+use gs_sketch::{LinearSketch, Mergeable};
+use serde::{Deserialize, Serialize, Value};
+
+/// The current sketch-file wire version.
+pub const WIRE_FORMAT: u64 = 1;
+
+/// A sketch and the spec it was built from, as shipped between processes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SketchFile {
+    /// The recipe both ends must agree on.
+    pub spec: SketchSpec,
+    /// The sketch state (the linear measurement).
+    pub state: AnySketch,
+}
+
+/// Why a sketch file failed to load or merge.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The text is not valid JSON (or not the expected shape).
+    Json(String),
+    /// A required top-level field is missing or mistyped.
+    Missing(&'static str),
+    /// The file declares an unsupported wire version.
+    Format {
+        /// The version the file declared.
+        found: u64,
+    },
+    /// The embedded state does not match the embedded spec (task or `n`).
+    StateMismatch,
+    /// Two files with different specs refused to merge.
+    SpecMismatch {
+        /// Spec of the file merged into.
+        left: Box<SketchSpec>,
+        /// Spec of the file merged from.
+        right: Box<SketchSpec>,
+    },
+    /// The states themselves refused to merge.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "malformed sketch file: {e}"),
+            WireError::Missing(field) => write!(f, "sketch file is missing {field:?}"),
+            WireError::Format { found } => write!(
+                f,
+                "sketch file declares wire format {found}, this build reads format {WIRE_FORMAT}"
+            ),
+            WireError::StateMismatch => {
+                write!(f, "sketch state does not match the file's spec")
+            }
+            WireError::SpecMismatch { left, right } => write!(
+                f,
+                "sketch specs differ (left {left:?}, right {right:?}); only sketches built \
+                 from identical specs measure the same projection"
+            ),
+            WireError::Merge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<MergeError> for WireError {
+    fn from(e: MergeError) -> Self {
+        WireError::Merge(e)
+    }
+}
+
+/// `true` iff `state` merges cleanly into a freshly spec-built empty
+/// sketch. The per-sketch merge assertions (seeds, parameters, cell
+/// counts) are the source of truth for compatibility, so a file whose
+/// declared spec was tampered with — e.g. its seed edited to match a merge
+/// partner — is caught at load time instead of aborting a coordinator
+/// later. The probe is contained with `catch_unwind` (the sketches expose
+/// no fallible compatibility API, so the asserting merge is the only
+/// generic oracle) and requires the default unwinding panic runtime —
+/// under `panic = "abort"` a corrupted state aborts the load instead of
+/// returning an error.
+fn probe_merges(spec: &SketchSpec, state: &AnySketch) -> bool {
+    use std::panic;
+    use std::sync::Mutex;
+    // Rejecting a bad file is this probe's *expected* failure mode, so the
+    // global panic hook is silenced for its duration — a rejection yields
+    // one clean `WireError`, not a panic report. The gate serializes
+    // concurrent loads; an unrelated panic elsewhere in the process during
+    // this window loses only its hook output, not its unwind.
+    static HOOK_GATE: Mutex<()> = Mutex::new(());
+    let _gate = HOOK_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let ok = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+        let mut probe = spec.build();
+        probe.merge(state);
+    }))
+    .is_ok();
+    panic::set_hook(prev);
+    ok
+}
+
+impl SketchFile {
+    /// Packages a sketch with its spec, checking that the state really is
+    /// what the spec describes (same task, same `n`). Deep seed/parameter
+    /// consistency is probed at the untrusted boundary,
+    /// [`SketchFile::from_json`], not here — `new` is the trusted path for
+    /// states the caller just built from `spec`.
+    pub fn new(spec: SketchSpec, state: AnySketch) -> Result<Self, WireError> {
+        if state.task() != spec.task || LinearSketch::n(&state) != spec.n {
+            return Err(WireError::StateMismatch);
+        }
+        Ok(SketchFile { spec, state })
+    }
+
+    /// Serializes the file as one JSON object (`format` / `spec` /
+    /// `state`).
+    pub fn to_json(&self) -> String {
+        Value::Map(vec![
+            ("format".into(), Value::UInt(WIRE_FORMAT)),
+            ("spec".into(), self.spec.to_value()),
+            ("state".into(), self.state.to_value()),
+        ])
+        .to_json()
+    }
+
+    /// Parses and validates a sketch file: JSON shape, wire version, spec,
+    /// state, and spec↔state consistency.
+    pub fn from_json(text: &str) -> Result<Self, WireError> {
+        let v = Value::from_json(text).map_err(|e| WireError::Json(e.to_string()))?;
+        let format = v
+            .get("format")
+            .and_then(Value::as_u64)
+            .ok_or(WireError::Missing("format"))?;
+        if format != WIRE_FORMAT {
+            return Err(WireError::Format { found: format });
+        }
+        let spec = SketchSpec::from_value(v.get("spec").ok_or(WireError::Missing("spec"))?)
+            .map_err(|e| WireError::Json(e.to_string()))?;
+        let state = AnySketch::from_value(v.get("state").ok_or(WireError::Missing("state"))?)
+            .map_err(|e| WireError::Json(e.to_string()))?;
+        let file = SketchFile::new(spec, state)?;
+        // Untrusted input: verify the state really measures the projection
+        // the file *declares* before any coordinator merges it.
+        if !probe_merges(&file.spec, &file.state) {
+            return Err(WireError::StateMismatch);
+        }
+        Ok(file)
+    }
+
+    /// Folds another site's sketch file into this one. Refuses unless the
+    /// specs are identical in every field — the precondition under which
+    /// the state merge is infallible and exact.
+    pub fn try_merge(&mut self, other: &SketchFile) -> Result<(), WireError> {
+        if self.spec != other.spec {
+            return Err(WireError::SpecMismatch {
+                left: Box::new(self.spec),
+                right: Box::new(other.spec),
+            });
+        }
+        self.state.try_merge(&other.state)?;
+        Ok(())
+    }
+
+    /// Decodes the carried sketch.
+    pub fn decode(&self) -> SketchAnswer {
+        self.state.decode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SketchTask;
+    use gs_sketch::EdgeUpdate;
+
+    fn fed(spec: &SketchSpec, ups: &[EdgeUpdate]) -> AnySketch {
+        let mut s = spec.build();
+        s.absorb(ups);
+        s
+    }
+
+    #[test]
+    fn file_round_trips_bit_for_bit() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(3);
+        let state = fed(&spec, &[EdgeUpdate::insert(0, 1), EdgeUpdate::insert(2, 3)]);
+        let file = SketchFile::new(spec, state).unwrap();
+        let back = SketchFile::from_json(&file.to_json()).unwrap();
+        assert_eq!(back, file);
+    }
+
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let spec = SketchSpec::new(SketchTask::Bipartite, 4);
+        let file = SketchFile::new(spec, spec.build()).unwrap();
+        let bumped = file.to_json().replacen("\"format\":1", "\"format\":2", 1);
+        assert_eq!(
+            SketchFile::from_json(&bumped),
+            Err(WireError::Format { found: 2 })
+        );
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        assert_eq!(
+            SketchFile::from_json("{}"),
+            Err(WireError::Missing("format"))
+        );
+        assert_eq!(
+            SketchFile::from_json("{\"format\":1}"),
+            Err(WireError::Missing("spec"))
+        );
+        assert!(SketchFile::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn tampered_spec_seed_is_caught_at_load() {
+        // Editing a file's declared seed to match a merge partner must not
+        // smuggle an incompatible state past the spec check into the
+        // panicking inner merge: load validates state against spec.
+        let spec = SketchSpec::new(SketchTask::Connectivity, 6).with_seed(8);
+        let file = SketchFile::new(spec, spec.build()).unwrap();
+        let tampered = file.to_json().replacen("\"seed\":8", "\"seed\":7", 1);
+        assert!(tampered.contains("\"seed\":7"), "spec seed was rewritten");
+        assert_eq!(
+            SketchFile::from_json(&tampered),
+            Err(WireError::StateMismatch)
+        );
+    }
+
+    #[test]
+    fn state_spec_disagreement_is_rejected() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8);
+        let other = SketchSpec::new(SketchTask::Bipartite, 8);
+        assert_eq!(
+            SketchFile::new(spec, other.build()),
+            Err(WireError::StateMismatch)
+        );
+        // Same task, different n: also not what the spec describes.
+        let small = SketchSpec::new(SketchTask::Connectivity, 4);
+        assert_eq!(
+            SketchFile::new(spec, small.build()),
+            Err(WireError::StateMismatch)
+        );
+    }
+
+    #[test]
+    fn mismatched_specs_refuse_to_merge() {
+        let a_spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(1);
+        let b_spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(2);
+        let mut a = SketchFile::new(a_spec, a_spec.build()).unwrap();
+        let b = SketchFile::new(b_spec, b_spec.build()).unwrap();
+        assert!(matches!(
+            a.try_merge(&b),
+            Err(WireError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merging_equal_specs_is_the_linear_merge() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(5);
+        let first = vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 2)];
+        let second = vec![EdgeUpdate::insert(2, 3), EdgeUpdate::delete(0, 1)];
+        let mut a = SketchFile::new(spec, fed(&spec, &first)).unwrap();
+        let b = SketchFile::new(spec, fed(&spec, &second)).unwrap();
+        a.try_merge(&b).unwrap();
+        let whole: Vec<EdgeUpdate> = first.into_iter().chain(second).collect();
+        assert_eq!(a.state, fed(&spec, &whole));
+    }
+}

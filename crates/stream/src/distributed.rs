@@ -7,14 +7,20 @@
 //! > MapReduce job or between different data centers."*
 //!
 //! [`sketch_distributed`] drives any [`LinearSketch`] directly: the update
-//! batch is hash-partitioned across `sites`, one OS thread per *non-empty*
-//! site (`std::thread::scope` standing in for machines) absorbs its share
-//! into a private sketch, and the coordinator folds the site sketches with
-//! [`Mergeable::merge`] in site order. Because every sketch in this
-//! workspace is a linear projection, the folded sketch is **bit-for-bit
-//! identical** to a single-site sketch of the whole stream —
-//! [`linearity_holds`] asserts exactly that, and experiment E12 measures it.
+//! batch is hash-partitioned across `sites` and absorbed into one private
+//! sketch per site, after which the coordinator folds the site sketches
+//! with [`gs_sketch::Mergeable::merge`] **in site order**. Since PR 2 it is
+//! a thin wrapper over the resident [`crate::engine::SketchEngine`]: sites
+//! become engine *shards* routed by the shared [`crate::stream::site_of`]
+//! sequence, and real parallelism is capped at
+//! [`crate::engine::default_workers`] worker threads — 1024 sites no
+//! longer cost 1024 OS threads. Because every sketch in this workspace is
+//! a linear projection, the folded sketch is **bit-for-bit identical** to
+//! a single-site sketch of the whole stream — [`linearity_holds`] asserts
+//! exactly that (for the batch path *and* the engine path, snapshots
+//! included), and experiment E12 measures it.
 
+use crate::engine::{EngineConfig, Router, SketchEngine};
 use crate::stream::GraphStream;
 use gs_sketch::{EdgeUpdate, LinearSketch};
 
@@ -37,8 +43,9 @@ pub fn split_updates(updates: &[EdgeUpdate], sites: usize, seed: u64) -> Vec<Vec
 /// Builds a sketch of `updates` as if they were observed at `sites`
 /// distinct locations. `make()` constructs an empty sketch (all sites must
 /// use the same seed/parameters — that is what makes the measurements
-/// compatible). Each non-empty site runs on its own thread; site sketches
-/// are merged in site order at the end.
+/// compatible). Sites are engine shards: site shares are absorbed by at
+/// most [`crate::engine::default_workers`] worker threads, and the site
+/// sketches are merged in site order at the end.
 ///
 /// Degenerate cases are explicit: with more sites than updates the surplus
 /// sites contribute nothing (an empty-constructed sketch is the zero of the
@@ -46,34 +53,17 @@ pub fn split_updates(updates: &[EdgeUpdate], sites: usize, seed: u64) -> Vec<Vec
 /// empty-constructed sketch itself.
 pub fn sketch_distributed<S, F>(updates: &[EdgeUpdate], sites: usize, split_seed: u64, make: F) -> S
 where
-    S: LinearSketch + Send,
+    S: LinearSketch + Send + 'static,
     F: Fn() -> S + Sync,
 {
     assert!(sites >= 1);
-    let parts = split_updates(updates, sites, split_seed);
-    let mut site_sketches: Vec<Option<S>> = (0..sites).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, part) in site_sketches.iter_mut().zip(&parts) {
-            if part.is_empty() {
-                continue; // an idle site has nothing to measure
-            }
-            let make = &make;
-            scope.spawn(move || {
-                let mut sk = make();
-                sk.absorb(part);
-                *slot = Some(sk);
-            });
-        }
-    });
-
-    let mut acc: Option<S> = None;
-    for sk in site_sketches.into_iter().flatten() {
-        match &mut acc {
-            None => acc = Some(sk),
-            Some(a) => a.merge(&sk),
-        }
-    }
-    acc.unwrap_or_else(make)
+    // Route by the shared §1.1 site sequence so the shard contents are
+    // exactly the `split_updates` partition of this (sites, seed) pair.
+    let mut site = crate::stream::site_of(sites, split_seed);
+    let router: Router = Box::new(move |_| site());
+    let mut engine = SketchEngine::with_router(EngineConfig::new(sites), router, &make);
+    engine.ingest(updates);
+    engine.seal()
 }
 
 /// Single-site reference: sketches the whole update batch sequentially.
@@ -84,22 +74,49 @@ pub fn sketch_central<S: LinearSketch>(updates: &[EdgeUpdate], make: impl FnOnce
 }
 
 /// The linearity law every [`LinearSketch`] must satisfy, as a reusable
-/// property-test harness: for each site count, hash-splitting the stream,
-/// sketching the parts independently (on threads), and merging must equal
-/// the central sketch of the whole stream **bit for bit** (structural
-/// equality of the sketch state, not merely of the decoded answer).
+/// property-test harness. For each site count it checks the law **bit for
+/// bit** (structural equality of the sketch state, not merely of the
+/// decoded answer) along both ingest paths:
+///
+/// 1. **Batch**: hash-splitting the stream, sketching the parts
+///    independently, and merging equals the central sketch
+///    ([`sketch_distributed`]).
+/// 2. **Engine**: streaming the updates through a sharded
+///    [`SketchEngine`] in chunks — with a flushed mid-stream
+///    [`SketchEngine::snapshot`] that must equal the central sketch of the
+///    prefix — and sealing equals the central sketch of the whole stream.
 ///
 /// # Panics
-/// Panics (via `assert_eq!`) if any site count violates the law.
+/// Panics (via `assert_eq!`) if any site count violates the law on either
+/// path.
 pub fn linearity_holds<S, F>(updates: &[EdgeUpdate], site_counts: &[usize], make: F)
 where
-    S: LinearSketch + Send + PartialEq + std::fmt::Debug,
+    S: LinearSketch + Send + Clone + PartialEq + std::fmt::Debug + 'static,
     F: Fn() -> S + Sync,
 {
     let central = sketch_central(updates, &make);
     for &sites in site_counts {
         let dist = sketch_distributed(updates, sites, 0x5EED ^ sites as u64, &make);
         assert_eq!(dist, central, "merge-of-{sites}-sites != central sketch");
+
+        let config = EngineConfig::new(sites).with_seed(0xE21 ^ sites as u64);
+        let mut engine = SketchEngine::new(config, &make);
+        let mid = updates.len() / 2;
+        engine.ingest(&updates[..mid]);
+        engine.flush();
+        assert_eq!(
+            engine.snapshot(),
+            sketch_central(&updates[..mid], &make),
+            "flushed {sites}-shard snapshot != central sketch of the prefix"
+        );
+        for chunk in updates[mid..].chunks(97) {
+            engine.ingest(chunk);
+        }
+        assert_eq!(
+            engine.seal(),
+            central,
+            "sealed {sites}-shard engine != central sketch"
+        );
     }
 }
 

@@ -1,0 +1,653 @@
+//! A resident, sharded ingest engine for linear sketches.
+//!
+//! [`crate::distributed::sketch_distributed`] realizes §1.1 as a one-shot
+//! batch job: split, sketch, merge, done. This module is the long-lived
+//! counterpart — the shape a serving system needs when the stream never
+//! ends and queries arrive *while* updates keep flowing:
+//!
+//! * **Sharding.** A [`SketchEngine`] owns `shards` private sketches (all
+//!   built from the same factory, hence mutually mergeable). Updates are
+//!   routed to a shard — by a seeded edge hash by default, or by any
+//!   caller-supplied router ([`SketchEngine::with_router`]) — and absorbed
+//!   by one of `workers` background threads. Workers are capped
+//!   independently of the shard count, so a 1024-shard topology does not
+//!   cost 1024 OS threads; [`default_workers`] follows
+//!   `std::thread::available_parallelism`.
+//! * **Backpressure.** Each worker is fed through a bounded channel;
+//!   [`SketchEngine::ingest`] blocks when a queue is full instead of
+//!   buffering without bound.
+//! * **Snapshot queries.** [`SketchEngine::snapshot`] merges *clones* of
+//!   the shard sketches without stopping ingestion — merge-on-read. The
+//!   snapshot is a true linear sketch of a sub-multiset of the ingested
+//!   updates (each routed batch is either fully reflected or not at all,
+//!   per shard), so it is queryable mid-stream; after [`SketchEngine::flush`]
+//!   it equals the central sketch of everything ingested so far, bit for
+//!   bit.
+//! * **Sealing.** [`SketchEngine::seal`] drains the queues, joins the
+//!   workers, and folds the shard sketches **in shard order**, preserving
+//!   the deterministic merge order that the E12 bit-identity experiments
+//!   rely on. Shards that never received an update are skipped (an
+//!   empty-constructed sketch is the zero of the merge group, so skipping
+//!   it is exact).
+//! * **Live counters.** [`SketchEngine::stats`] reports updates routed,
+//!   in-flight updates, per-worker queue depths, and resident sketch
+//!   bytes.
+//!
+//! Linearity does all the heavy lifting: however updates are routed and
+//! however shard application interleaves, the shard sketches always sum to
+//! the sketch of exactly the updates applied so far.
+
+use gs_field::SplitMix64;
+use gs_sketch::{EdgeUpdate, LinearSketch};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A routed unit of work: `(shard index, updates for that shard)` pairs,
+/// at most one message per worker per [`SketchEngine::ingest`] call.
+type Batch = Vec<(usize, Vec<EdgeUpdate>)>;
+
+/// Routes one update to a shard. Runs on the ingesting thread, so a
+/// stateful (sequence-based) router sees updates in ingest order.
+pub type Router = Box<dyn FnMut(&EdgeUpdate) -> usize + Send>;
+
+/// The number of workers an [`EngineConfig`] uses by default: the
+/// machine's available parallelism (1 if it cannot be queried).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Shape of a [`SketchEngine`]: how many shard sketches, how many worker
+/// threads apply them, how deep each worker's queue is, and the routing
+/// seed.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of shard sketches (logical sites). At least 1.
+    pub shards: usize,
+    /// Number of worker threads; capped at `shards`. At least 1.
+    pub workers: usize,
+    /// Bounded queue depth per worker, in batches; `ingest` blocks when a
+    /// queue is full (backpressure).
+    pub queue_batches: usize,
+    /// Seed for the default edge-hash router.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// `shards` shard sketches applied by at most
+    /// [`default_workers`] worker threads.
+    ///
+    /// # Panics
+    /// Panics if `shards` is 0.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "an engine needs at least one shard");
+        EngineConfig {
+            shards,
+            workers: shards.min(default_workers()),
+            queue_batches: 8,
+            seed: 0x0E06_1E5E,
+        }
+    }
+
+    /// Overrides the worker-thread count (still capped at `shards`).
+    ///
+    /// # Panics
+    /// Panics if `workers` is 0.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "an engine needs at least one worker");
+        self.workers = workers.min(self.shards);
+        self
+    }
+
+    /// Overrides the per-worker bounded queue depth (in batches).
+    ///
+    /// # Panics
+    /// Panics if `queue_batches` is 0.
+    pub fn with_queue_batches(mut self, queue_batches: usize) -> Self {
+        assert!(queue_batches >= 1, "queues need capacity at least 1");
+        self.queue_batches = queue_batches;
+        self
+    }
+
+    /// Overrides the routing seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A point-in-time reading of the engine's live counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Shard sketch count.
+    pub shards: usize,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Updates routed into the engine so far.
+    pub updates_routed: u64,
+    /// Updates enqueued but not yet applied to a shard.
+    pub updates_pending: u64,
+    /// Batches enqueued so far (one per worker per `ingest` call).
+    pub batches_enqueued: u64,
+    /// Per-worker queue depth, in batches.
+    pub queue_depths: Vec<usize>,
+    /// Total resident shard-sketch size in bytes
+    /// ([`LinearSketch::space_bytes`] summed over shards).
+    pub bytes_resident: usize,
+}
+
+/// Counters shared between the ingest side and the workers.
+struct Counters {
+    /// Updates enqueued but not yet applied.
+    pending: AtomicU64,
+    /// Per-worker queue depth, in batches.
+    depths: Vec<AtomicUsize>,
+}
+
+/// A long-lived, sharded ingest engine over any [`LinearSketch`]: updates
+/// stream in through [`SketchEngine::ingest`], answers come out of
+/// [`SketchEngine::snapshot`] (mid-stream) or [`SketchEngine::seal`]
+/// (final). See the module docs for the design.
+pub struct SketchEngine<S: LinearSketch + Send + 'static> {
+    /// Shard sketches, indexed by shard id; workers hold clones of the
+    /// `Arc`s and lock a shard only while absorbing one batch into it.
+    shards: Vec<Arc<Mutex<S>>>,
+    /// One bounded sender per worker; dropping them shuts the workers down.
+    senders: Vec<SyncSender<Batch>>,
+    /// Worker join handles.
+    workers: Vec<JoinHandle<()>>,
+    router: Router,
+    counters: Arc<Counters>,
+    /// Updates routed to each shard so far (ingest-side, no contention).
+    routed_per_shard: Vec<u64>,
+    /// Per-shard routing buffers, allocated once. Each call ships the
+    /// touched buffers to the workers (`mem::take`, leaving empties), so a
+    /// call allocates per *touched* shard, never O(total shards).
+    route_scratch: Vec<Vec<EdgeUpdate>>,
+    /// Shards touched by the current `ingest` call (reused scratch).
+    touched: Vec<usize>,
+    updates_routed: u64,
+    batches_enqueued: u64,
+}
+
+impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
+    /// An engine routing by a seeded hash of the edge `{u, v}` (every
+    /// update of an edge lands on the same shard). `make` is called once
+    /// per shard, on the calling thread; all shards must be built from
+    /// the same seed/parameters, which a single factory guarantees.
+    pub fn new(config: EngineConfig, make: impl FnMut() -> S) -> Self {
+        let (seed, shards) = (config.seed, config.shards);
+        let router: Router = Box::new(move |up| edge_shard(seed, shards, up.u, up.v));
+        SketchEngine::with_router(config, router, make)
+    }
+
+    /// An engine with a caller-supplied router (e.g. the §1.1 site
+    /// sequence, round-robin, or a locality-aware scheme). The router runs
+    /// on the ingesting thread in ingest order.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is 0 (reachable by building the config
+    /// literally instead of via [`EngineConfig::new`]) or a worker thread
+    /// cannot be spawned.
+    pub fn with_router(config: EngineConfig, router: Router, mut make: impl FnMut() -> S) -> Self {
+        assert!(config.shards >= 1, "an engine needs at least one shard");
+        let workers_n = config.workers.min(config.shards).max(1);
+        let shards: Vec<Arc<Mutex<S>>> = (0..config.shards)
+            .map(|_| Arc::new(Mutex::new(make())))
+            .collect();
+        let counters = Arc::new(Counters {
+            pending: AtomicU64::new(0),
+            depths: (0..workers_n).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        let mut senders = Vec::with_capacity(workers_n);
+        let mut handles = Vec::with_capacity(workers_n);
+        for w in 0..workers_n {
+            let (tx, rx) = sync_channel::<Batch>(config.queue_batches.max(1));
+            let shard_refs = shards.clone();
+            let ctr = Arc::clone(&counters);
+            let handle = std::thread::Builder::new()
+                .name(format!("sketch-shard-{w}"))
+                .spawn(move || worker_loop(rx, shard_refs, ctr, w))
+                .expect("spawning engine worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        SketchEngine {
+            shards,
+            senders,
+            workers: handles,
+            router,
+            counters,
+            routed_per_shard: vec![0; config.shards],
+            route_scratch: vec![Vec::new(); config.shards],
+            touched: Vec::new(),
+            updates_routed: 0,
+            batches_enqueued: 0,
+        }
+    }
+
+    /// Routes a batch of updates to the shards and enqueues the per-shard
+    /// shares onto the worker queues. Blocks when a queue is full
+    /// (backpressure); returns as soon as everything is *enqueued* —
+    /// application is asynchronous (see [`SketchEngine::flush`]).
+    ///
+    /// # Panics
+    /// Panics if the router returns an out-of-range shard or a worker has
+    /// died.
+    pub fn ingest(&mut self, updates: &[EdgeUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let nshards = self.shards.len();
+        for &up in updates {
+            let s = (self.router)(&up);
+            assert!(
+                s < nshards,
+                "router sent an update to shard {s} of {nshards}"
+            );
+            if self.route_scratch[s].is_empty() {
+                self.touched.push(s);
+            }
+            self.route_scratch[s].push(up);
+        }
+        // Visit touched shards in shard order so per-worker messages are
+        // deterministic for a given routing.
+        self.touched.sort_unstable();
+        let nworkers = self.senders.len();
+        let mut per_worker: Vec<Batch> = vec![Vec::new(); nworkers];
+        for s in self.touched.drain(..) {
+            let share = std::mem::take(&mut self.route_scratch[s]);
+            self.routed_per_shard[s] += share.len() as u64;
+            per_worker[s % nworkers].push((s, share));
+        }
+        for (w, batch) in per_worker.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let count: u64 = batch.iter().map(|(_, share)| share.len() as u64).sum();
+            self.updates_routed += count;
+            self.batches_enqueued += 1;
+            self.counters.pending.fetch_add(count, Ordering::SeqCst);
+            self.counters.depths[w].fetch_add(1, Ordering::SeqCst);
+            self.senders[w].send(batch).expect("engine worker hung up");
+        }
+    }
+
+    /// Blocks until every enqueued update has been applied to its shard.
+    /// After `flush`, a [`SketchEngine::snapshot`] equals the central
+    /// sketch of everything ingested so far, bit for bit.
+    ///
+    /// # Panics
+    /// Panics if a worker died with updates still pending.
+    pub fn flush(&self) {
+        while self.counters.pending.load(Ordering::SeqCst) > 0 {
+            if self.workers.iter().any(|h| h.is_finished()) {
+                panic!("engine worker exited with updates still pending");
+            }
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    /// Reads the live counters. Locks each shard briefly to sum resident
+    /// bytes; ingestion keeps running.
+    pub fn stats(&self) -> EngineStats {
+        let bytes_resident = self
+            .shards
+            .iter()
+            .map(|slot| slot.lock().expect("shard mutex poisoned").space_bytes())
+            .sum();
+        EngineStats {
+            shards: self.shards.len(),
+            workers: self.senders.len(),
+            updates_routed: self.updates_routed,
+            updates_pending: self.counters.pending.load(Ordering::SeqCst),
+            batches_enqueued: self.batches_enqueued,
+            queue_depths: self
+                .counters
+                .depths
+                .iter()
+                .map(|d| d.load(Ordering::SeqCst))
+                .collect(),
+            bytes_resident,
+        }
+    }
+
+    /// Drains the queues, joins the workers, and folds the shard sketches
+    /// in shard order into the final sketch. Shards that never received an
+    /// update are skipped (exact — see the module docs); if *no* shard
+    /// received one, the empty-constructed shard 0 is returned.
+    ///
+    /// # Panics
+    /// Panics if a worker panicked.
+    pub fn seal(mut self) -> S {
+        self.senders.clear(); // closes every queue; workers drain and exit
+        for handle in std::mem::take(&mut self.workers) {
+            handle.join().expect("engine worker panicked");
+        }
+        let shards = std::mem::take(&mut self.shards);
+        let routed = std::mem::take(&mut self.routed_per_shard);
+        let mut sketches = shards.into_iter().map(|slot| {
+            Arc::try_unwrap(slot)
+                .unwrap_or_else(|_| panic!("a joined worker still holds a shard"))
+                .into_inner()
+                .expect("shard mutex poisoned")
+        });
+        if routed.iter().all(|&r| r == 0) {
+            return sketches.next().expect("an engine has at least one shard");
+        }
+        fold_active(
+            sketches
+                .zip(routed)
+                .map(|(sketch, routed)| (routed > 0).then_some(sketch)),
+        )
+        .expect("some shard was active")
+    }
+}
+
+impl<S: LinearSketch + Send + Clone + 'static> SketchEngine<S> {
+    /// Merges clones of the shard sketches in shard order **without
+    /// stopping ingestion** and returns the merged sketch — merge-on-read.
+    ///
+    /// The result is a linear sketch of a sub-multiset of the ingested
+    /// updates: each routed share is reflected fully or not at all, per
+    /// shard, so mid-stream a snapshot may see a deletion whose insertion
+    /// was routed to a not-yet-applied share (the same transient the
+    /// per-site streams of §1.1 exhibit). After [`SketchEngine::flush`]
+    /// the snapshot equals the central sketch of everything ingested.
+    pub fn snapshot(&self) -> S {
+        fn clone_shard<S: Clone>(slot: &Mutex<S>) -> S {
+            slot.lock().expect("shard mutex poisoned").clone()
+        }
+        // Idle shards are never locked or cloned — with many mostly-idle
+        // shards a snapshot costs one clone per *active* shard.
+        fold_active(
+            self.shards
+                .iter()
+                .zip(&self.routed_per_shard)
+                .map(|(slot, &routed)| (routed > 0).then(|| clone_shard(slot))),
+        )
+        .unwrap_or_else(|| clone_shard(&self.shards[0]))
+    }
+}
+
+/// Folds the active shard sketches (`None` = idle, skipped) in shard
+/// order; `None` if every shard was idle. Skipping idle shards is exact —
+/// an empty-constructed sketch is the zero of the merge group — and both
+/// [`SketchEngine::seal`] and [`SketchEngine::snapshot`] fold through
+/// here, so the two reads cannot drift apart.
+fn fold_active<S: gs_sketch::Mergeable>(shards: impl Iterator<Item = Option<S>>) -> Option<S> {
+    let mut acc: Option<S> = None;
+    for sketch in shards.flatten() {
+        match &mut acc {
+            None => acc = Some(sketch),
+            Some(merged) => merged.merge(&sketch),
+        }
+    }
+    acc
+}
+
+impl<S: LinearSketch + Send + 'static> Drop for SketchEngine<S> {
+    /// Dropping an unsealed engine shuts the workers down cleanly (pending
+    /// batches are still applied, then the queues close).
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Applies routed batches to their shards until the queue closes.
+fn worker_loop<S: LinearSketch + Send>(
+    rx: Receiver<Batch>,
+    shards: Vec<Arc<Mutex<S>>>,
+    counters: Arc<Counters>,
+    worker: usize,
+) {
+    while let Ok(batch) = rx.recv() {
+        for (s, share) in batch {
+            {
+                let mut shard = shards[s].lock().expect("shard mutex poisoned");
+                shard.absorb(&share);
+            }
+            // Decrement only after the share is applied and the lock is
+            // released: `flush` + the shard mutex then give snapshot
+            // readers a happens-before edge to the absorbed state.
+            counters
+                .pending
+                .fetch_sub(share.len() as u64, Ordering::SeqCst);
+        }
+        counters.depths[worker].fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The default router: a seeded hash of the undirected edge `{u, v}`, so
+/// every update of an edge lands on the same shard regardless of ingest
+/// order or endpoint order.
+fn edge_shard(seed: u64, shards: usize, u: usize, v: usize) -> usize {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    let key = seed
+        ^ (lo as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (hi as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    SplitMix64::new(key).next_range(shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_sketch::domain::{edge_domain, edge_index};
+    use gs_sketch::Mergeable;
+
+    /// Exact edge-vector tally: the simplest possible linear sketch, so
+    /// every engine assertion is bit-for-bit by construction.
+    #[derive(Clone, Debug, PartialEq)]
+    struct TallySketch {
+        n: usize,
+        cells: Vec<i64>,
+    }
+
+    impl TallySketch {
+        fn new(n: usize) -> Self {
+            TallySketch {
+                n,
+                cells: vec![0; edge_domain(n) as usize],
+            }
+        }
+    }
+
+    impl Mergeable for TallySketch {
+        fn merge(&mut self, other: &Self) {
+            assert_eq!(self.n, other.n);
+            for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+                *a += b;
+            }
+        }
+    }
+
+    impl LinearSketch for TallySketch {
+        type Output = Vec<i64>;
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+            self.cells[edge_index(self.n, u, v) as usize] += delta;
+        }
+
+        fn space_bytes(&self) -> usize {
+            self.cells.len() * 8
+        }
+
+        fn decode(&self) -> Vec<i64> {
+            self.cells.clone()
+        }
+    }
+
+    fn churn(n: usize, len: usize, seed: u64) -> Vec<EdgeUpdate> {
+        let mut rng = SplitMix64::new(seed);
+        let mut ups = Vec::with_capacity(len);
+        for _ in 0..len {
+            let u = rng.next_range(n as u64) as usize;
+            let mut v = rng.next_range(n as u64) as usize;
+            if u == v {
+                v = (v + 1) % n;
+            }
+            let delta = if rng.next_range(3) == 0 { -1 } else { 1 };
+            ups.push(EdgeUpdate { u, v, delta });
+        }
+        ups
+    }
+
+    fn central(n: usize, updates: &[EdgeUpdate]) -> TallySketch {
+        let mut s = TallySketch::new(n);
+        s.absorb(updates);
+        s
+    }
+
+    #[test]
+    fn sealed_engine_equals_central_across_shapes() {
+        let n = 24;
+        let updates = churn(n, 700, 1);
+        let want = central(n, &updates);
+        for (shards, workers) in [(1, 1), (2, 2), (5, 2), (8, 3), (16, 4)] {
+            let cfg = EngineConfig::new(shards).with_workers(workers).with_seed(9);
+            let mut engine = SketchEngine::new(cfg, || TallySketch::new(n));
+            for chunk in updates.chunks(64) {
+                engine.ingest(chunk);
+            }
+            assert_eq!(engine.seal(), want, "shards={shards} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn flushed_snapshot_is_central_prefix_and_engine_keeps_ingesting() {
+        let n = 20;
+        let updates = churn(n, 600, 2);
+        let mid = updates.len() / 2;
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(4).with_seed(3), || TallySketch::new(n));
+        engine.ingest(&updates[..mid]);
+        engine.flush();
+        assert_eq!(engine.snapshot(), central(n, &updates[..mid]));
+        // The snapshot is a clone: the engine keeps ingesting afterwards.
+        engine.ingest(&updates[mid..]);
+        assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    #[test]
+    fn quiesce_free_snapshot_is_a_merge_of_whole_shares() {
+        // Without a flush the snapshot still merges without panicking and
+        // is a valid tally of a sub-multiset of the routed updates.
+        let n = 16;
+        let updates = churn(n, 2000, 4);
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(4).with_seed(5), || TallySketch::new(n));
+        for chunk in updates.chunks(32) {
+            engine.ingest(chunk);
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.n, n);
+        let tallied: i64 = snap.cells.iter().map(|c| c.abs()).sum();
+        assert!(
+            tallied <= updates.len() as i64,
+            "a snapshot tallies at most the routed updates"
+        );
+        assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    #[test]
+    fn custom_router_preserves_shard_order_merge() {
+        // Round-robin routing: shard s gets updates s, s+3, s+6, … —
+        // sealing must equal absorbing the parts per shard and merging in
+        // shard order (which, by linearity, equals central).
+        let n = 12;
+        let updates = churn(n, 300, 6);
+        let mut next = 0usize;
+        let router: Router = Box::new(move |_| {
+            let s = next;
+            next = (next + 1) % 3;
+            s
+        });
+        let mut engine =
+            SketchEngine::with_router(EngineConfig::new(3), router, || TallySketch::new(n));
+        engine.ingest(&updates);
+        assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    #[test]
+    fn backpressured_queues_still_apply_everything() {
+        let n = 16;
+        let updates = churn(n, 1500, 7);
+        let cfg = EngineConfig::new(4).with_workers(2).with_queue_batches(1);
+        let mut engine = SketchEngine::new(cfg, || TallySketch::new(n));
+        for chunk in updates.chunks(8) {
+            engine.ingest(chunk); // blocks on full queues instead of growing them
+        }
+        assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    #[test]
+    fn stats_track_routing_and_drain_to_zero() {
+        let n = 16;
+        let updates = churn(n, 400, 8);
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(4).with_seed(11), || TallySketch::new(n));
+        engine.ingest(&updates);
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.updates_routed, updates.len() as u64);
+        assert_eq!(stats.updates_pending, 0);
+        assert!(stats.batches_enqueued >= 1);
+        assert_eq!(stats.shards, 4);
+        assert!(stats.queue_depths.iter().all(|&d| d == 0));
+        assert!(stats.bytes_resident > 0);
+        assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    #[test]
+    fn empty_engine_seals_to_empty_sketch() {
+        let engine = SketchEngine::new(EngineConfig::new(6), || TallySketch::new(8));
+        assert_eq!(engine.seal(), TallySketch::new(8));
+    }
+
+    #[test]
+    fn empty_engine_snapshot_is_empty_sketch() {
+        let engine = SketchEngine::new(EngineConfig::new(3), || TallySketch::new(8));
+        assert_eq!(engine.snapshot(), TallySketch::new(8));
+    }
+
+    #[test]
+    fn dropping_an_unsealed_engine_joins_workers() {
+        let n = 16;
+        let mut engine = SketchEngine::new(EngineConfig::new(4), || TallySketch::new(n));
+        engine.ingest(&churn(n, 100, 12));
+        drop(engine); // must not hang or leak threads
+    }
+
+    #[test]
+    fn more_shards_than_workers_than_updates() {
+        let updates = vec![
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(1, 2),
+            EdgeUpdate::delete(0, 1),
+        ];
+        let cfg = EngineConfig::new(32).with_workers(4);
+        let mut engine = SketchEngine::new(cfg, || TallySketch::new(4));
+        engine.ingest(&updates);
+        assert_eq!(engine.seal(), central(4, &updates));
+    }
+
+    #[test]
+    fn config_caps_workers_at_shards() {
+        let cfg = EngineConfig::new(2).with_workers(64);
+        assert_eq!(cfg.workers, 2);
+        let cfg = EngineConfig::new(3);
+        assert!(cfg.workers >= 1 && cfg.workers <= 3);
+    }
+}

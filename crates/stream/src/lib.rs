@@ -9,13 +9,17 @@
 //!   later deleted), adversarial orderings, and materialization back to a
 //!   [`gs_graph::Graph`].
 //! * [`distributed`] — the distributed-stream setting of §1.1: a stream
-//!   partitioned across sites, each site sketching its share (optionally on
-//!   its own thread), sketches merged at a coordinator.
+//!   partitioned across sites, each site sketching its share, sketches
+//!   merged at a coordinator (a thin wrapper over [`engine`]).
+//! * [`engine`] — the resident ingest engine: [`engine::SketchEngine`]
+//!   shards a live stream over worker threads behind bounded queues and
+//!   answers snapshot queries mid-stream (merge-on-read).
 //! * [`passes`] — pass accounting for the r-adaptive sketches of §5
 //!   (Definition 2): a replay meter that counts how many passes an
 //!   algorithm takes over the stream.
 
 pub mod distributed;
+pub mod engine;
 pub mod passes;
 pub mod stream;
 

@@ -7,11 +7,12 @@
 //! sketch equality, not merely equal decodes) once, and is instantiated
 //! for every [`AnySketch`] variant through [`SketchSpec`].
 
-use graph_sketches::api::{SketchSpec, SketchTask};
+use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
 use graph_sketches::ForestSketch;
 use gs_graph::gen;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
 use gs_stream::distributed::{linearity_holds, sketch_central, sketch_distributed};
+use gs_stream::engine::{default_workers, EngineConfig, SketchEngine};
 use gs_stream::GraphStream;
 
 fn churn_updates(n: usize, p: f64, seed: u64) -> Vec<EdgeUpdate> {
@@ -116,6 +117,72 @@ fn more_sites_than_updates_returns_exact_sketch() {
     }
     let empty = sketch_distributed(&[], 16, 11, || spec.build());
     assert_eq!(empty, spec.build());
+}
+
+#[test]
+fn thousand_site_topology_runs_on_capped_workers() {
+    // 1024 sites used to mean 1024 OS threads; they are now engine shards
+    // applied by at most `default_workers()` threads — and the site-order
+    // merge keeps the answer bit-identical to one observer's.
+    let updates = churn_updates(16, 0.3, 31);
+    let spec = SketchSpec::new(SketchTask::Connectivity, 16).with_seed(0xCAFE);
+    let central = sketch_central(&updates, || spec.build());
+    let dist = sketch_distributed(&updates, 1024, 0xBEEF, || spec.build());
+    assert_eq!(dist, central);
+    assert!(default_workers() >= 1);
+}
+
+#[test]
+fn resident_engine_serves_snapshots_mid_stream() {
+    // The serving shape: a long-lived engine answers queries while the
+    // stream keeps flowing, and sealing still equals the one-shot sketch.
+    let g = gen::connected_gnp(20, 0.3, 17);
+    let updates = GraphStream::with_churn(&g, 400, 19).edge_updates();
+    let spec = SketchSpec::new(SketchTask::Connectivity, 20).with_seed(0x5EA);
+    let mut engine = SketchEngine::new(EngineConfig::new(4).with_seed(2), || spec.build());
+    let mid = updates.len() / 2;
+    engine.ingest(&updates[..mid]);
+    // Quiesce-free read: decodes whatever sub-multiset has been applied.
+    let early = engine.snapshot().decode();
+    assert!(matches!(early, SketchAnswer::Connectivity { .. }));
+    // Flushed read: exactly the central sketch of the prefix.
+    engine.flush();
+    assert_eq!(
+        engine.snapshot(),
+        sketch_central(&updates[..mid], || spec.build())
+    );
+    engine.ingest(&updates[mid..]);
+    let sealed = engine.seal();
+    let central = sketch_central(&updates, || spec.build());
+    assert_eq!(sealed, central);
+    match sealed.decode() {
+        SketchAnswer::Connectivity {
+            components,
+            connected,
+            ..
+        } => {
+            assert_eq!(components, 1);
+            assert!(connected);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn engine_stats_account_for_the_stream() {
+    let updates = churn_updates(16, 0.3, 37);
+    let spec = SketchSpec::new(SketchTask::Connectivity, 16).with_seed(0xABC);
+    let mut engine = SketchEngine::new(EngineConfig::new(3), || spec.build());
+    for chunk in updates.chunks(50) {
+        engine.ingest(chunk);
+    }
+    engine.flush();
+    let stats = engine.stats();
+    assert_eq!(stats.updates_routed, updates.len() as u64);
+    assert_eq!(stats.updates_pending, 0);
+    assert_eq!(stats.shards, 3);
+    assert!(stats.bytes_resident >= 3 * spec.build().space_bytes());
+    drop(engine);
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Cross-process sketch shipping (§1.1), in-process: for **every**
+//! [`SketchSpec`] task, serializing each site's sketch to the versioned
+//! wire format, re-parsing it "in a different process" (a sketch rebuilt
+//! from nothing but the JSON text), and merging at a coordinator must
+//! reproduce the central sketch **bit for bit** — and incompatible or
+//! corrupted files must be refused, not mis-merged.
+
+use graph_sketches::api::{MergeError, SketchSpec, SketchTask};
+use graph_sketches::wire::{SketchFile, WireError, WIRE_FORMAT};
+use gs_graph::gen;
+use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_stream::distributed::{sketch_central, split_updates};
+use gs_stream::GraphStream;
+
+fn churn_updates(n: usize, p: f64, seed: u64) -> Vec<EdgeUpdate> {
+    let g = gen::gnp(n, p, seed);
+    GraphStream::with_churn(&g, 150, seed ^ 0xD1).edge_updates()
+}
+
+/// Weighted value-carrying workload for the §3.5 tasks.
+fn weighted_updates(n: usize, seed: u64) -> Vec<EdgeUpdate> {
+    let g = gen::gnp_weighted(n, 0.4, 8, seed);
+    let mut ups: Vec<EdgeUpdate> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| EdgeUpdate::weighted(u, v, w, 1))
+        .collect();
+    for (i, &(u, v, w)) in g.edges().iter().enumerate().take(4) {
+        let decoy_w = (w % 7) + 1;
+        ups.insert(i * 2, EdgeUpdate::weighted(u, v, decoy_w, 1));
+        ups.push(EdgeUpdate::weighted(u, v, decoy_w, -1));
+    }
+    ups
+}
+
+fn task_updates(task: SketchTask, n: usize, seed: u64) -> Vec<EdgeUpdate> {
+    match task {
+        SketchTask::WeightedSparsify | SketchTask::Mst => weighted_updates(n, seed),
+        _ => churn_updates(n, 0.3, seed),
+    }
+}
+
+/// One simulated site process: everything it learns arrives as text (the
+/// spec JSON), everything it reports leaves as text (the sketch file).
+fn site_process(spec_json: &str, share: &[EdgeUpdate]) -> String {
+    let spec = SketchSpec::from_json(spec_json).expect("site parses the spec");
+    let mut sketch = spec.build();
+    sketch.absorb(share);
+    SketchFile::new(spec, sketch)
+        .expect("state matches spec")
+        .to_json()
+}
+
+#[test]
+fn wire_round_trip_is_bit_exact_for_every_task() {
+    for task in SketchTask::ALL {
+        // max_weight 8 keeps the §3.5 weight-class count (and thus the
+        // serialized state) small; the weighted workload stays within it.
+        let spec = SketchSpec::new(task, 12)
+            .with_eps(0.9)
+            .with_max_weight(8)
+            .with_seed(0x11E);
+        let updates = task_updates(task, 12, 5);
+        let central = sketch_central(&updates, || spec.build());
+
+        // Three "processes" see disjoint shares and ship sketch files;
+        // the coordinator merges text it parsed, never in-memory state.
+        let spec_json = spec.to_json();
+        let mut coordinator: Option<SketchFile> = None;
+        for share in split_updates(&updates, 3, 0xF00) {
+            let shipped = site_process(&spec_json, &share);
+            let file = SketchFile::from_json(&shipped).expect("coordinator parses the file");
+            match &mut coordinator {
+                None => coordinator = Some(file),
+                Some(acc) => acc.try_merge(&file).expect("compatible sites merge"),
+            }
+        }
+        let merged = coordinator.expect("three sites shipped");
+        assert_eq!(
+            merged.state, central,
+            "{task:?}: merged wire sketches != central sketch"
+        );
+        assert_eq!(
+            merged.decode(),
+            central.decode(),
+            "{task:?}: answers differ"
+        );
+
+        // The merged file itself round-trips.
+        let reloaded = SketchFile::from_json(&merged.to_json()).expect("reload");
+        assert_eq!(reloaded, merged, "{task:?}: merged file round trip");
+    }
+}
+
+#[test]
+fn mismatched_spec_loads_refuse_to_merge() {
+    for (a, b) in [
+        // Different seed: same projection family, different measurement.
+        (
+            SketchSpec::new(SketchTask::Connectivity, 10).with_seed(1),
+            SketchSpec::new(SketchTask::Connectivity, 10).with_seed(2),
+        ),
+        // Different n.
+        (
+            SketchSpec::new(SketchTask::Connectivity, 10),
+            SketchSpec::new(SketchTask::Connectivity, 12),
+        ),
+        // Different task altogether.
+        (
+            SketchSpec::new(SketchTask::Connectivity, 10),
+            SketchSpec::new(SketchTask::Bipartite, 10),
+        ),
+        // Different eps on an approximation task.
+        (
+            SketchSpec::new(SketchTask::MinCut, 10).with_eps(0.5),
+            SketchSpec::new(SketchTask::MinCut, 10).with_eps(0.25),
+        ),
+    ] {
+        let mut left = SketchFile::from_json(&site_process(&a.to_json(), &[])).unwrap();
+        let right = SketchFile::from_json(&site_process(&b.to_json(), &[])).unwrap();
+        assert!(
+            matches!(left.try_merge(&right), Err(WireError::SpecMismatch { .. })),
+            "{a:?} vs {b:?} must refuse"
+        );
+    }
+}
+
+#[test]
+fn format_version_gate_refuses_other_versions() {
+    let spec = SketchSpec::new(SketchTask::Connectivity, 8);
+    let good = site_process(&spec.to_json(), &[EdgeUpdate::insert(0, 1)]);
+    assert!(good.contains(&format!("\"format\":{WIRE_FORMAT}")));
+    for found in [0u64, 2, 7] {
+        let bad = good.replacen(
+            &format!("\"format\":{WIRE_FORMAT}"),
+            &format!("\"format\":{found}"),
+            1,
+        );
+        assert_eq!(
+            SketchFile::from_json(&bad),
+            Err(WireError::Format { found }),
+            "version {found} must be refused"
+        );
+    }
+}
+
+#[test]
+fn truncated_and_shapeless_files_fail_loudly() {
+    let spec = SketchSpec::new(SketchTask::Mst, 8);
+    let good = site_process(&spec.to_json(), &[]);
+    assert!(SketchFile::from_json(&good[..good.len() / 2]).is_err());
+    assert_eq!(
+        SketchFile::from_json("{\"format\":1}"),
+        Err(WireError::Missing("spec"))
+    );
+    assert_eq!(
+        SketchFile::from_json("{}"),
+        Err(WireError::Missing("format"))
+    );
+    assert!(SketchFile::from_json("[1,2,3]").is_err());
+}
+
+#[test]
+fn try_merge_reports_task_and_size_mismatches() {
+    let mut conn = SketchSpec::new(SketchTask::Connectivity, 8).build();
+    let bip = SketchSpec::new(SketchTask::Bipartite, 8).build();
+    assert_eq!(
+        conn.try_merge(&bip),
+        Err(MergeError::TaskMismatch {
+            left: SketchTask::Connectivity,
+            right: SketchTask::Bipartite,
+        })
+    );
+    let small = SketchSpec::new(SketchTask::Connectivity, 4).build();
+    assert_eq!(
+        conn.try_merge(&small),
+        Err(MergeError::SizeMismatch { left: 8, right: 4 })
+    );
+    // And a compatible pair merges fine through the same path.
+    let spec = SketchSpec::new(SketchTask::Connectivity, 8);
+    let mut a = spec.build();
+    let mut b = spec.build();
+    a.absorb(&[EdgeUpdate::insert(0, 1)]);
+    b.absorb(&[EdgeUpdate::insert(1, 2)]);
+    a.try_merge(&b).unwrap();
+    let mut whole = spec.build();
+    whole.absorb(&[EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 2)]);
+    assert_eq!(a, whole);
+}

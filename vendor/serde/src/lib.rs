@@ -363,12 +363,18 @@ impl JsonParser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run up to the next quote or escape
+                    // and validate it as UTF-8 once. (`"` and `\` are
+                    // ASCII, so they never occur inside a multi-byte
+                    // sequence; per-character validation here would make
+                    // parsing quadratic in the document size.)
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
                 None => return Err(Error::msg("unterminated string")),
             }
