@@ -1,0 +1,128 @@
+//! Bank-kernel micro-benchmarks with a machine-readable artifact.
+//!
+//! Measures the two hot paths the `CellBank` refactor targets —
+//! **absorb** (batched edge ingest into a forest sketch) and **merge**
+//! (adding one sketch's cells into another) — against the preserved
+//! pre-refactor AoS baseline (`gs_bench::aos`), and writes the numbers to
+//! `BENCH_bank.json` (override the path with `BENCH_BANK_OUT`). CI
+//! uploads the file as an artifact, so the perf trajectory of the storage
+//! layer is recorded per commit instead of living in scrollback.
+//!
+//! Method: per measurement, one warm-up run, then `RUNS` timed runs; the
+//! reported number is the minimum (least-noise estimator for a
+//! single-threaded CPU-bound kernel).
+
+use graph_sketches::ForestSketch;
+use gs_bench::aos::AosForest;
+use gs_sketch::bank::CellBanked;
+use gs_sketch::{EdgeUpdate, LinearSketch};
+use std::hint::black_box;
+use std::time::Instant;
+
+const RUNS: usize = 5;
+
+/// Minimum wall time of `RUNS` runs of `f`, in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn churn(n: usize, len: usize) -> Vec<EdgeUpdate> {
+    (0..len)
+        .map(|i| {
+            let u = (i * 13) % n;
+            let v = (u + 1 + (i * 7) % (n - 1)) % n;
+            EdgeUpdate {
+                u,
+                v,
+                delta: if i % 5 == 0 { -1 } else { 1 },
+            }
+        })
+        .filter(|up| up.u != up.v)
+        .collect()
+}
+
+fn main() {
+    let n = 128;
+    let updates = churn(n, 20_000);
+    let seed = 0xBE7C;
+
+    // -------- absorb: AoS per-cell re-hashing vs banked hash-once kernel.
+    let aos_absorb_ns = time_ns(|| {
+        let mut s = AosForest::new(n, seed);
+        s.absorb(&updates);
+        black_box(&s);
+    });
+    let bank_absorb_ns = time_ns(|| {
+        let mut s = ForestSketch::new(n, seed);
+        s.absorb(&updates);
+        black_box(&s);
+    });
+    let absorb_aos_per_update = aos_absorb_ns / updates.len() as f64;
+    let absorb_bank_per_update = bank_absorb_ns / updates.len() as f64;
+    let absorb_speedup = aos_absorb_ns / bank_absorb_ns;
+
+    // -------- merge: per-cell struct adds vs contiguous lane adds.
+    let mut aos_a = AosForest::new(n, seed);
+    aos_a.absorb(&updates[..updates.len() / 2]);
+    let mut aos_b = AosForest::new(n, seed);
+    aos_b.absorb(&updates[updates.len() / 2..]);
+    let mut bank_a = ForestSketch::new(n, seed);
+    bank_a.absorb(&updates[..updates.len() / 2]);
+    let mut bank_b = ForestSketch::new(n, seed);
+    bank_b.absorb(&updates[updates.len() / 2..]);
+    let cells: usize = bank_a.banks().iter().map(|b| b.len()).sum();
+    let aos_merge_ns = time_ns(|| {
+        let mut acc = aos_a.clone();
+        acc.merge(&aos_b);
+        black_box(&acc);
+    });
+    let bank_merge_ns = time_ns(|| {
+        let mut acc = bank_a.clone();
+        use gs_sketch::Mergeable;
+        acc.merge(&bank_b);
+        black_box(&acc);
+    });
+    let merge_speedup = aos_merge_ns / bank_merge_ns;
+
+    // Sanity: the baseline measures the same projection (cheap spot
+    // check; the full lane comparison lives in gs_bench's lib tests).
+    let (w, _, _) = aos_a.lanes();
+    let bank_w: i64 = bank_a
+        .banks()
+        .iter()
+        .flat_map(|b| b.lanes().0.iter().copied())
+        .sum();
+    assert_eq!(w.iter().sum::<i64>(), bank_w, "baseline drifted from bank");
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"updates\": {},\n  \"cells\": {cells},\n  \
+         \"absorb\": {{\n    \"aos_ns_per_update\": {absorb_aos_per_update:.1},\n    \
+         \"bank_ns_per_update\": {absorb_bank_per_update:.1},\n    \
+         \"speedup\": {absorb_speedup:.2}\n  }},\n  \
+         \"merge\": {{\n    \"aos_ns_total\": {aos_merge_ns:.0},\n    \
+         \"bank_ns_total\": {bank_merge_ns:.0},\n    \
+         \"speedup\": {merge_speedup:.2}\n  }}\n}}\n",
+        updates.len()
+    );
+    let out = std::env::var("BENCH_BANK_OUT").unwrap_or_else(|_| "BENCH_bank.json".into());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+
+    println!("== bank kernels (AoS baseline vs CellBank) ==");
+    println!(
+        "absorb: {absorb_aos_per_update:>8.1} ns/update (AoS)  {absorb_bank_per_update:>8.1} \
+         ns/update (bank)  {absorb_speedup:.2}x"
+    );
+    println!(
+        "merge:  {:>8.1} ns/cell   (AoS)  {:>8.1} ns/cell   (bank)  {merge_speedup:.2}x",
+        aos_merge_ns / cells as f64,
+        bank_merge_ns / cells as f64,
+    );
+    println!("wrote {out}");
+}

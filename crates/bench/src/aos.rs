@@ -1,0 +1,212 @@
+//! The pre-bank array-of-structs ingest path, preserved as a benchmark
+//! baseline.
+//!
+//! Before `gs_sketch::bank::CellBank`, every 1-sparse cell was a 32-byte
+//! struct in a `Vec`, and an update re-hashed its index **once per touched
+//! cell** (the fingerprint hash inside `OneSparseCell::update`). This
+//! module reproduces that exact code path — same seed derivations as
+//! [`graph_sketches::ForestSketch`], same hash calls, same arithmetic —
+//! so `bench_api` / `bench_bank` can measure the bank refactor against a
+//! faithful AoS baseline and, because the hashes agree, assert the two
+//! paths produce bit-identical measurement state.
+
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
+
+/// A 1-sparse cell in the old array-of-structs layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AosCell {
+    /// Σ x_i.
+    pub w: i64,
+    /// Σ i·x_i.
+    pub s: i128,
+    /// Σ x_i·h(i).
+    pub f: M61,
+}
+
+impl AosCell {
+    /// The pre-bank update: hashes `index` for every cell it touches.
+    #[inline]
+    pub fn update(&mut self, index: u64, delta: i64, h: &impl Randomness) {
+        self.w += delta;
+        self.s += index as i128 * delta as i128;
+        self.f += M61::from_i64(delta) * h.hash_m61(index);
+    }
+
+    /// The pre-bank per-cell merge.
+    #[inline]
+    pub fn add(&mut self, other: &AosCell) {
+        self.w += other.w;
+        self.s += other.s;
+        self.f += other.f;
+    }
+}
+
+/// The old `L0Detector` storage: `reps × levels` AoS cells, rep-major.
+#[derive(Clone, Debug)]
+pub struct AosDetector {
+    levels: u32,
+    reps: usize,
+    /// `reps × levels` cells.
+    pub cells: Vec<AosCell>,
+    level_hash: Vec<HashBackend>,
+    finger: HashBackend,
+}
+
+impl AosDetector {
+    /// Mirrors `L0Detector::with_params` (same seed/stream derivations).
+    pub fn new(domain: u64, reps: usize, seed: u64) -> Self {
+        let kind = BackendKind::Oracle;
+        let levels = 64 - domain.saturating_sub(1).leading_zeros().min(63);
+        AosDetector {
+            levels,
+            reps,
+            cells: vec![AosCell::default(); reps * levels as usize],
+            level_hash: (0..reps)
+                .map(|r| kind.backend(seed, 0x4C30_0100 + r as u64))
+                .collect(),
+            finger: kind.backend(seed, 0x4C30_0001),
+        }
+    }
+
+    /// The pre-bank update loop: one subsample hash per rep, then one
+    /// fingerprint hash **per touched cell**.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        for r in 0..self.reps {
+            let lmax = self.level_hash[r].subsample_level(index, self.levels - 1);
+            let base = r * self.levels as usize;
+            for l in 0..=lmax {
+                self.cells[base + l as usize].update(index, delta, &self.finger);
+            }
+        }
+    }
+
+    /// Per-cell merge (the pre-bank `Mergeable` body).
+    pub fn merge(&mut self, other: &AosDetector) {
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.add(b);
+        }
+    }
+}
+
+/// The old `ForestSketch` ingest shape: `rounds × n` detectors sharing a
+/// per-round seed, every update applied per endpoint per round.
+#[derive(Clone, Debug)]
+pub struct AosForest {
+    n: usize,
+    rounds: usize,
+    /// `rounds × n` detectors, round-major.
+    pub detectors: Vec<AosDetector>,
+}
+
+impl AosForest {
+    /// Mirrors `ForestSketch::with_params` (same seed derivations, same
+    /// default `detector_reps = 2` and `rounds = ⌈log2 n⌉ + 2`).
+    pub fn new(n: usize, seed: u64) -> Self {
+        let rounds = (usize::BITS - n.max(2).leading_zeros()) as usize + 2;
+        let detector_reps = 2;
+        let domain = gs_sketch::domain::edge_domain(n);
+        let detectors = (0..rounds * n)
+            .map(|i| {
+                let bank = i / n;
+                AosDetector::new(
+                    domain,
+                    detector_reps,
+                    seed ^ (0xF0_0000 + bank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
+            .collect();
+        AosForest {
+            n,
+            rounds,
+            detectors,
+        }
+    }
+
+    /// The pre-bank `update_edge`: each endpoint's detector re-hashes the
+    /// edge slot independently in every round.
+    pub fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+        let idx = gs_sketch::domain::edge_index(self.n, u, v);
+        let (du, dv) = if u < v {
+            (delta, -delta)
+        } else {
+            (-delta, delta)
+        };
+        for b in 0..self.rounds {
+            self.detectors[b * self.n + u].update(idx, du);
+            self.detectors[b * self.n + v].update(idx, dv);
+        }
+    }
+
+    /// The pre-bank batched path: a plain loop over `update_edge`.
+    pub fn absorb(&mut self, batch: &[gs_sketch::EdgeUpdate]) {
+        for up in batch {
+            self.update_edge(up.u, up.v, up.delta);
+        }
+    }
+
+    /// Per-cell merge across all detectors.
+    pub fn merge(&mut self, other: &AosForest) {
+        for (a, b) in self.detectors.iter_mut().zip(&other.detectors) {
+            a.merge(b);
+        }
+    }
+
+    /// Flattened `(w, s, f)` lanes in detector order — for bit-identity
+    /// checks against the bank-backed sketch.
+    pub fn lanes(&self) -> (Vec<i64>, Vec<i128>, Vec<M61>) {
+        let mut w = Vec::new();
+        let mut s = Vec::new();
+        let mut f = Vec::new();
+        for d in &self.detectors {
+            for c in &d.cells {
+                w.push(c.w);
+                s.push(c.s);
+                f.push(c.f);
+            }
+        }
+        (w, s, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_sketches::ForestSketch;
+    use gs_sketch::bank::CellBanked;
+    use gs_sketch::{EdgeUpdate, LinearSketch};
+
+    #[test]
+    fn aos_baseline_is_bit_identical_to_the_bank_path() {
+        // The baseline only means something if it computes the same
+        // measurement: feed both paths the same stream and compare lanes.
+        let n = 24;
+        let updates: Vec<EdgeUpdate> = (0..300)
+            .map(|i| EdgeUpdate {
+                u: (i * 7) % n,
+                v: ((i * 7) % n + 1 + (i % (n - 1))) % n,
+                delta: if i % 5 == 0 { -1 } else { 1 },
+            })
+            .filter(|up| up.u != up.v)
+            .collect();
+        let mut aos = AosForest::new(n, 0xBA5E);
+        aos.absorb(&updates);
+        let mut banked = ForestSketch::new(n, 0xBA5E);
+        banked.absorb(&updates);
+        let (w, s, f) = aos.lanes();
+        let mut bw = Vec::new();
+        let mut bs = Vec::new();
+        let mut bf = Vec::new();
+        for bank in banked.banks() {
+            let (lw, ls, lf) = bank.lanes();
+            bw.extend_from_slice(lw);
+            bs.extend_from_slice(ls);
+            bf.extend_from_slice(lf);
+        }
+        assert_eq!(w, bw);
+        assert_eq!(s, bs);
+        assert_eq!(f, bf);
+    }
+}

@@ -4,8 +4,8 @@
 //! ```text
 //! graph-sketch <command> --n <vertices> [options] < updates.txt
 //! graph-sketch --spec '<json>' [options] < updates.txt
-//! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] < updates.txt
-//! graph-sketch merge      <sketch-file>... [--out FILE]
+//! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin] < updates.txt
+//! graph-sketch merge      <sketch-file>... [--out FILE] [--format json|bin]
 //! graph-sketch decode     <sketch-file> [--json]
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
@@ -37,6 +37,9 @@
 //!   --stats         report updates/sec and engine counters on stderr
 //!   --every <int>   serve-demo: snapshot-decode period, in updates
 //!   --out <file>    sketch/merge: write the sketch file here (default stdout)
+//!   --format <f>    sketch/merge: output file format, `json` (wire v1,
+//!                   default) or `bin` (wire v2, length-prefixed LE binary
+//!                   of the cell banks); loads always auto-detect
 //!   --json          emit the answer as one JSON object
 //!   --seed <int>    master sketch seed
 //!
@@ -66,6 +69,27 @@ const DEFAULT_CHUNK: usize = 8192;
 /// Default serve-demo snapshot period, in updates.
 const DEFAULT_EVERY: u64 = 1000;
 
+/// On-disk sketch-file format selected by `--format` (loads always
+/// auto-detect by content, so the flag only governs what is written).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum FileFormat {
+    /// Wire format 1: one JSON object (the default).
+    #[default]
+    Json,
+    /// Wire format 2: length-prefixed little-endian binary.
+    Bin,
+}
+
+impl FileFormat {
+    fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "json" => Ok(FileFormat::Json),
+            "bin" => Ok(FileFormat::Bin),
+            other => Err(format!("--format must be json or bin, got {other:?}")),
+        }
+    }
+}
+
 struct Options {
     spec: SketchSpec,
     sites: usize,
@@ -74,6 +98,7 @@ struct Options {
     chunk: usize,
     every: Option<u64>,
     out: Option<String>,
+    format: Option<FileFormat>,
 }
 
 fn usage() -> ExitCode {
@@ -83,8 +108,8 @@ fn usage() -> ExitCode {
          [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] \
          [--sites <int>] [--chunk <int>] [--stats] [--json] < stream\n\
          \x20      graph-sketch --spec '<json>' [options] < stream\n\
-         \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] < stream\n\
-         \x20      graph-sketch merge <sketch-file>... [--out FILE]\n\
+         \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin] < stream\n\
+         \x20      graph-sketch merge <sketch-file>... [--out FILE] [--format json|bin]\n\
          \x20      graph-sketch decode <sketch-file> [--json]\n\
          \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream",
         commands = commands.join("|")
@@ -119,6 +144,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
     let mut chunk = DEFAULT_CHUNK;
     let mut every: Option<u64> = None;
     let mut out: Option<String> = None;
+    let mut format: Option<FileFormat> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => {
@@ -145,6 +171,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
             "--chunk" => chunk = val()?.parse().map_err(|e| format!("--chunk: {e}"))?,
             "--every" => every = Some(val()?.parse().map_err(|e| format!("--every: {e}"))?),
             "--out" => out = Some(val()?),
+            "--format" => format = Some(FileFormat::parse(&val()?)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -197,6 +224,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
         chunk,
         every,
         out,
+        format,
     })
 }
 
@@ -326,6 +354,34 @@ fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
     }
 }
 
+/// Writes a sketch file in the selected `--format` to `--out` or stdout
+/// (binary goes to stdout raw — pipe or redirect it).
+fn emit_file(out: &Option<String>, format: FileFormat, file: &SketchFile) -> Result<(), String> {
+    match format {
+        FileFormat::Json => emit(out, &file.to_json()),
+        FileFormat::Bin => {
+            let bytes = file.to_bytes();
+            match out {
+                Some(path) => std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}")),
+                None => {
+                    use std::io::Write;
+                    std::io::stdout()
+                        .write_all(&bytes)
+                        .map_err(|e| format!("stdout: {e}"))
+                }
+            }
+        }
+    }
+}
+
+/// Reads and parses a sketch file of either wire format (auto-detected by
+/// content, so `merge`/`decode` accept JSON and binary files
+/// interchangeably).
+fn load_sketch_file(path: &str) -> Result<SketchFile, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    SketchFile::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Renders a decoded answer exactly like the original one-shot CLI:
 /// human lines on stdout (stderr + exit 1 for an unresolved min cut), or
 /// one JSON object with `--json`.
@@ -370,6 +426,10 @@ fn cmd_query(args: &[String], snapshots: bool) -> ExitCode {
         eprintln!("error: --out only applies to the sketch and merge verbs");
         return usage();
     }
+    if opts.format.is_some() {
+        eprintln!("error: --format only applies to the sketch and merge verbs");
+        return usage();
+    }
     if opts.every.is_some() && !snapshots {
         eprintln!("error: --every only applies to serve-demo");
         return usage();
@@ -411,7 +471,7 @@ fn cmd_sketch(args: &[String]) -> ExitCode {
     };
     // Refuse flags that would be silently ignored here.
     if opts.json {
-        eprintln!("error: --json does not apply to sketch (the sketch file is already JSON)");
+        eprintln!("error: --json does not apply to sketch (use --format for the file format)");
         return usage();
     }
     if opts.every.is_some() {
@@ -435,7 +495,7 @@ fn cmd_sketch(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = emit(&opts.out, &file.to_json()) {
+    if let Err(e) = emit_file(&opts.out, opts.format.unwrap_or_default(), &file) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -453,6 +513,7 @@ fn cmd_sketch(args: &[String]) -> ExitCode {
 fn cmd_merge(args: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut out: Option<String> = None;
+    let mut format = FileFormat::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -460,6 +521,17 @@ fn cmd_merge(args: &[String]) -> ExitCode {
                 Some(path) => out = Some(path.clone()),
                 None => {
                     eprintln!("error: missing value for --out");
+                    return usage();
+                }
+            },
+            "--format" => match it.next().map(|v| FileFormat::parse(v)) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+                None => {
+                    eprintln!("error: missing value for --format");
                     return usage();
                 }
             },
@@ -474,19 +546,14 @@ fn cmd_merge(args: &[String]) -> ExitCode {
         eprintln!("error: merge needs at least one sketch file");
         return usage();
     }
+    // Inputs auto-detect their format, so JSON and binary files from
+    // different sites fold together; --format picks the output encoding.
     let mut acc: Option<SketchFile> = None;
     for path in &files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let file = match SketchFile::from_json(&text) {
+        let file = match load_sketch_file(path) {
             Ok(f) => f,
             Err(e) => {
-                eprintln!("error: {path}: {e}");
+                eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -502,7 +569,7 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     }
     let merged = acc.expect("at least one file");
     eprintln!("merged {} sketch file(s)", files.len());
-    if let Err(e) = emit(&out, &merged.to_json()) {
+    if let Err(e) = emit_file(&out, format, &merged) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -517,6 +584,13 @@ fn cmd_decode(args: &[String]) -> ExitCode {
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--format" => {
+                eprintln!(
+                    "error: --format only applies to the sketch and merge verbs \
+                     (decode auto-detects the input format)"
+                );
+                return usage();
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 return usage();
@@ -532,17 +606,10 @@ fn cmd_decode(args: &[String]) -> ExitCode {
         eprintln!("error: decode needs a sketch file");
         return usage();
     };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let file = match SketchFile::from_json(&text) {
+    let file = match load_sketch_file(&path) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("error: {path}: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };

@@ -292,6 +292,149 @@ fn line_errors_keep_their_line_numbers() {
 }
 
 #[test]
+fn binary_pipeline_matches_json_pipeline() {
+    // The same three-site topology shipped through --format bin: site
+    // sketches, coordinator merge, decode — the decoded answer must be
+    // byte-identical to the JSON-format pipeline and to one process.
+    let n = 12;
+    let stream = demo_stream(n);
+    let dir = Scratch::new("binpipe");
+    let parts = split_lines(&stream, 3);
+    let mut files = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        let f = dir.path(&format!("site{i}.sketch2"));
+        let (_, err, code) = run(
+            &[
+                "sketch",
+                "connectivity",
+                "--n",
+                "12",
+                "--seed",
+                "9",
+                "--format",
+                "bin",
+                "--out",
+                &f,
+            ],
+            part,
+        );
+        assert_eq!(code, 0, "binary sketch failed: {err}");
+        // The site file really is binary (v2 magic, not JSON).
+        let bytes = std::fs::read(&f).unwrap();
+        assert!(bytes.starts_with(b"AGMSKB2\n"), "not a v2 file");
+        files.push(f);
+    }
+    let merged = dir.path("merged.sketch2");
+    let mut args: Vec<&str> = vec!["merge"];
+    args.extend(files.iter().map(String::as_str));
+    args.extend(["--format", "bin", "--out", &merged]);
+    let (_, err, code) = run(&args, "");
+    assert_eq!(code, 0, "binary merge failed: {err}");
+    let (decoded, _, code) = run(&["decode", &merged], "");
+    assert_eq!(code, 0);
+    let (central, _, code) = run(&["connectivity", "--n", "12", "--seed", "9"], &stream);
+    assert_eq!(code, 0);
+    assert_eq!(decoded, central, "binary pipeline answer differs");
+}
+
+#[test]
+fn merge_mixes_json_and_binary_sites() {
+    // Content sniffing: one site ships JSON, the other binary; the
+    // coordinator folds them without being told which is which.
+    let n = 10;
+    let stream = demo_stream(n);
+    let dir = Scratch::new("mixed");
+    let parts = split_lines(&stream, 2);
+    let (a, b) = (dir.path("a.json"), dir.path("b.bin"));
+    run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "10",
+            "--seed",
+            "4",
+            "--out",
+            &a,
+        ],
+        &parts[0],
+    );
+    run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "10",
+            "--seed",
+            "4",
+            "--format",
+            "bin",
+            "--out",
+            &b,
+        ],
+        &parts[1],
+    );
+    let merged = dir.path("merged.json");
+    let (_, err, code) = run(&["merge", &a, &b, "--out", &merged], "");
+    assert_eq!(code, 0, "mixed-format merge failed: {err}");
+    let (decoded, _, code) = run(&["decode", &merged], "");
+    assert_eq!(code, 0);
+    let (central, _, code) = run(&["connectivity", "--n", "10", "--seed", "4"], &stream);
+    assert_eq!(code, 0);
+    assert_eq!(decoded, central, "mixed-format answer differs");
+}
+
+#[test]
+fn truncated_binary_file_fails_loudly() {
+    let stream = demo_stream(8);
+    let dir = Scratch::new("bintrunc");
+    let f = dir.path("a.sketch2");
+    run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "8",
+            "--format",
+            "bin",
+            "--out",
+            &f,
+        ],
+        &stream,
+    );
+    let bytes = std::fs::read(&f).unwrap();
+    std::fs::write(&f, &bytes[..bytes.len() / 2]).unwrap();
+    let (_, err, code) = run(&["decode", &f], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("truncated"), "unhelpful error: {err}");
+}
+
+#[test]
+fn format_flag_is_refused_out_of_place() {
+    // --format on a plain query, serve-demo, or decode is a mistake; it
+    // must be refused, not silently ignored (PR 2 flag discipline).
+    let (_, err, code) = run(&["connectivity", "--n", "4", "--format", "bin"], "+ 0 1\n");
+    assert_ne!(code, 0);
+    assert!(err.contains("--format"), "unhelpful error: {err}");
+    let (_, err, code) = run(
+        &["serve-demo", "connectivity", "--n", "4", "--format", "bin"],
+        "+ 0 1\n",
+    );
+    assert_ne!(code, 0);
+    assert!(err.contains("--format"), "unhelpful error: {err}");
+    let (_, err, code) = run(&["decode", "whatever.sketch", "--format", "bin"], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("--format"), "unhelpful error: {err}");
+    // And a bad value is named.
+    let (_, err, code) = run(
+        &["sketch", "connectivity", "--n", "4", "--format", "xml"],
+        "+ 0 1\n",
+    );
+    assert_ne!(code, 0);
+    assert!(err.contains("json or bin"), "unhelpful error: {err}");
+}
+
+#[test]
 fn out_of_place_flags_are_refused_not_ignored() {
     // `--out` on a plain query used to exit 0 without creating the file.
     let (_, err, code) = run(

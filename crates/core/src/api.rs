@@ -39,7 +39,9 @@ use crate::{
     ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
     SubgraphSketch, WeightedSparsifySketch,
 };
+use gs_field::M61;
 use gs_graph::subgraph::Pattern;
+use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
 use gs_stream::distributed::{sketch_central, sketch_distributed};
 use serde::{Deserialize, Serialize, Value};
@@ -390,6 +392,24 @@ impl LinearSketch for AnySketch {
         }
     }
 
+    /// Batched ingestion: dispatches **once per batch** to the concrete
+    /// sketch's bank-backed kernel (the path the engine's shard workers
+    /// and every `absorb` caller take), instead of once per update.
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        match self {
+            AnySketch::Forest(s) => s.absorb(batch),
+            AnySketch::Bipartite(s) => s.absorb(batch),
+            AnySketch::MinCut(s) => s.absorb(batch),
+            AnySketch::SimpleSparsify(s) => s.absorb(batch),
+            AnySketch::Sparsify(s) => s.absorb(batch),
+            AnySketch::WeightedSparsify(s) => s.absorb(batch),
+            AnySketch::Subgraph(s) => s.absorb(batch),
+            AnySketch::Mst(s) => s.absorb(batch),
+            AnySketch::KConnect(s) => s.absorb(batch),
+            AnySketch::KEdgeWitness(s) => s.absorb(batch),
+        }
+    }
+
     fn space_bytes(&self) -> usize {
         match self {
             AnySketch::Forest(s) => s.space_bytes(),
@@ -486,6 +506,68 @@ impl LinearSketch for AnySketch {
                     edges: h.edges().to_vec(),
                 }
             }
+        }
+    }
+}
+
+impl CellBanked for AnySketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        match self {
+            AnySketch::Forest(s) => s.banks(),
+            AnySketch::Bipartite(s) => s.banks(),
+            AnySketch::MinCut(s) => s.banks(),
+            AnySketch::SimpleSparsify(s) => s.banks(),
+            AnySketch::Sparsify(s) => s.banks(),
+            AnySketch::WeightedSparsify(s) => s.banks(),
+            AnySketch::Subgraph(s) => s.banks(),
+            AnySketch::Mst(s) => s.banks(),
+            AnySketch::KConnect(s) => s.banks(),
+            AnySketch::KEdgeWitness(s) => s.banks(),
+        }
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        match self {
+            AnySketch::Forest(s) => s.banks_mut(),
+            AnySketch::Bipartite(s) => s.banks_mut(),
+            AnySketch::MinCut(s) => s.banks_mut(),
+            AnySketch::SimpleSparsify(s) => s.banks_mut(),
+            AnySketch::Sparsify(s) => s.banks_mut(),
+            AnySketch::WeightedSparsify(s) => s.banks_mut(),
+            AnySketch::Subgraph(s) => s.banks_mut(),
+            AnySketch::Mst(s) => s.banks_mut(),
+            AnySketch::KConnect(s) => s.banks_mut(),
+            AnySketch::KEdgeWitness(s) => s.banks_mut(),
+        }
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        match self {
+            AnySketch::Forest(s) => s.fingerprints(),
+            AnySketch::Bipartite(s) => s.fingerprints(),
+            AnySketch::MinCut(s) => s.fingerprints(),
+            AnySketch::SimpleSparsify(s) => s.fingerprints(),
+            AnySketch::Sparsify(s) => s.fingerprints(),
+            AnySketch::WeightedSparsify(s) => s.fingerprints(),
+            AnySketch::Subgraph(s) => s.fingerprints(),
+            AnySketch::Mst(s) => s.fingerprints(),
+            AnySketch::KConnect(s) => s.fingerprints(),
+            AnySketch::KEdgeWitness(s) => s.fingerprints(),
+        }
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        match self {
+            AnySketch::Forest(s) => s.fingerprints_mut(),
+            AnySketch::Bipartite(s) => s.fingerprints_mut(),
+            AnySketch::MinCut(s) => s.fingerprints_mut(),
+            AnySketch::SimpleSparsify(s) => s.fingerprints_mut(),
+            AnySketch::Sparsify(s) => s.fingerprints_mut(),
+            AnySketch::WeightedSparsify(s) => s.fingerprints_mut(),
+            AnySketch::Subgraph(s) => s.fingerprints_mut(),
+            AnySketch::Mst(s) => s.fingerprints_mut(),
+            AnySketch::KConnect(s) => s.fingerprints_mut(),
+            AnySketch::KEdgeWitness(s) => s.fingerprints_mut(),
         }
     }
 }
@@ -699,6 +781,39 @@ mod tests {
                     "{task:?} @ {sites} sites"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_absorb_is_bit_identical_for_every_task() {
+        // Every absorb override (forest plan-sharing, per-level /
+        // per-threshold / per-class batch partitioning, recovery plan
+        // reuse) must equal the per-update path bit for bit — this is the
+        // law that lets the engine's shard workers take the batched
+        // kernel without changing any answer.
+        for task in SketchTask::ALL {
+            let spec = SketchSpec::new(task, 12).with_eps(0.75).with_max_weight(64);
+            let updates: Vec<EdgeUpdate> = match task {
+                SketchTask::Mst | SketchTask::WeightedSparsify => (0..40)
+                    .flat_map(|i| {
+                        let (u, v, w) = (i % 12, (i + 1 + i % 11) % 12, 1 + (i * 7) % 64);
+                        let ins = EdgeUpdate::weighted(u, v, w as u64, 1);
+                        // Delete every third edge again (same weight).
+                        (u != v).then_some(ins).into_iter().chain(
+                            (u != v && i % 3 == 0)
+                                .then_some(EdgeUpdate::weighted(u, v, w as u64, -1)),
+                        )
+                    })
+                    .collect(),
+                _ => churn_updates(12, 0.4, 7 + task as u64),
+            };
+            let mut batched = spec.build();
+            batched.absorb(&updates);
+            let mut looped = spec.build();
+            for up in &updates {
+                looped.update_edge(up.u, up.v, up.delta);
+            }
+            assert_eq!(batched, looped, "{task:?}: batched != looped");
         }
     }
 

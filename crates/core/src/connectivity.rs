@@ -13,12 +13,15 @@
 //! deliberately reuses one bank to measure how much that matters in
 //! practice.
 
-use crate::incidence::update_both_endpoints;
-use gs_field::BackendKind;
+use crate::incidence::sign_for;
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::UnionFind;
+use gs_sketch::bank::{BankGeometry, CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
-use gs_sketch::{L0Detector, L0Result, LinearSketch, Mergeable, CELL_BYTES};
-use serde::{Deserialize, Serialize};
+use gs_sketch::{
+    level_count, EdgeUpdate, L0Detector, L0Result, LinearSketch, Mergeable, CELL_BYTES,
+};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Parameters for [`ForestSketch`].
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,6 +50,12 @@ impl ForestParams {
         }
     }
 }
+
+/// Upper bound on [`ForestParams::detector_reps`]: the hot path keeps the
+/// per-rep subsampling levels in a stack buffer of this size. Far above
+/// any useful repetition count (the default is 2–3; failure probability
+/// falls exponentially in reps).
+pub const MAX_DETECTOR_REPS: usize = 64;
 
 /// A decoded spanning forest.
 #[derive(Clone, Debug, Default)]
@@ -83,14 +92,33 @@ impl Forest {
 
 /// Linear sketch from which a spanning forest of the current multigraph
 /// can be decoded (w.h.p.).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is **one contiguous [`CellBank`]** covering every round, node,
+/// repetition, and level — the shared substrate every scaling path
+/// exploits: updates hash once per round and fan into both endpoint rows,
+/// merges are three lane-wise slice adds over the whole sketch, and the
+/// binary wire format dumps the lanes verbatim. The pre-bank layout
+/// (`rounds × n` individually-allocated detectors) survives only as the
+/// JSON wire shape: serialization round-trips through [`L0Detector`]
+/// proxies so wire-format-v1 files are unchanged in both directions.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ForestSketch {
     n: usize,
     params: ForestParams,
     seed: u64,
-    /// `rounds × n` detectors over the edge-slot domain, round-major.
-    /// With `share_rounds` only round 0 is allocated.
-    detectors: Vec<L0Detector>,
+    /// Levels per detector row: `level_count(C(n,2))`.
+    levels: u32,
+    /// `(banks · n · detector_reps) × levels × 1` cells; the row of
+    /// `(bank, node, rep)` starts at `((bank·n + node)·reps + rep)·levels`.
+    cells: CellBank,
+    /// Per-`(bank, rep)` subsampling hashes, bank-major. All nodes within
+    /// one bank share them: summing Σ_{u∈A} sketch(x^u) is only
+    /// meaningful when every node sketch is the same linear projection
+    /// applied to a different vector. Independent randomness exists
+    /// *across rounds* only.
+    level_hash: Vec<HashBackend>,
+    /// Per-bank fingerprint hash.
+    finger: Vec<HashBackend>,
 }
 
 impl ForestSketch {
@@ -100,35 +128,61 @@ impl ForestSketch {
     }
 
     /// Full-control constructor.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `detector_reps` exceeds
+    /// [`MAX_DETECTOR_REPS`].
     pub fn with_params(n: usize, params: ForestParams, seed: u64) -> Self {
         assert!(n >= 2);
+        assert!(
+            (1..=MAX_DETECTOR_REPS).contains(&params.detector_reps),
+            "detector_reps must be in 1..={MAX_DETECTOR_REPS}"
+        );
         let banks = if params.share_rounds {
             1
         } else {
             params.rounds
         };
-        let domain = edge_domain(n);
-        // All nodes within one round share the SAME seed: summing
-        // Σ_{u∈A} sketch(x^u) is only meaningful when every node sketch is
-        // the same linear projection applied to a different vector.
-        // Independent randomness exists *across rounds* only.
-        let detectors = (0..banks * n)
-            .map(|i| {
-                let bank = i / n;
-                L0Detector::with_params(
-                    domain,
-                    params.detector_reps,
-                    seed ^ (0xF0_0000 + bank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    params.kind,
-                )
+        let reps = params.detector_reps;
+        let levels = level_count(edge_domain(n));
+        let level_hash = (0..banks)
+            .flat_map(|b| {
+                let seed = Self::bank_seed(seed, b);
+                (0..reps).map(move |r| params.kind.backend(seed, 0x4C30_0100 + r as u64))
             })
+            .collect();
+        let finger = (0..banks)
+            .map(|b| params.kind.backend(Self::bank_seed(seed, b), 0x4C30_0001))
             .collect();
         ForestSketch {
             n,
             params,
             seed,
-            detectors,
+            levels,
+            cells: CellBank::new(BankGeometry::new(banks * n * reps, levels as usize, 1)),
+            level_hash,
+            finger,
         }
+    }
+
+    /// The per-round detector seed (the derivation the pre-bank
+    /// `Vec<L0Detector>` layout used, kept for wire compatibility).
+    fn bank_seed(seed: u64, bank: usize) -> u64 {
+        seed ^ (0xF0_0000 + bank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Number of detector banks (1 under the `share_rounds` ablation).
+    fn bank_count(&self) -> usize {
+        if self.params.share_rounds {
+            1
+        } else {
+            self.params.rounds
+        }
+    }
+
+    /// Cells per `(bank, node)` detector row group: `reps × levels`.
+    fn row_len(&self) -> usize {
+        self.params.detector_reps * self.levels as usize
     }
 
     /// Vertex count.
@@ -136,29 +190,119 @@ impl ForestSketch {
         self.n
     }
 
+    /// Applies one `(index, ±δ)` coordinate update to the `(bank, node)`
+    /// detector rows, with the hash work precomputed: `lmax[r]` is the
+    /// per-rep subsampling level, `(dw, ds, df)` the update triple.
+    #[inline]
+    fn fan_rows(&mut self, bank: usize, node: usize, lmax: &[u32], dw: i64, ds: i128, df: M61) {
+        let levels = self.levels as usize;
+        let mut base = ((bank * self.n + node) * self.params.detector_reps) * levels;
+        for &lm in lmax {
+            self.cells.fan(base..base + lm as usize + 1, dw, ds, df);
+            base += levels;
+        }
+    }
+
     /// Applies a stream update `(u, v, ±m)` (Definition 1; `m` units of
-    /// multiplicity at once are allowed).
+    /// multiplicity at once are allowed). Each bank hashes the edge slot
+    /// once — fingerprint plus one subsampling level per repetition — and
+    /// fans the triple into both endpoint rows (`+` for the smaller
+    /// endpoint, `−` for the larger, the Eq. 1 sign convention).
     pub fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         assert!(u != v && u < self.n && v < self.n, "bad edge ({u},{v})");
         if delta == 0 {
             return;
         }
         let idx = edge_index(self.n, u, v);
-        let banks = if self.params.share_rounds {
-            1
-        } else {
-            self.params.rounds
-        };
-        update_both_endpoints(u, v, delta, |node, d| {
-            for b in 0..banks {
-                self.detectors[b * self.n + node].update(idx, d);
+        let du = sign_for(u, v) * delta;
+        let reps = self.params.detector_reps;
+        // Stack buffer for the per-rep levels (with_params caps reps).
+        let mut lmax = [0u32; MAX_DETECTOR_REPS];
+        let lmax = &mut lmax[..reps];
+        for b in 0..self.bank_count() {
+            for (r, lm) in lmax.iter_mut().enumerate() {
+                *lm = self.level_hash[b * reps + r].subsample_level(idx, self.levels - 1);
             }
-        });
+            let (dw, ds, df) = CellBank::deltas(idx, du, self.finger[b].hash_m61(idx));
+            self.fan_rows(b, u, lmax, dw, ds, df);
+            self.fan_rows(b, v, lmax, -dw, -ds, -df);
+        }
+    }
+
+    /// Batched ingestion — the bank kernel. Bit-identical to looping
+    /// [`ForestSketch::update_edge`] (linearity makes application order
+    /// irrelevant), but processes the batch **bank by bank**: each bank's
+    /// cell region is contiguous, so one pass over the batch stays in a
+    /// cache-resident window instead of striding across every bank per
+    /// update.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        // Validate and pre-index once per update, not once per bank.
+        let prepared: Vec<(u64, i64, u32, u32)> = batch
+            .iter()
+            .filter_map(|up| {
+                let (u, v, delta) = (up.u, up.v, up.delta);
+                assert!(u != v && u < self.n && v < self.n, "bad edge ({u},{v})");
+                (delta != 0).then(|| {
+                    (
+                        edge_index(self.n, u, v),
+                        sign_for(u, v) * delta,
+                        u as u32,
+                        v as u32,
+                    )
+                })
+            })
+            .collect();
+        let reps = self.params.detector_reps;
+        let mut lmax = vec![0u32; reps];
+        for b in 0..self.bank_count() {
+            for &(idx, du, u, v) in &prepared {
+                for (r, lm) in lmax.iter_mut().enumerate() {
+                    *lm = self.level_hash[b * reps + r].subsample_level(idx, self.levels - 1);
+                }
+                let (dw, ds, df) = CellBank::deltas(idx, du, self.finger[b].hash_m61(idx));
+                self.fan_rows(b, u as usize, &lmax, dw, ds, df);
+                self.fan_rows(b, v as usize, &lmax, -dw, -ds, -df);
+            }
+        }
     }
 
     /// Total sketch size in 1-sparse cells (space accounting for E3/E4).
     pub fn cell_count(&self) -> usize {
-        self.detectors.iter().map(|d| d.cell_count()).sum()
+        self.cells.len()
+    }
+
+    /// An empty standalone detector with bank `b`'s hashes — the proxy
+    /// through which decode queries and the JSON wire shape reuse the
+    /// [`L0Detector`] machinery.
+    fn proxy_detector(&self, bank: usize) -> L0Detector {
+        L0Detector::with_params(
+            edge_domain(self.n),
+            self.params.detector_reps,
+            Self::bank_seed(self.seed, bank),
+            self.params.kind,
+        )
+    }
+
+    /// Queries Σ_{u∈group} sketch(x^u) for bank `bank`: lane-sums the
+    /// member rows into a proxy detector and decodes it. Equal to merging
+    /// the members' detectors in the pre-bank layout, cell for cell.
+    fn group_query(&self, bank: usize, group: &[usize]) -> L0Result {
+        let rowlen = self.row_len();
+        let (w, s, f) = self.cells.lanes();
+        let mut gw = vec![0i64; rowlen];
+        let mut gs = vec![0i128; rowlen];
+        let mut gf = vec![M61::ZERO; rowlen];
+        for &node in group {
+            let off = (bank * self.n + node) * rowlen;
+            for j in 0..rowlen {
+                gw[j] += w[off + j];
+                gs[j] += s[off + j];
+                gf[j] += f[off + j];
+            }
+        }
+        let mut acc = self.proxy_detector(bank);
+        acc.banks_mut()[0].overlay(gw, gs, gf);
+        acc.query()
     }
 
     /// Decodes a spanning forest by Boruvka contraction.
@@ -181,11 +325,7 @@ impl ForestSketch {
             let mut found: Vec<(usize, usize, i64)> = Vec::new();
             for group in &groups {
                 // Σ_{u∈A} sketch(x^u) sketches exactly the crossing edges.
-                let mut acc = self.detectors[bank * self.n + group[0]].clone();
-                for &u in &group[1..] {
-                    acc.merge(&self.detectors[bank * self.n + u]);
-                }
-                if let L0Result::Sample(idx, val) = acc.query() {
+                if let L0Result::Sample(idx, val) = self.group_query(bank, group) {
                     let (u, v) = edge_unindex(idx);
                     if u < self.n && v < self.n {
                         found.push((u, v, val));
@@ -211,9 +351,114 @@ impl Mergeable for ForestSketch {
             "merging forest sketches with different seeds"
         );
         assert_eq!(self.n, other.n);
-        for (a, b) in self.detectors.iter_mut().zip(&other.detectors) {
-            a.merge(b);
+        // One lane-wise add over the whole contiguous sketch.
+        self.cells.add(&other.cells);
+    }
+}
+
+impl CellBanked for ForestSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        vec![&self.cells]
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        vec![&mut self.cells]
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
+    }
+}
+
+// The JSON wire shape predates the contiguous bank: a forest sketch
+// serializes as `rounds × n` standalone detectors, each carrying its own
+// hashes and cell array. Round-tripping through [`L0Detector`] proxies
+// keeps wire-format-v1 files byte-compatible in both directions while the
+// in-memory layout is one bank.
+impl Serialize for ForestSketch {
+    fn to_value(&self) -> Value {
+        let rowlen = self.row_len();
+        let (w, s, f) = self.cells.lanes();
+        let mut detectors = Vec::with_capacity(self.bank_count() * self.n);
+        for b in 0..self.bank_count() {
+            for node in 0..self.n {
+                let mut d = self.proxy_detector(b);
+                let off = (b * self.n + node) * rowlen;
+                d.banks_mut()[0].overlay(
+                    w[off..off + rowlen].to_vec(),
+                    s[off..off + rowlen].to_vec(),
+                    f[off..off + rowlen].to_vec(),
+                );
+                detectors.push(d.to_value());
+            }
         }
+        Value::Map(vec![
+            ("n".into(), self.n.to_value()),
+            ("params".into(), self.params.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("detectors".into(), Value::Seq(detectors)),
+        ])
+    }
+}
+
+impl Deserialize for ForestSketch {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n: usize = serde::field(v, "n")?;
+        let params: ForestParams = serde::field(v, "params")?;
+        let seed: u64 = serde::field(v, "seed")?;
+        let detectors: Vec<L0Detector> = serde::field(v, "detectors")?;
+        if n < 2 {
+            return Err(Error::msg("forest sketch needs n >= 2"));
+        }
+        if !(1..=MAX_DETECTOR_REPS).contains(&params.detector_reps) || params.rounds < 1 {
+            return Err(Error::msg("forest sketch reps/rounds out of range"));
+        }
+        // Untrusted input: every shape check precedes any allocation that
+        // the declared `n`/`params` could inflate — a corrupt file must
+        // fail with an error, never with an aborting huge allocation. The
+        // count checks bound `n` (and hence the bank) by the number of
+        // detectors (and cells) the file physically carried.
+        let banks = if params.share_rounds {
+            1
+        } else {
+            params.rounds
+        };
+        let expected = banks
+            .checked_mul(n)
+            .ok_or_else(|| Error::msg("forest sketch dimensions overflow"))?;
+        if detectors.len() != expected {
+            return Err(Error::msg(format!(
+                "expected {expected} detectors, found {}",
+                detectors.len()
+            )));
+        }
+        let rowlen = params.detector_reps * level_count(edge_domain(n)) as usize;
+        for d in &detectors {
+            if d.cell_count() != rowlen {
+                return Err(Error::msg(format!(
+                    "expected {rowlen} cells per detector, found {}",
+                    d.cell_count()
+                )));
+            }
+        }
+        let mut sk = ForestSketch::with_params(n, params, seed);
+        debug_assert_eq!(sk.row_len(), rowlen);
+        let total = detectors.len() * rowlen;
+        let mut w = Vec::with_capacity(total);
+        let mut s = Vec::with_capacity(total);
+        let mut f = Vec::with_capacity(total);
+        for d in &detectors {
+            let (dw, ds, df) = d.banks()[0].lanes();
+            w.extend_from_slice(dw);
+            s.extend_from_slice(ds);
+            f.extend_from_slice(df);
+        }
+        sk.cells.overlay(w, s, f);
+        Ok(sk)
     }
 }
 
@@ -226,6 +471,10 @@ impl LinearSketch for ForestSketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         ForestSketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {
@@ -404,6 +653,23 @@ mod tests {
         for &(u, v, _) in &f.edges {
             assert!(g.has_edge(u, v), "phantom edge ({u},{v})");
             assert!(uf.union(u, v), "cycle through ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn batched_absorb_is_bit_identical_to_per_update_feed() {
+        let g = gen::connected_gnp(30, 0.2, 61);
+        let updates = GraphStream::with_churn(&g, 250, 63).edge_updates();
+        for share_rounds in [false, true] {
+            let mut params = ForestParams::for_n(30);
+            params.share_rounds = share_rounds;
+            let mut batched = ForestSketch::with_params(30, params, 65);
+            batched.absorb_batch(&updates);
+            let mut looped = ForestSketch::with_params(30, params, 65);
+            for up in &updates {
+                looped.update_edge(up.u, up.v, up.delta);
+            }
+            assert_eq!(batched, looped, "share_rounds = {share_rounds}");
         }
     }
 

@@ -13,8 +13,10 @@
 
 use crate::connectivity::{ForestParams, ForestSketch};
 use crate::kedge::KEdgeConnectSketch;
+use gs_field::M61;
 use gs_graph::stoer_wagner;
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Single-pass bipartiteness tester for dynamic graph streams.
@@ -60,6 +62,31 @@ impl BipartitenessSketch {
         self.cover.update_edge(self.n + u, v, delta);
     }
 
+    /// Batched ingestion: the base forest takes the batch as-is, the
+    /// double cover takes the doubled batch, each through the forest's
+    /// batched kernel.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        self.base.absorb_batch(batch);
+        let cover_batch: Vec<EdgeUpdate> = batch
+            .iter()
+            .flat_map(|up| {
+                [
+                    EdgeUpdate {
+                        u: up.u,
+                        v: self.n + up.v,
+                        delta: up.delta,
+                    },
+                    EdgeUpdate {
+                        u: self.n + up.u,
+                        v: up.v,
+                        delta: up.delta,
+                    },
+                ]
+            })
+            .collect();
+        self.cover.absorb_batch(&cover_batch);
+    }
+
     /// `true` iff the streamed graph is bipartite (w.h.p.): the double
     /// cover has exactly twice as many components as the graph. An odd
     /// cycle merges its two cover copies into one component.
@@ -78,6 +105,28 @@ impl Mergeable for BipartitenessSketch {
     }
 }
 
+impl CellBanked for BipartitenessSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        let mut banks = self.base.banks();
+        banks.extend(self.cover.banks());
+        banks
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        let mut banks = self.base.banks_mut();
+        banks.extend(self.cover.banks_mut());
+        banks
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
+    }
+}
+
 impl LinearSketch for BipartitenessSketch {
     type Output = bool;
 
@@ -87,6 +136,10 @@ impl LinearSketch for BipartitenessSketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         BipartitenessSketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {
@@ -152,6 +205,24 @@ impl Mergeable for KConnectivitySketch {
     }
 }
 
+impl CellBanked for KConnectivitySketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.inner.banks()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.inner.banks_mut()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        self.inner.fingerprints()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        self.inner.fingerprints_mut()
+    }
+}
+
 impl LinearSketch for KConnectivitySketch {
     type Output = bool;
 
@@ -161,6 +232,10 @@ impl LinearSketch for KConnectivitySketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         KConnectivitySketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.inner.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

@@ -16,8 +16,10 @@
 //! the "witness" property used by Figs. 1 and 2.
 
 use crate::connectivity::{ForestParams, ForestSketch};
+use gs_field::M61;
 use gs_graph::Graph;
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// How a recovered forest edge is removed from the next layer's sketch.
@@ -101,6 +103,15 @@ impl KEdgeConnectSketch {
         }
     }
 
+    /// Batched ingestion: each forest layer runs its own batched kernel
+    /// (layers have independent seeds, so hash work is per layer, but
+    /// within a layer each update hashes once per detector bank).
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        for f in &mut self.forests {
+            f.absorb_batch(batch);
+        }
+    }
+
     /// Total size in 1-sparse cells (`O(k n log² n)` per Theorem 2.3).
     pub fn cell_count(&self) -> usize {
         self.forests.iter().map(|f| f.cell_count()).sum()
@@ -169,6 +180,27 @@ impl Mergeable for KEdgeConnectSketch {
     }
 }
 
+impl CellBanked for KEdgeConnectSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.forests.iter().flat_map(|f| f.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.forests
+            .iter_mut()
+            .flat_map(|f| f.banks_mut())
+            .collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
+    }
+}
+
 impl LinearSketch for KEdgeConnectSketch {
     type Output = Graph;
 
@@ -178,6 +210,10 @@ impl LinearSketch for KEdgeConnectSketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         KEdgeConnectSketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

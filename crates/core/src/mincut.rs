@@ -18,10 +18,11 @@
 
 use crate::connectivity::ForestParams;
 use crate::kedge::{KEdgeConnectSketch, SubtractMode};
-use gs_field::{BackendKind, HashBackend, Randomness};
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::{stoer_wagner, Graph};
+use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::edge_index;
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`MinCutSketch`] (and, with a different `k`, the
@@ -160,6 +161,28 @@ impl MinCutSketch {
         }
     }
 
+    /// Batched ingestion: each update's subsampling level is hashed once,
+    /// the batch is partitioned into the nested per-level sub-batches
+    /// (level `i` sees every update with `ℓ(e) ≥ i`), and each
+    /// `k-EDGECONNECT` level runs its own batched kernel.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        let mut per_level: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); self.params.levels];
+        for &up in batch {
+            let idx = edge_index(self.n, up.u, up.v);
+            let lmax = self
+                .level_hash
+                .subsample_level(idx, self.params.levels as u32 - 1);
+            for level in per_level.iter_mut().take(lmax as usize + 1) {
+                level.push(up);
+            }
+        }
+        for (i, share) in per_level.into_iter().enumerate() {
+            if !share.is_empty() {
+                self.levels[i].absorb_batch(&share);
+            }
+        }
+    }
+
     /// Sketch size in 1-sparse cells (`O(ε⁻² n log⁴ n)` per Thm 3.2).
     pub fn cell_count(&self) -> usize {
         self.levels.iter().map(|l| l.cell_count()).sum()
@@ -224,6 +247,24 @@ impl Mergeable for MinCutSketch {
     }
 }
 
+impl CellBanked for MinCutSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.levels.iter().flat_map(|l| l.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.levels.iter_mut().flat_map(|l| l.banks_mut()).collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
+    }
+}
+
 impl LinearSketch for MinCutSketch {
     type Output = Option<MinCutEstimate>;
 
@@ -233,6 +274,10 @@ impl LinearSketch for MinCutSketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         MinCutSketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

@@ -24,8 +24,10 @@
 //! one object with one weight, as in §3.5).
 
 use crate::connectivity::{ForestParams, ForestSketch};
+use gs_field::M61;
 use gs_graph::{Graph, UnionFind};
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`MstSketch`].
@@ -124,6 +126,36 @@ impl MstSketch {
         }
     }
 
+    /// Batched ingestion in the value-carrying convention
+    /// (`delta = sign · w`): the batch is partitioned into per-threshold
+    /// sub-batches of unit-delta updates, and each threshold forest runs
+    /// its own batched kernel.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        let mut per_level: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); self.thresholds.len()];
+        for up in batch {
+            assert!(up.delta != 0, "value-carrying update must be non-zero");
+            let w = up.weight();
+            assert!(
+                w >= 1 && w <= self.params.max_weight,
+                "weight {w} out of range"
+            );
+            for (i, &t) in self.thresholds.iter().enumerate() {
+                if w <= t {
+                    per_level[i].push(EdgeUpdate {
+                        u: up.u,
+                        v: up.v,
+                        delta: up.sign(),
+                    });
+                }
+            }
+        }
+        for (i, share) in per_level.into_iter().enumerate() {
+            if !share.is_empty() {
+                self.levels[i].absorb_batch(&share);
+            }
+        }
+    }
+
     /// Decodes a spanning forest whose total weight (with each edge
     /// charged its level threshold) is within `(1+ε)` of the minimum
     /// spanning forest weight, w.h.p.
@@ -167,6 +199,24 @@ impl Mergeable for MstSketch {
     }
 }
 
+impl CellBanked for MstSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.levels.iter().flat_map(|l| l.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.levels.iter_mut().flat_map(|l| l.banks_mut()).collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
+    }
+}
+
 impl LinearSketch for MstSketch {
     type Output = Graph;
 
@@ -180,6 +230,10 @@ impl LinearSketch for MstSketch {
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         assert!(delta != 0, "value-carrying update must be non-zero");
         MstSketch::update_edge(self, u, v, delta.unsigned_abs(), delta.signum());
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

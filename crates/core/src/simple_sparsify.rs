@@ -15,9 +15,10 @@
 //! level.
 
 use crate::mincut::{MinCutParams, MinCutSketch};
-use gs_field::BackendKind;
+use gs_field::{BackendKind, M61};
 use gs_graph::{GomoryHuTree, Graph};
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters: the Fig. 2 instantiation of the level machinery.
@@ -85,6 +86,11 @@ impl SimpleSparsifySketch {
     /// Applies a stream update.
     pub fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         self.inner.update_edge(u, v, delta);
+    }
+
+    /// Batched ingestion through the level machinery's batched kernel.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        self.inner.absorb_batch(batch);
     }
 
     /// Sketch size in 1-sparse cells (`O(ε⁻² n log⁵ n)`, Lemma 3.2).
@@ -217,6 +223,10 @@ impl LinearSketch for SimpleSparsifySketch {
         SimpleSparsifySketch::update_edge(self, u, v, delta);
     }
 
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.inner.absorb_batch(batch);
+    }
+
     fn space_bytes(&self) -> usize {
         self.cell_count() * CELL_BYTES
     }
@@ -224,6 +234,24 @@ impl LinearSketch for SimpleSparsifySketch {
     /// Decodes the weighted ε-sparsifier (Fig. 2 step 3).
     fn decode(&self) -> Graph {
         SimpleSparsifySketch::decode(self)
+    }
+}
+
+impl CellBanked for SimpleSparsifySketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.inner.banks()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.inner.banks_mut()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        self.inner.fingerprints()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        self.inner.fingerprints_mut()
     }
 }
 

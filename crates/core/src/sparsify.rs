@@ -18,12 +18,13 @@
 //! (`Σ_u k-RECOVERY(x^u) = k-RECOVERY(Σ_u x^u)`, §3.3). Step 4d assigns
 //! every edge to exactly one Gomory–Hu cut, so no edge is double-counted.
 
-use crate::incidence::update_both_endpoints;
+use crate::incidence::{sign_for, update_both_endpoints};
 use crate::simple_sparsify::{SimpleSparsifyParams, SimpleSparsifySketch};
-use gs_field::{BackendKind, HashBackend, Randomness};
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::{GomoryHuTree, Graph};
+use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
-use gs_sketch::{LinearSketch, Mergeable, SparseRecovery, CELL_BYTES};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, RecoveryPlan, SparseRecovery, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`SparsifySketch`].
@@ -133,6 +134,32 @@ impl SparsifySketch {
         }
     }
 
+    /// Batched ingestion: the rough sparsifier runs its own batched
+    /// kernel; for the recovery banks, all `n` node recoveries of a level
+    /// share one projection, so each update's recovery hashes are computed
+    /// **once per level** and applied to both endpoints.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        self.rough.absorb_batch(batch);
+        let mut plan = RecoveryPlan::default();
+        for up in batch {
+            let (u, v, delta) = (up.u, up.v, up.delta);
+            if delta == 0 {
+                continue;
+            }
+            let idx = edge_index(self.n, u, v);
+            let lmax = self
+                .level_hash
+                .subsample_level(idx, self.params.levels as u32 - 1);
+            let du = sign_for(u, v) * delta;
+            for i in 0..=lmax as usize {
+                let base = i * self.n;
+                self.recoveries[base + u].plan_update(idx, &mut plan);
+                self.recoveries[base + u].apply_planned(idx, du, &plan);
+                self.recoveries[base + v].apply_planned(idx, -du, &plan);
+            }
+        }
+    }
+
     /// Sketch size in 1-sparse cells: rough part + samplers
     /// (`O(n(log⁵n + ε⁻² log⁴n))`, Theorem 3.4).
     pub fn cell_count(&self) -> usize {
@@ -203,6 +230,36 @@ impl Mergeable for SparsifySketch {
     }
 }
 
+impl CellBanked for SparsifySketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        let mut banks = self.rough.banks();
+        banks.extend(self.recoveries.iter().flat_map(|r| r.banks()));
+        banks
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        let mut banks = self.rough.banks_mut();
+        banks.extend(self.recoveries.iter_mut().flat_map(|r| r.banks_mut()));
+        banks
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        let mut fps = self.rough.fingerprints();
+        fps.extend(self.recoveries.iter().flat_map(|r| r.fingerprints()));
+        fps
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        let mut fps = self.rough.fingerprints_mut();
+        fps.extend(
+            self.recoveries
+                .iter_mut()
+                .flat_map(|r| r.fingerprints_mut()),
+        );
+        fps
+    }
+}
+
 impl LinearSketch for SparsifySketch {
     type Output = Graph;
 
@@ -212,6 +269,10 @@ impl LinearSketch for SparsifySketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         SparsifySketch::update_edge(self, u, v, delta);
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

@@ -21,8 +21,9 @@
 //! multiplicity-1 edge in row 1. Dynamic streams are fine as long as the
 //! *net* graph stays simple, which is Definition 1's regime for γ_H.
 
-use gs_field::BackendKind;
+use gs_field::{BackendKind, M61};
 use gs_graph::subgraph::Pattern;
+use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{pair_slot, subset_domain, subset_rank};
 use gs_sketch::{L0Result, L0Sampler, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
@@ -237,6 +238,33 @@ impl Mergeable for SubgraphSketch {
         for (a, b) in self.samplers.iter_mut().zip(&other.samplers) {
             a.merge(b);
         }
+    }
+}
+
+impl CellBanked for SubgraphSketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.samplers.iter().flat_map(|s| s.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.samplers
+            .iter_mut()
+            .flat_map(|s| s.banks_mut())
+            .collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        self.samplers
+            .iter()
+            .flat_map(|s| s.fingerprints())
+            .collect()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        self.samplers
+            .iter_mut()
+            .flat_map(|s| s.fingerprints_mut())
+            .collect()
     }
 }
 

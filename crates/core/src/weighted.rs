@@ -16,9 +16,10 @@
 
 use crate::kedge::SubtractMode;
 use crate::simple_sparsify::{SimpleSparsifyParams, SimpleSparsifySketch};
-use gs_field::BackendKind;
+use gs_field::{BackendKind, M61};
 use gs_graph::Graph;
-use gs_sketch::{LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`WeightedSparsifySketch`].
@@ -120,6 +121,28 @@ impl WeightedSparsifySketch {
         self.classes[c].update_edge(u, v, delta * w as i64);
     }
 
+    /// Batched ingestion in the value-carrying convention
+    /// (`delta = sign · w`): the batch is partitioned by weight class and
+    /// each class sparsifier runs its own batched kernel.
+    pub fn absorb_batch(&mut self, batch: &[EdgeUpdate]) {
+        let mut per_class: Vec<Vec<EdgeUpdate>> = vec![Vec::new(); self.classes.len()];
+        for up in batch {
+            assert!(up.delta != 0, "value-carrying update must be non-zero");
+            let c = self.class_of(up.weight());
+            assert!(
+                c < per_class.len(),
+                "weight {} exceeds configured maximum (class {c})",
+                up.weight()
+            );
+            per_class[c].push(*up);
+        }
+        for (c, share) in per_class.into_iter().enumerate() {
+            if !share.is_empty() {
+                self.classes[c].absorb_batch(&share);
+            }
+        }
+    }
+
     /// Sketch size in 1-sparse cells (`O(n(log⁷n + ε⁻²log⁶n))` with the
     /// paper's constants, Theorem 3.8).
     pub fn cell_count(&self) -> usize {
@@ -135,6 +158,30 @@ impl WeightedSparsifySketch {
             acc.extend(g.edges().iter().copied());
         }
         Graph::from_weighted_edges(self.n, acc)
+    }
+}
+
+impl CellBanked for WeightedSparsifySketch {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.classes.iter().flat_map(|c| c.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.classes
+            .iter_mut()
+            .flat_map(|c| c.banks_mut())
+            .collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        self.classes.iter().flat_map(|c| c.fingerprints()).collect()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        self.classes
+            .iter_mut()
+            .flat_map(|c| c.fingerprints_mut())
+            .collect()
     }
 }
 
@@ -161,6 +208,10 @@ impl LinearSketch for WeightedSparsifySketch {
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         assert!(delta != 0, "value-carrying update must be non-zero");
         WeightedSparsifySketch::update_edge(self, u, v, delta.unsigned_abs(), delta.signum());
+    }
+
+    fn absorb(&mut self, batch: &[EdgeUpdate]) {
+        self.absorb_batch(batch);
     }
 
     fn space_bytes(&self) -> usize {

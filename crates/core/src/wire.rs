@@ -1,37 +1,59 @@
-//! Cross-process sketch shipping: the versioned sketch-file format.
+//! Cross-process sketch shipping: the versioned sketch-file formats.
 //!
 //! §1.1's coordinator topology only becomes real once sketches cross a
-//! process boundary. A **sketch file** is one JSON object:
+//! process boundary. Two on-disk formats carry a sketch, auto-detected on
+//! load by [`SketchFile::from_bytes`]:
+//!
+//! **Format 1 (JSON)** — one JSON object:
 //!
 //! ```json
 //! {"format": 1, "spec": { …SketchSpec… }, "state": { …AnySketch… }}
 //! ```
 //!
-//! * `format` — the wire version ([`WIRE_FORMAT`]); loads of any other
-//!   version are rejected, so a future incompatible layout fails loudly
-//!   instead of mis-merging.
-//! * `spec` — the full [`SketchSpec`] the sketch was built from:
-//!   everything two sites must agree on for their measurements to be
-//!   compatible. Shipping it alongside the state is what lets the
-//!   coordinator *check* compatibility instead of trusting the sender.
-//! * `state` — the [`AnySketch`] measurement itself.
+//! **Format 2 (binary)** — a length-prefixed little-endian dump of the
+//! measurement state. A sketch's *structure* (hashes, seeds, parameters)
+//! is fully derivable from its spec, so only the [`gs_sketch::CellBank`]
+//! lanes and the `k-RECOVERY` verification fingerprints ship; the reader
+//! rebuilds the structure with `spec.build()` and overlays the state,
+//! checking each bank's declared `reps × levels × slots` geometry against
+//! the spec-built receiver:
 //!
-//! [`SketchFile::try_merge`] refuses (with a [`WireError`]) to fold files
-//! whose specs differ in any field — task, `n`, ε, `k`, max weight, or
-//! seed — and loading validates the state against its *declared* spec
-//! (including a contained probe merge against a spec-built empty sketch),
-//! so a corrupted or tampered file fails at [`SketchFile::from_json`]
-//! rather than aborting a coordinator mid-merge. The CLI's
+//! ```text
+//! magic "AGMSKB2\n" · u32 version=2 · u32 spec_len · spec JSON
+//! u32 bank_count · per bank: u32×3 geometry, then w (i64), s (i128),
+//!                            f (u64 < 2^61−1) lanes, all LE
+//! u32 fingerprint_count · fingerprints (u64 LE)
+//! ```
+//!
+//! In both formats the file carries the full [`SketchSpec`] — everything
+//! two sites must agree on for their measurements to be compatible —
+//! so the coordinator *checks* compatibility instead of trusting the
+//! sender. [`SketchFile::try_merge`] refuses (with a [`WireError`]) to
+//! fold files whose specs differ in any field or whose bank geometries
+//! disagree, and loading validates the state against its *declared* spec
+//! (v1: a contained probe merge against a spec-built empty sketch, which
+//! also re-structures the flat-deserialized banks; v2: the per-bank
+//! geometry gate), so a corrupted or tampered file fails at load rather
+//! than aborting a coordinator mid-merge. The CLI's
 //! `sketch` / `merge` / `decode` verbs are thin shells over this module;
-//! `tests/integration_wire.rs` asserts the round trip is bit-exact for
-//! every task.
+//! `tests/integration_wire.rs` and `tests/integration_wire_v2.rs` assert
+//! both round trips are bit-exact for every task.
 
 use crate::api::{AnySketch, MergeError, SketchAnswer, SketchSpec};
-use gs_sketch::{LinearSketch, Mergeable};
+use gs_field::{m61, M61};
+use gs_sketch::bank::CellBanked;
+use gs_sketch::{BankGeometry, LinearSketch, Mergeable};
 use serde::{Deserialize, Serialize, Value};
 
-/// The current sketch-file wire version.
+/// The JSON sketch-file wire version.
 pub const WIRE_FORMAT: u64 = 1;
+
+/// The binary sketch-file wire version.
+pub const WIRE_FORMAT_V2: u32 = 2;
+
+/// Magic prefix of a binary (format 2) sketch file. Starts with a byte
+/// that can never open a JSON document, so the two formats are sniffable.
+pub const V2_MAGIC: &[u8; 8] = b"AGMSKB2\n";
 
 /// A sketch and the spec it was built from, as shipped between processes.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +76,26 @@ pub enum WireError {
         /// The version the file declared.
         found: u64,
     },
+    /// The bytes are neither a binary sketch file (no recognizable magic)
+    /// nor JSON text.
+    BadMagic,
+    /// A binary file ended before its declared contents.
+    Truncated {
+        /// Byte offset at which the reader ran out of input.
+        at: usize,
+    },
+    /// A binary file's bank geometry disagrees with the spec-built sketch.
+    Geometry {
+        /// Zero-based index of the offending bank.
+        bank: usize,
+        /// Geometry declared in the file.
+        declared: BankGeometry,
+        /// Geometry the spec builds.
+        expected: BankGeometry,
+    },
+    /// A binary file is structurally well-formed but carries impossible
+    /// content (bad counts, out-of-field fingerprints, trailing bytes).
+    Corrupt(String),
     /// The embedded state does not match the embedded spec (task or `n`).
     StateMismatch,
     /// Two files with different specs refused to merge.
@@ -74,8 +116,31 @@ impl std::fmt::Display for WireError {
             WireError::Missing(field) => write!(f, "sketch file is missing {field:?}"),
             WireError::Format { found } => write!(
                 f,
-                "sketch file declares wire format {found}, this build reads format {WIRE_FORMAT}"
+                "sketch file declares wire format {found}, this build reads formats \
+                 {WIRE_FORMAT} and {WIRE_FORMAT_V2}"
             ),
+            WireError::BadMagic => write!(
+                f,
+                "not a sketch file: neither the binary magic nor JSON text"
+            ),
+            WireError::Truncated { at } => {
+                write!(f, "binary sketch file truncated at byte {at}")
+            }
+            WireError::Geometry {
+                bank,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "bank {bank} declares geometry {}x{}x{} but the spec builds {}x{}x{}",
+                declared.reps,
+                declared.levels,
+                declared.slots,
+                expected.reps,
+                expected.levels,
+                expected.slots
+            ),
+            WireError::Corrupt(detail) => write!(f, "corrupt binary sketch file: {detail}"),
             WireError::StateMismatch => {
                 write!(f, "sketch state does not match the file's spec")
             }
@@ -97,35 +162,47 @@ impl From<MergeError> for WireError {
     }
 }
 
-/// `true` iff `state` merges cleanly into a freshly spec-built empty
-/// sketch. The per-sketch merge assertions (seeds, parameters, cell
-/// counts) are the source of truth for compatibility, so a file whose
-/// declared spec was tampered with — e.g. its seed edited to match a merge
-/// partner — is caught at load time instead of aborting a coordinator
-/// later. The probe is contained with `catch_unwind` (the sketches expose
-/// no fallible compatibility API, so the asserting merge is the only
-/// generic oracle) and requires the default unwinding panic runtime —
-/// under `panic = "abort"` a corrupted state aborts the load instead of
-/// returning an error.
-fn probe_merges(spec: &SketchSpec, state: &AnySketch) -> bool {
+/// Merges `state` into a freshly spec-built empty sketch and returns the
+/// result, or `None` if the merge refuses. The per-sketch merge assertions
+/// (seeds, parameters, cell counts) are the source of truth for
+/// compatibility, so a file whose declared spec was tampered with — e.g.
+/// its seed edited to match a merge partner — is caught at load time
+/// instead of aborting a coordinator later. Because an empty sketch is the
+/// zero of the merge group, the returned sketch carries exactly the
+/// state's measurements **in the spec-built structure** — this is also
+/// what re-attaches the `reps × levels × slots` bank geometry that the
+/// legacy JSON cell arrays do not record. The probe is contained with
+/// `catch_unwind` (the sketches expose no fallible compatibility API, so
+/// the asserting merge is the only generic oracle) and requires the
+/// default unwinding panic runtime — under `panic = "abort"` a corrupted
+/// state aborts the load instead of returning an error.
+fn rebuild_from_spec(spec: &SketchSpec, state: &AnySketch) -> Option<AnySketch> {
+    contained(|| {
+        let mut probe = spec.build();
+        probe.merge(state);
+        probe
+    })
+}
+
+/// Runs `f`, converting a panic into `None`. Loading untrusted files is
+/// the one place a panic is an *expected* failure mode (the sketch
+/// constructors and merges assert rather than return errors), so the
+/// global panic hook is silenced for the call's duration — a rejection
+/// yields one clean [`WireError`], not a panic report. The gate serializes
+/// concurrent loads; an unrelated panic elsewhere in the process during
+/// this window loses only its hook output, not its unwind. Requires the
+/// default unwinding panic runtime — under `panic = "abort"` a corrupted
+/// file aborts the load instead of returning an error.
+fn contained<R>(f: impl FnOnce() -> R) -> Option<R> {
     use std::panic;
     use std::sync::Mutex;
-    // Rejecting a bad file is this probe's *expected* failure mode, so the
-    // global panic hook is silenced for its duration — a rejection yields
-    // one clean `WireError`, not a panic report. The gate serializes
-    // concurrent loads; an unrelated panic elsewhere in the process during
-    // this window loses only its hook output, not its unwind.
     static HOOK_GATE: Mutex<()> = Mutex::new(());
     let _gate = HOOK_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let prev = panic::take_hook();
     panic::set_hook(Box::new(|_| {}));
-    let ok = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-        let mut probe = spec.build();
-        probe.merge(state);
-    }))
-    .is_ok();
+    let out = panic::catch_unwind(panic::AssertUnwindSafe(f)).ok();
     panic::set_hook(prev);
-    ok
+    out
 }
 
 impl SketchFile {
@@ -153,7 +230,10 @@ impl SketchFile {
     }
 
     /// Parses and validates a sketch file: JSON shape, wire version, spec,
-    /// state, and spec↔state consistency.
+    /// state, and spec↔state consistency. The returned state is the
+    /// declared measurements transplanted into a spec-built sketch, so its
+    /// bank geometry is fully structured regardless of the serialized
+    /// form.
     pub fn from_json(text: &str) -> Result<Self, WireError> {
         let v = Value::from_json(text).map_err(|e| WireError::Json(e.to_string()))?;
         let format = v
@@ -169,22 +249,167 @@ impl SketchFile {
             .map_err(|e| WireError::Json(e.to_string()))?;
         let file = SketchFile::new(spec, state)?;
         // Untrusted input: verify the state really measures the projection
-        // the file *declares* before any coordinator merges it.
-        if !probe_merges(&file.spec, &file.state) {
-            return Err(WireError::StateMismatch);
+        // the file *declares* before any coordinator merges it, and keep
+        // the spec-built rebuild (same measurements, structured geometry).
+        let rebuilt = rebuild_from_spec(&file.spec, &file.state).ok_or(WireError::StateMismatch)?;
+        Ok(SketchFile {
+            spec: file.spec,
+            state: rebuilt,
+        })
+    }
+
+    /// Serializes the file in the binary wire format (v2): the spec
+    /// header, then the raw bank lanes and fingerprints, little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(V2_MAGIC);
+        write_u32(&mut out, WIRE_FORMAT_V2);
+        let spec_json = self.spec.to_json();
+        write_u32(&mut out, spec_json.len() as u32);
+        out.extend_from_slice(spec_json.as_bytes());
+        let banks = self.state.banks();
+        write_u32(&mut out, banks.len() as u32);
+        for bank in banks {
+            let geom = bank.geometry();
+            write_u32(&mut out, geom.reps as u32);
+            write_u32(&mut out, geom.levels as u32);
+            write_u32(&mut out, geom.slots as u32);
+            let (w, s, f) = bank.lanes();
+            for &x in w {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            for &x in s {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            for &x in f {
+                out.extend_from_slice(&x.value().to_le_bytes());
+            }
         }
-        Ok(file)
+        let fps = self.state.fingerprints();
+        write_u32(&mut out, fps.len() as u32);
+        for fp in fps {
+            out.extend_from_slice(&fp.value().to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a binary (v2) sketch file: magic, version, spec header, then
+    /// the bank lanes overlaid onto a spec-built sketch with per-bank
+    /// geometry checks.
+    pub fn from_bytes_v2(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(V2_MAGIC.len())? != V2_MAGIC.as_slice() {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != WIRE_FORMAT_V2 {
+            return Err(WireError::Format {
+                found: version as u64,
+            });
+        }
+        let spec_len = r.u32()? as usize;
+        let spec_text = std::str::from_utf8(r.take(spec_len)?)
+            .map_err(|_| WireError::Corrupt("spec header is not UTF-8".into()))?;
+        let spec = SketchSpec::from_json(spec_text).map_err(|e| WireError::Json(e.to_string()))?;
+        // Untrusted header: the constructors assert on out-of-range spec
+        // values, so contain the build like the v1 probe.
+        let mut state = contained(|| spec.build()).ok_or_else(|| {
+            WireError::Corrupt("spec header describes an unconstructible sketch".into())
+        })?;
+        let mut banks = state.banks_mut();
+        let declared_banks = r.u32()? as usize;
+        if declared_banks != banks.len() {
+            return Err(WireError::Corrupt(format!(
+                "file declares {declared_banks} banks, the spec builds {}",
+                banks.len()
+            )));
+        }
+        for (i, bank) in banks.iter_mut().enumerate() {
+            let declared = BankGeometry {
+                reps: r.u32()? as usize,
+                levels: r.u32()? as usize,
+                slots: r.u32()? as usize,
+            };
+            let expected = bank.geometry();
+            if declared != expected {
+                return Err(WireError::Geometry {
+                    bank: i,
+                    declared,
+                    expected,
+                });
+            }
+            let len = declared.len();
+            let mut w = Vec::with_capacity(len);
+            for _ in 0..len {
+                w.push(i64::from_le_bytes(r.array::<8>()?));
+            }
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                s.push(i128::from_le_bytes(r.array::<16>()?));
+            }
+            let mut f = Vec::with_capacity(len);
+            for _ in 0..len {
+                f.push(read_m61(&mut r)?);
+            }
+            bank.overlay(w, s, f);
+        }
+        let declared_fps = r.u32()? as usize;
+        let mut fps = state.fingerprints_mut();
+        if declared_fps != fps.len() {
+            return Err(WireError::Corrupt(format!(
+                "file declares {declared_fps} fingerprints, the spec builds {}",
+                fps.len()
+            )));
+        }
+        for fp in fps.iter_mut() {
+            **fp = read_m61(&mut r)?;
+        }
+        if !r.is_done() {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after the sketch state",
+                r.remaining()
+            )));
+        }
+        SketchFile::new(spec, state)
+    }
+
+    /// Loads a sketch file of either wire format, auto-detected by
+    /// content: the binary magic selects format 2, anything else is
+    /// treated as format-1 JSON text.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.starts_with(V2_MAGIC) {
+            return Self::from_bytes_v2(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|_| WireError::BadMagic)?;
+        Self::from_json(text)
     }
 
     /// Folds another site's sketch file into this one. Refuses unless the
     /// specs are identical in every field — the precondition under which
-    /// the state merge is infallible and exact.
+    /// the state merge is infallible and exact — and the bank geometries
+    /// agree (they always do for equal specs; the check pins the v2
+    /// contract).
     pub fn try_merge(&mut self, other: &SketchFile) -> Result<(), WireError> {
         if self.spec != other.spec {
             return Err(WireError::SpecMismatch {
                 left: Box::new(self.spec),
                 right: Box::new(other.spec),
             });
+        }
+        for (i, (a, b)) in self
+            .state
+            .banks()
+            .iter()
+            .zip(other.state.banks())
+            .enumerate()
+        {
+            if a.geometry() != b.geometry() {
+                return Err(WireError::Geometry {
+                    bank: i,
+                    declared: b.geometry(),
+                    expected: a.geometry(),
+                });
+            }
         }
         self.state.try_merge(&other.state)?;
         Ok(())
@@ -193,6 +418,63 @@ impl SketchFile {
     /// Decodes the carried sketch.
     pub fn decode(&self) -> SketchAnswer {
         self.state.decode()
+    }
+}
+
+/// Appends a little-endian u32.
+fn write_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Reads one fingerprint, rejecting out-of-field values (a uniform random
+/// or corrupted word is ≥ p with probability 3/4, so this also catches
+/// most bit rot in the f lane).
+fn read_m61(r: &mut ByteReader<'_>) -> Result<M61, WireError> {
+    let raw = u64::from_le_bytes(r.array::<8>()?);
+    if raw >= m61::P {
+        return Err(WireError::Corrupt(format!(
+            "fingerprint value {raw} outside F_(2^61-1)"
+        )));
+    }
+    Ok(M61::new(raw))
+}
+
+/// A bounds-checked little-endian cursor over a byte slice.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(WireError::Truncated { at: self.pos })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 }
 
@@ -254,6 +536,40 @@ mod tests {
             SketchFile::from_json(&tampered),
             Err(WireError::StateMismatch)
         );
+    }
+
+    #[test]
+    fn absurd_state_dimensions_fail_without_allocating() {
+        // A tiny corrupt v1 file whose *state* declares a huge n must be
+        // rejected by the shape checks, not abort the process trying to
+        // allocate the declared bank.
+        let spec = SketchSpec::new(SketchTask::Connectivity, 5).with_seed(3);
+        let file = SketchFile::new(spec, spec.build()).unwrap();
+        let tampered = file.to_json().replace("\"n\":5", "\"n\":99999999999");
+        assert!(SketchFile::from_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn unconstructible_v2_spec_header_is_an_error_not_a_panic() {
+        // Sketch constructors assert on out-of-range spec values; a v2
+        // file whose header declares such a spec must fail with a
+        // WireError (the build is contained like the v1 probe).
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(4);
+        let file = SketchFile::new(spec, spec.build()).unwrap();
+        let mut bytes = file.to_bytes();
+        let at = V2_MAGIC.len() + 8;
+        let spec_len = u32::from_le_bytes(bytes[at - 4..at].try_into().unwrap()) as usize;
+        let header = String::from_utf8(bytes[at..at + spec_len].to_vec()).unwrap();
+        // Same-length edit keeps the length prefix valid: n = 8 -> n = 1.
+        let bad = header.replacen("\"n\":8", "\"n\":1", 1);
+        assert_eq!(bad.len(), spec_len);
+        bytes[at..at + spec_len].copy_from_slice(bad.as_bytes());
+        match SketchFile::from_bytes(&bytes) {
+            Err(WireError::Corrupt(detail)) => {
+                assert!(detail.contains("unconstructible"), "detail: {detail}")
+            }
+            other => panic!("expected contained rejection, got {other:?}"),
+        }
     }
 
     #[test]

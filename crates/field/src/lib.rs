@@ -125,7 +125,8 @@ pub trait Randomness {
     fn hash_m61(&self, x: u64) -> M61 {
         // Rejection-free reduction: the bias of `mod p` on a uniform u64 is
         // ≤ 2^-51, far below every failure probability we reason about.
-        M61::new(self.hash64(x) % m61::P)
+        // `M61::new` reduces with the division-free Mersenne fold.
+        M61::new(self.hash64(x))
     }
 
     /// A pseudorandom value in `[0, bound)` (requires `bound > 0`).

@@ -24,17 +24,34 @@ impl M61 {
     pub const ONE: M61 = M61(1);
 
     /// Builds a field element, reducing `x` modulo `P`.
+    ///
+    /// Division-free: `2^61 ≡ 1 (mod P)` folds the top three bits back
+    /// into the low word (`x = hi·2^61 + lo ≡ hi + lo`), and one
+    /// conditional subtract canonicalizes (`hi + lo ≤ P + 7 < 2P`). Equal
+    /// to `x % P` for every `u64`.
     #[inline]
     pub fn new(x: u64) -> Self {
-        M61(x % P)
+        let mut s = (x & P) + (x >> 61);
+        if s >= P {
+            s -= P;
+        }
+        M61(s)
     }
 
     /// Builds a field element from a signed integer (e.g. a sketch counter
     /// that may have gone negative through deletions).
+    ///
+    /// Hot-path note: sketch update deltas are overwhelmingly small, so
+    /// the in-range cases avoid `rem_euclid`'s hardware division.
     #[inline]
     pub fn from_i64(x: i64) -> Self {
-        let m = x.rem_euclid(P as i64) as u64;
-        M61(m)
+        const P_I64: i64 = P as i64;
+        if x > -P_I64 && x < P_I64 {
+            // Branch-free sign fix-up: adds P exactly when x is negative.
+            M61((x + ((x >> 63) & P_I64)) as u64)
+        } else {
+            M61(x.rem_euclid(P_I64) as u64)
+        }
     }
 
     /// Builds a field element from a 128-bit value.

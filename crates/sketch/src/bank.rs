@@ -1,0 +1,451 @@
+//! The cell bank: one contiguous struct-of-arrays store for 1-sparse cells.
+//!
+//! Every structure in this workspace bottoms out in the same object — the
+//! 1-sparse cell `(w, s, f)` of [`crate::one_sparse::OneSparseCell`]. Before
+//! this module each structure owned a scattered `Vec<OneSparseCell>` in
+//! array-of-structs layout; now they all share a [`CellBank`]: three
+//! parallel vectors (`w: Vec<i64>`, `s: Vec<i128>`, `f: Vec<M61>`) plus a
+//! [`BankGeometry`] descriptor (`reps × levels × slots`). The layout buys
+//! three things at once:
+//!
+//! * **Batched updates.** An update's expensive work — the fingerprint hash
+//!   `h(i)` and the per-repetition subsampling level of `i` — depends only
+//!   on the index, never on the cell. The bank exposes
+//!   [`CellBank::fan`], a contiguous fan-out that applies one precomputed
+//!   `(Δw, Δs, Δf)` triple to a run of cells; callers hash once per index
+//!   and fan into every affected row instead of re-hashing per cell.
+//! * **Vectorizable merges.** [`CellBank::add`] is three contiguous
+//!   slice-add loops over primitive lanes — the shape LLVM auto-vectorizes
+//!   — instead of a per-cell struct add walking a 32-byte stride.
+//! * **A wire-ready dump.** The three vectors *are* the linear measurement
+//!   state; `graph_sketches::wire` format v2 ships them as raw
+//!   little-endian bytes, geometry-checked against a spec-built receiver
+//!   (see the [`CellBanked`] visitor below).
+//!
+//! Serialization stays bit-compatible with the pre-bank JSON: a bank
+//! serializes as the same array of `{w, s, f}` cell objects that
+//! `Vec<OneSparseCell>` produced, so wire-format-v1 files written before
+//! the refactor still load (they deserialize with a
+//! [`BankGeometry::flat`] descriptor, re-structured when the state is
+//! transplanted into a spec-built sketch at the wire boundary).
+
+use crate::one_sparse::{OneSparseCell, OneSparseState};
+use gs_field::{Randomness, M61};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::ops::Range;
+
+/// The logical shape of a [`CellBank`]: `reps` independent repetitions,
+/// each holding `levels` nested subsampling levels of `slots` cells.
+/// Total cells = `reps · levels · slots`; cell `(r, l, t)` lives at flat
+/// index `(r · levels + l) · slots + t`.
+///
+/// Each consumer instantiates the axes it needs: an `L0Detector` is
+/// `reps × levels × 1`, a `k-RECOVERY` is `rows × 1 × buckets`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankGeometry {
+    /// Independent repetitions (detector reps, recovery rows).
+    pub reps: usize,
+    /// Nested subsampling levels per repetition.
+    pub levels: usize,
+    /// Cells per `(rep, level)` row (recovery buckets).
+    pub slots: usize,
+}
+
+impl BankGeometry {
+    /// A `reps × levels × slots` geometry.
+    pub fn new(reps: usize, levels: usize, slots: usize) -> Self {
+        debug_assert!(reps >= 1 && levels >= 1 && slots >= 1);
+        BankGeometry {
+            reps,
+            levels,
+            slots,
+        }
+    }
+
+    /// A structureless descriptor for `len` cells (`1 × 1 × len`) — the
+    /// shape of a bank deserialized from a legacy cell array, where the
+    /// axes are not recorded in the serialized form.
+    pub fn flat(len: usize) -> Self {
+        BankGeometry {
+            reps: 1,
+            levels: 1,
+            slots: len,
+        }
+    }
+
+    /// Total cell count `reps · levels · slots`.
+    pub fn len(&self) -> usize {
+        self.reps * self.levels * self.slots
+    }
+
+    /// `true` iff the geometry holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of cell `(rep, level, slot)`.
+    #[inline]
+    pub fn index(&self, rep: usize, level: usize, slot: usize) -> usize {
+        debug_assert!(rep < self.reps && level < self.levels && slot < self.slots);
+        (rep * self.levels + level) * self.slots + slot
+    }
+}
+
+/// A struct-of-arrays store of 1-sparse cells: the shared, contiguous
+/// substrate every sketch's measurement state lives in.
+///
+/// Equality compares the **measurements** (`w`/`s`/`f` lanes) only, not
+/// the geometry descriptor: two banks are equal iff they are the same
+/// linear measurement, regardless of whether one was deserialized with a
+/// [`BankGeometry::flat`] shape.
+#[derive(Clone, Debug)]
+pub struct CellBank {
+    geom: BankGeometry,
+    /// Σ x_i per cell.
+    w: Vec<i64>,
+    /// Σ i·x_i per cell.
+    s: Vec<i128>,
+    /// Σ x_i·h(i) per cell, over F_{2^61−1}.
+    f: Vec<M61>,
+}
+
+impl PartialEq for CellBank {
+    fn eq(&self, other: &Self) -> bool {
+        self.w == other.w && self.s == other.s && self.f == other.f
+    }
+}
+
+impl Eq for CellBank {}
+
+impl CellBank {
+    /// A zeroed bank of the given geometry.
+    pub fn new(geom: BankGeometry) -> Self {
+        let len = geom.len();
+        CellBank {
+            geom,
+            w: vec![0; len],
+            s: vec![0; len],
+            f: vec![M61::ZERO; len],
+        }
+    }
+
+    /// The geometry descriptor.
+    pub fn geometry(&self) -> BankGeometry {
+        self.geom
+    }
+
+    /// Total cell count.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// `true` iff the bank holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// The precomputed update triple for `x[index] += delta` under
+    /// fingerprint hash value `hf = h(index)`: `(Δw, Δs, Δf)`. Hash once
+    /// per index, then [`CellBank::apply`] / [`CellBank::fan`] the triple
+    /// into every affected cell.
+    #[inline]
+    pub fn deltas(index: u64, delta: i64, hf: M61) -> (i64, i128, M61) {
+        // Δs = index · delta cannot overflow i128: |index| < 2^64,
+        // |delta| ≤ 2^63, so |Δs| < 2^127.
+        (
+            delta,
+            index as i128 * delta as i128,
+            M61::from_i64(delta) * hf,
+        )
+    }
+
+    /// Applies a precomputed update triple to one cell.
+    #[inline]
+    pub fn apply(&mut self, i: usize, dw: i64, ds: i128, df: M61) {
+        self.w[i] += dw;
+        #[cfg(debug_assertions)]
+        {
+            self.s[i] = self.s[i]
+                .checked_add(ds)
+                .expect("1-sparse index-sum overflowed i128");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            self.s[i] += ds;
+        }
+        self.f[i] += df;
+    }
+
+    /// Fans a precomputed update triple into a contiguous run of cells —
+    /// the batched-update kernel inner loop. Three lane-wise passes keep
+    /// each loop over one primitive type.
+    #[inline]
+    pub fn fan(&mut self, range: Range<usize>, dw: i64, ds: i128, df: M61) {
+        for w in &mut self.w[range.clone()] {
+            *w += dw;
+        }
+        for s in &mut self.s[range.clone()] {
+            #[cfg(debug_assertions)]
+            {
+                *s = s
+                    .checked_add(ds)
+                    .expect("1-sparse index-sum overflowed i128");
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                *s += ds;
+            }
+        }
+        for f in &mut self.f[range] {
+            *f += df;
+        }
+    }
+
+    /// Legacy single-cell update: hashes `index` itself. Prefer computing
+    /// [`CellBank::deltas`] once per index and fanning when more than one
+    /// cell is touched.
+    #[inline]
+    pub fn update(&mut self, i: usize, index: u64, delta: i64, h: &impl Randomness) {
+        let (dw, ds, df) = Self::deltas(index, delta, h.hash_m61(index));
+        self.apply(i, dw, ds, df);
+    }
+
+    /// The cell at flat index `i`, as a value (for decode paths).
+    #[inline]
+    pub fn cell(&self, i: usize) -> OneSparseCell {
+        OneSparseCell::from_parts(self.w[i], self.s[i], self.f[i])
+    }
+
+    /// Attempts 1-sparse decoding of cell `i` (see
+    /// [`OneSparseCell::decode`]).
+    #[inline]
+    pub fn decode_cell(&self, i: usize, domain: u64, h: &impl Randomness) -> OneSparseState {
+        self.cell(i).decode(domain, h)
+    }
+
+    /// `true` iff cell `i` certifies the zero vector.
+    #[inline]
+    pub fn cell_is_zero(&self, i: usize) -> bool {
+        self.w[i] == 0 && self.s[i] == 0 && self.f[i].is_zero()
+    }
+
+    /// `true` iff every cell is zero.
+    pub fn is_zero(&self) -> bool {
+        self.w.iter().all(|&w| w == 0)
+            && self.s.iter().all(|&s| s == 0)
+            && self.f.iter().all(|f| f.is_zero())
+    }
+
+    /// Linear combination: adds another bank's measurements, lane by lane.
+    /// Three contiguous slice-add loops — the auto-vectorizable merge.
+    ///
+    /// # Panics
+    /// Panics if the banks hold different cell counts (they would not be
+    /// measurements of the same projection).
+    pub fn add(&mut self, other: &Self) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "adding cell banks of different sizes"
+        );
+        debug_assert!(
+            self.geom == other.geom
+                || self.geom == BankGeometry::flat(self.len())
+                || other.geom == BankGeometry::flat(other.len()),
+            "adding structured banks with different geometries"
+        );
+        for (a, b) in self.w.iter_mut().zip(&other.w) {
+            *a += *b;
+        }
+        for (a, b) in self.s.iter_mut().zip(&other.s) {
+            *a += *b;
+        }
+        for (a, b) in self.f.iter_mut().zip(&other.f) {
+            *a += *b;
+        }
+    }
+
+    /// Read-only views of the three measurement lanes (wire export).
+    pub fn lanes(&self) -> (&[i64], &[i128], &[M61]) {
+        (&self.w, &self.s, &self.f)
+    }
+
+    /// Overwrites the measurement lanes with externally-provided data
+    /// (wire import into a spec-built bank). The geometry descriptor is
+    /// kept — the receiver's structure is the source of truth.
+    ///
+    /// # Panics
+    /// Panics if the lane lengths disagree with the bank's cell count.
+    pub fn overlay(&mut self, w: Vec<i64>, s: Vec<i128>, f: Vec<M61>) {
+        assert!(
+            w.len() == self.len() && s.len() == self.len() && f.len() == self.len(),
+            "overlay lanes disagree with bank size"
+        );
+        self.w = w;
+        self.s = s;
+        self.f = f;
+    }
+}
+
+// A bank serializes exactly as the `Vec<OneSparseCell>` it replaced — an
+// array of `{w, s, f}` objects — so wire-format-v1 JSON is unchanged in
+// both directions. The geometry axes are not serialized; deserialized
+// banks carry a `flat` descriptor until transplanted into a spec-built
+// sketch (the wire layer's load path does exactly that).
+impl Serialize for CellBank {
+    fn to_value(&self) -> Value {
+        Value::Seq((0..self.len()).map(|i| self.cell(i).to_value()).collect())
+    }
+}
+
+impl Deserialize for CellBank {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let cells = Vec::<OneSparseCell>::from_value(v)?;
+        let mut bank = CellBank::new(BankGeometry::flat(cells.len()));
+        for (i, c) in cells.iter().enumerate() {
+            let (w, s, f) = c.parts();
+            bank.w[i] = w;
+            bank.s[i] = s;
+            bank.f[i] = f;
+        }
+        Ok(bank)
+    }
+}
+
+/// Visitor access to every [`CellBank`] (and standalone verification
+/// fingerprint) making up a sketch's linear measurement state, in a
+/// deterministic order.
+///
+/// This is the contract the binary wire format stands on: a sketch's
+/// *structure* (hashes, seeds, parameters) is fully derivable from its
+/// spec, so shipping a sketch only requires shipping the banks and
+/// fingerprint scalars — the receiver rebuilds the structure from the spec
+/// and overlays the state, geometry-checked bank by bank.
+pub trait CellBanked {
+    /// Every bank, in a deterministic traversal order.
+    fn banks(&self) -> Vec<&CellBank>;
+
+    /// Mutable counterpart of [`CellBanked::banks`], same order.
+    fn banks_mut(&mut self) -> Vec<&mut CellBank>;
+
+    /// Standalone linear `F_{2^61−1}` scalars (the `k-RECOVERY`
+    /// verification fingerprints), in a deterministic order.
+    fn fingerprints(&self) -> Vec<M61>;
+
+    /// Mutable counterpart of [`CellBanked::fingerprints`], same order.
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_field::OracleHash;
+
+    fn h() -> OracleHash {
+        OracleHash::new(0xBA2C, 1)
+    }
+
+    #[test]
+    fn geometry_indexing_is_row_major() {
+        let g = BankGeometry::new(2, 3, 4);
+        assert_eq!(g.len(), 24);
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(0, 1, 0), 4);
+        assert_eq!(g.index(1, 0, 0), 12);
+        assert_eq!(g.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn bank_update_matches_aos_cell() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(1, 1, 4));
+        let mut cells = [OneSparseCell::new(); 4];
+        for (i, idx, d) in [(0usize, 7u64, 3i64), (1, 9, -2), (0, 7, -3), (3, 1000, 5)] {
+            bank.update(i, idx, d, &h);
+            cells[i].update(idx, d, &h);
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(bank.cell(i), *cell);
+            assert_eq!(bank.decode_cell(i, 1 << 20, &h), cell.decode(1 << 20, &h));
+        }
+        assert!(bank.cell_is_zero(0) && bank.cell_is_zero(2));
+        assert!(!bank.is_zero());
+    }
+
+    #[test]
+    fn fan_equals_per_cell_updates() {
+        let h = h();
+        let mut fanned = CellBank::new(BankGeometry::new(1, 8, 1));
+        let mut looped = CellBank::new(BankGeometry::new(1, 8, 1));
+        let (index, delta) = (12345u64, -7i64);
+        let (dw, ds, df) = CellBank::deltas(index, delta, h.hash_m61(index));
+        fanned.fan(2..6, dw, ds, df);
+        for i in 2..6 {
+            looped.update(i, index, delta, &h);
+        }
+        assert_eq!(fanned, looped);
+    }
+
+    #[test]
+    fn add_is_lanewise_and_checks_size() {
+        let h = h();
+        let mut a = CellBank::new(BankGeometry::new(2, 2, 1));
+        let mut b = CellBank::new(BankGeometry::new(2, 2, 1));
+        let mut whole = CellBank::new(BankGeometry::new(2, 2, 1));
+        for (i, idx, d) in [(0usize, 3u64, 5i64), (2, 9, -2)] {
+            a.update(i, idx, d, &h);
+            whole.update(i, idx, d, &h);
+        }
+        for (i, idx, d) in [(0usize, 3u64, -5i64), (3, 4, 1)] {
+            b.update(i, idx, d, &h);
+            whole.update(i, idx, d, &h);
+        }
+        a.add(&b);
+        assert_eq!(a, whole);
+        assert!(a.cell_is_zero(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_rejects_mismatched_sizes() {
+        let mut a = CellBank::new(BankGeometry::new(1, 2, 1));
+        let b = CellBank::new(BankGeometry::new(1, 3, 1));
+        a.add(&b);
+    }
+
+    #[test]
+    fn serde_shape_is_the_legacy_cell_array() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(1, 2, 1));
+        bank.update(0, 42, 7, &h);
+        let v = bank.to_value();
+        // Exactly what Vec<OneSparseCell> produced.
+        let legacy: Vec<OneSparseCell> = (0..2).map(|i| bank.cell(i)).collect();
+        assert_eq!(v, legacy.to_value());
+        let back = CellBank::from_value(&v).unwrap();
+        assert_eq!(back, bank);
+        assert_eq!(back.geometry(), BankGeometry::flat(2));
+    }
+
+    #[test]
+    fn equality_ignores_geometry() {
+        let h = h();
+        let mut structured = CellBank::new(BankGeometry::new(2, 3, 1));
+        let mut flat = CellBank::new(BankGeometry::flat(6));
+        structured.update(4, 10, 2, &h);
+        flat.update(4, 10, 2, &h);
+        assert_eq!(structured, flat);
+    }
+
+    #[test]
+    fn overlay_replaces_lanes() {
+        let h = h();
+        let mut src = CellBank::new(BankGeometry::new(1, 3, 1));
+        src.update(1, 77, 3, &h);
+        let (w, s, f) = src.lanes();
+        let mut dst = CellBank::new(BankGeometry::new(1, 3, 1));
+        dst.overlay(w.to_vec(), s.to_vec(), f.to_vec());
+        assert_eq!(dst, src);
+        assert_eq!(dst.geometry(), BankGeometry::new(1, 3, 1));
+    }
+}

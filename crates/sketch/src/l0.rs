@@ -23,16 +23,24 @@
 //!   a uniform draw by symmetry. Used where uniformity matters: the
 //!   subgraph-fraction estimator of §4.
 
-use crate::one_sparse::{OneSparseCell, OneSparseState};
+use crate::bank::{BankGeometry, CellBank, CellBanked};
+use crate::one_sparse::OneSparseState;
 use crate::sparse_recovery::SparseRecovery;
 use crate::Mergeable;
-use gs_field::{BackendKind, HashBackend, Randomness};
+use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use serde::{Deserialize, Serialize};
 
 /// Number of levels needed for a domain: `⌊log2 N⌋ + 1` capped to 64.
-fn level_count(domain: u64) -> u32 {
-    debug_assert!(domain >= 1);
-    64 - domain.saturating_sub(1).leading_zeros().min(63)
+///
+/// Edge cases (pinned by tests below): `domain = 1` still gets one level
+/// (the full-vector cell); an exact power of two `2^k` needs only `k`
+/// levels because the deepest index is `2^k − 1`; `u64::MAX` saturates at
+/// the full 64.
+pub fn level_count(domain: u64) -> u32 {
+    debug_assert!(domain >= 1, "a sketch domain must hold at least one index");
+    let levels = 64 - domain.saturating_sub(1).leading_zeros().min(63);
+    debug_assert!((1..=64).contains(&levels));
+    levels
 }
 
 /// Outcome of an ℓ0 query.
@@ -64,10 +72,23 @@ pub struct L0Detector {
     reps: usize,
     seed: u64,
     kind: BackendKind,
-    /// `reps × levels` cells, rep-major.
-    cells: Vec<OneSparseCell>,
+    /// `reps × levels × 1` cell bank, rep-major.
+    cells: CellBank,
     level_hash: Vec<HashBackend>,
     finger: HashBackend,
+}
+
+/// The hash work of one detector update, computed once per index and
+/// reusable by **every detector built from the same seed** (the node
+/// sketches of a `ForestSketch` bank all share one seed — that is what
+/// makes them summable — so one plan serves both endpoints of an edge
+/// update across all `n` node detectors).
+#[derive(Clone, Debug, Default)]
+pub struct DetectorPlan {
+    /// Fingerprint hash value `h_f(index)`.
+    hf: M61,
+    /// Per-repetition deepest subsampling level of the index.
+    lmax: Vec<u32>,
 }
 
 /// Detector repetitions: each rep independently succeeds with constant
@@ -95,7 +116,7 @@ impl L0Detector {
             reps,
             seed,
             kind,
-            cells: vec![OneSparseCell::new(); reps * levels as usize],
+            cells: CellBank::new(BankGeometry::new(reps, levels as usize, 1)),
             level_hash,
             finger,
         }
@@ -111,7 +132,9 @@ impl L0Detector {
         self.cells.len()
     }
 
-    /// Applies `x[index] += delta`.
+    /// Applies `x[index] += delta`: hash once (fingerprint + one
+    /// subsampling level per repetition), then fan the precomputed triple
+    /// into the contiguous level prefix of each repetition row.
     pub fn update(&mut self, index: u64, delta: i64) {
         debug_assert!(
             index < self.domain,
@@ -121,18 +144,44 @@ impl L0Detector {
         if delta == 0 {
             return;
         }
+        let (dw, ds, df) = CellBank::deltas(index, delta, self.finger.hash_m61(index));
         for r in 0..self.reps {
             let lmax = self.level_hash[r].subsample_level(index, self.levels - 1);
             let base = r * self.levels as usize;
-            for l in 0..=lmax {
-                self.cells[base + l as usize].update(index, delta, &self.finger);
-            }
+            self.cells.fan(base..base + lmax as usize + 1, dw, ds, df);
+        }
+    }
+
+    /// Computes the hash work of an update of `index` into `plan`,
+    /// reusable by [`L0Detector::apply_planned`] on **any detector built
+    /// from the same seed** (including this one). The plan's buffers are
+    /// recycled across calls — hold one plan per batch loop.
+    pub fn plan_update(&self, index: u64, plan: &mut DetectorPlan) {
+        plan.hf = self.finger.hash_m61(index);
+        plan.lmax.clear();
+        plan.lmax.extend(
+            self.level_hash
+                .iter()
+                .map(|h| h.subsample_level(index, self.levels - 1)),
+        );
+    }
+
+    /// Applies `x[index] += delta` using hashes precomputed by
+    /// [`L0Detector::plan_update`] on a same-seed detector. Bit-identical
+    /// to [`L0Detector::update`].
+    pub fn apply_planned(&mut self, index: u64, delta: i64, plan: &DetectorPlan) {
+        debug_assert!(index < self.domain && delta != 0);
+        debug_assert_eq!(plan.lmax.len(), self.reps, "plan from a different shape");
+        let (dw, ds, df) = CellBank::deltas(index, delta, plan.hf);
+        for (r, &lmax) in plan.lmax.iter().enumerate() {
+            let base = r * self.levels as usize;
+            self.cells.fan(base..base + lmax as usize + 1, dw, ds, df);
         }
     }
 
     /// `true` iff the full-vector cells certify the zero vector.
     pub fn is_zero(&self) -> bool {
-        (0..self.reps).all(|r| self.cells[r * self.levels as usize].is_zero())
+        (0..self.reps).all(|r| self.cells.cell_is_zero(r * self.levels as usize))
     }
 
     /// Returns some support element, `Empty`, or `Fail`.
@@ -144,7 +193,7 @@ impl L0Detector {
             let base = r * self.levels as usize;
             for l in 0..self.levels as usize {
                 if let OneSparseState::One(i, v) =
-                    self.cells[base + l].decode(self.domain, &self.finger)
+                    self.cells.decode_cell(base + l, self.domain, &self.finger)
                 {
                     return L0Result::Sample(i, v);
                 }
@@ -163,9 +212,25 @@ impl Mergeable for L0Detector {
         assert_eq!(self.kind, other.kind);
         assert_eq!(self.domain, other.domain);
         assert_eq!(self.reps, other.reps);
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.add(b);
-        }
+        self.cells.add(&other.cells);
+    }
+}
+
+impl CellBanked for L0Detector {
+    fn banks(&self) -> Vec<&CellBank> {
+        vec![&self.cells]
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        vec![&mut self.cells]
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        Vec::new()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        Vec::new()
     }
 }
 
@@ -290,6 +355,33 @@ impl Mergeable for L0Sampler {
     }
 }
 
+impl CellBanked for L0Sampler {
+    fn banks(&self) -> Vec<&CellBank> {
+        self.level_sketch.iter().flat_map(|s| s.banks()).collect()
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        self.level_sketch
+            .iter_mut()
+            .flat_map(|s| s.banks_mut())
+            .collect()
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        self.level_sketch
+            .iter()
+            .flat_map(|s| s.fingerprints())
+            .collect()
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        self.level_sketch
+            .iter_mut()
+            .flat_map(|s| s.fingerprints_mut())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +398,63 @@ mod tests {
         assert_eq!(level_count(1 << 20), 20);
         assert_eq!(level_count((1 << 20) + 1), 21);
         assert_eq!(level_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn level_count_exact_powers_of_two() {
+        // An exact power 2^k needs only k levels: the deepest index is
+        // 2^k − 1. One past the power needs k + 1.
+        for k in 1..=63u32 {
+            let domain = 1u64 << k;
+            assert_eq!(level_count(domain), k, "domain 2^{k}");
+            if k < 63 {
+                assert_eq!(level_count(domain + 1), k + 1, "domain 2^{k}+1");
+            }
+        }
+    }
+
+    #[test]
+    fn level_count_extremes() {
+        // domain = 1: the zero index still needs its full-vector cell.
+        assert_eq!(level_count(1), 1);
+        // The top of the u64 range saturates at 64 levels.
+        assert_eq!(level_count(1 << 63), 63);
+        assert_eq!(level_count((1 << 63) + 1), 64);
+        assert_eq!(level_count(u64::MAX - 1), 64);
+        assert_eq!(level_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn detector_on_singleton_domain() {
+        // domain = 1 is the degenerate one-level sketch: only index 0.
+        let mut d = L0Detector::new(1, 5);
+        assert_eq!(d.query(), L0Result::Empty);
+        d.update(0, 4);
+        assert_eq!(d.query(), L0Result::Sample(0, 4));
+        d.update(0, -4);
+        assert_eq!(d.query(), L0Result::Empty);
+    }
+
+    #[test]
+    fn planned_updates_match_direct_updates() {
+        // plan_update + apply_planned on same-seed detectors must be
+        // bit-identical to per-detector update calls.
+        let mut direct_a = L0Detector::new(1 << 16, 9);
+        let mut direct_b = L0Detector::new(1 << 16, 9);
+        let mut planned_a = L0Detector::new(1 << 16, 9);
+        let mut planned_b = L0Detector::new(1 << 16, 9);
+        let mut plan = DetectorPlan::default();
+        for i in 0..200u64 {
+            let idx = i * 131 % (1 << 16);
+            let d = if i % 3 == 0 { -2 } else { 5 };
+            direct_a.update(idx, d);
+            direct_b.update(idx, -d);
+            planned_a.plan_update(idx, &mut plan);
+            planned_a.apply_planned(idx, d, &plan);
+            planned_b.apply_planned(idx, -d, &plan);
+        }
+        assert_eq!(planned_a, direct_a);
+        assert_eq!(planned_b, direct_b);
     }
 
     #[test]

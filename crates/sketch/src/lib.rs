@@ -14,6 +14,10 @@
 //!   (near-)uniform element of the support of a dynamic vector;
 //!   [`l0::L0Detector`] is the cheaper variant that returns *some* support
 //!   element, sufficient for Boruvka-style decoding.
+//! * [`bank`] — the shared struct-of-arrays cell store
+//!   ([`bank::CellBank`]): every structure above keeps its cells in one
+//!   contiguous bank (batched hash-once updates, lane-wise vectorizable
+//!   merges, raw wire dumps via the [`bank::CellBanked`] visitor).
 //! * [`domain`] — index-space bijections: triangular ranking of edges
 //!   `(u,v) ↦ [0, C(n,2))` and combinatorial ranking of `k`-subsets for the
 //!   `squash` encoding of Fig. 4, plus the pair-slot arithmetic of the
@@ -26,16 +30,18 @@
 //! algorithms work on dynamic streams (deletions cancel insertions) and on
 //! distributed streams (site sketches add up), per §1.1 of the paper.
 
+pub mod bank;
 pub mod domain;
 pub mod l0;
 pub mod linear;
 pub mod one_sparse;
 pub mod sparse_recovery;
 
-pub use l0::{L0Detector, L0Result, L0Sampler};
+pub use bank::{BankGeometry, CellBank, CellBanked};
+pub use l0::{level_count, DetectorPlan, L0Detector, L0Result, L0Sampler};
 pub use linear::{EdgeUpdate, LinearSketch, CELL_BYTES};
 pub use one_sparse::{OneSparseCell, OneSparseState};
-pub use sparse_recovery::SparseRecovery;
+pub use sparse_recovery::{RecoveryPlan, SparseRecovery};
 
 /// Sketches of partial streams can be added to form the sketch of the whole
 /// stream (§1.1: distributed streams, MapReduce partitioning).

@@ -58,11 +58,41 @@ impl OneSparseCell {
         Self::default()
     }
 
+    /// Reassembles a cell from its three measurements (the bank's
+    /// struct-of-arrays view, see [`crate::bank::CellBank`]).
+    #[inline]
+    pub fn from_parts(w: i64, s: i128, f: M61) -> Self {
+        OneSparseCell { w, s, f }
+    }
+
+    /// The three measurements `(w, s, f)`.
+    #[inline]
+    pub fn parts(&self) -> (i64, i128, M61) {
+        (self.w, self.s, self.f)
+    }
+
     /// Applies `x[index] += delta`.
+    ///
+    /// The `s` accumulator is `i128` because indices range up to
+    /// `C(n,2) ≈ 2^64`: a single term `index · delta` is bounded by
+    /// `2^64 · 2^63 < 2^127`, so one update can never overflow, and the
+    /// running sum is overflow-checked in debug builds (reaching 2^127
+    /// would take ≈ 2^63 same-sign maximal updates).
     #[inline]
     pub fn update(&mut self, index: u64, delta: i64, h: &impl Randomness) {
         self.w += delta;
-        self.s += index as i128 * delta as i128;
+        let ds = index as i128 * delta as i128;
+        #[cfg(debug_assertions)]
+        {
+            self.s = self
+                .s
+                .checked_add(ds)
+                .expect("1-sparse index-sum overflowed i128");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            self.s += ds;
+        }
         self.f += M61::from_i64(delta) * h.hash_m61(index);
     }
 
@@ -270,5 +300,51 @@ mod tests {
         let big = u64::MAX - 1;
         c.update(big, 1 << 40, &h);
         assert_eq!(c.decode(u64::MAX, &h), OneSparseState::One(big, 1 << 40));
+    }
+
+    #[test]
+    fn i128_accumulation_near_index_ceiling() {
+        // Repeated maximal-magnitude updates at an index near the C(n,2)
+        // ceiling (≈ 2^64) must accumulate in i128 without overflow and
+        // still cancel exactly. Each term is ≈ 2^64 · 2^40 = 2^104; fifty
+        // same-sign terms stay far below 2^127.
+        let h = h();
+        let mut c = OneSparseCell::new();
+        let idx = u64::MAX - 3;
+        for _ in 0..50 {
+            c.update(idx, 1 << 40, &h);
+        }
+        assert_eq!(c.decode(u64::MAX, &h), OneSparseState::One(idx, 50 << 40));
+        for _ in 0..50 {
+            c.update(idx, -(1 << 40), &h);
+        }
+        assert_eq!(c.decode(u64::MAX, &h), OneSparseState::Zero);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn i128_mixed_sign_terms_at_the_ceiling() {
+        // Alternating extreme terms exercise both signs of the i128
+        // accumulator near its maximal per-update magnitude.
+        let h = h();
+        let mut c = OneSparseCell::new();
+        let (a, b) = (u64::MAX - 1, u64::MAX / 2);
+        c.update(a, i64::MAX / 2, &h);
+        c.update(b, -(i64::MAX / 2), &h);
+        assert_eq!(c.decode(u64::MAX, &h), OneSparseState::Many);
+        c.update(a, -(i64::MAX / 2), &h);
+        assert_eq!(
+            c.decode(u64::MAX, &h),
+            OneSparseState::One(b, -(i64::MAX / 2))
+        );
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let h = h();
+        let mut c = OneSparseCell::new();
+        c.update(19, -4, &h);
+        let (w, s, f) = c.parts();
+        assert_eq!(OneSparseCell::from_parts(w, s, f), c);
     }
 }

@@ -18,7 +18,8 @@
 //! 4c), and recovering all incident edges of low-degree vertices in the
 //! `RECURSECONNECT` spanner (§5.1, step 2).
 
-use crate::one_sparse::{OneSparseCell, OneSparseState};
+use crate::bank::{BankGeometry, CellBank, CellBanked};
+use crate::one_sparse::OneSparseState;
 use crate::Mergeable;
 use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use serde::{Deserialize, Serialize};
@@ -41,8 +42,8 @@ pub struct SparseRecovery {
     buckets: usize,
     seed: u64,
     kind: BackendKind,
-    /// `rows × buckets` 1-sparse cells, row-major.
-    cells: Vec<OneSparseCell>,
+    /// `rows × 1 × buckets` cell bank, row-major.
+    cells: CellBank,
     /// Residual verification fingerprint Σ x_i·g(i).
     fp: M61,
     /// Shared fingerprint hash `h` for the 1-sparse cells.
@@ -60,6 +61,20 @@ pub struct SparseRecovery {
 /// need smaller failure probabilities repeat the whole sketch (as the
 /// paper's `O(log n)` factors do).
 const DEFAULT_ROWS: usize = 4;
+
+/// The hash work of one recovery update, computed once per index and
+/// reusable by [`SparseRecovery::apply_planned`] on **any recovery built
+/// from the same seed** (the per-level node recoveries of Fig. 3 all share
+/// one seed per level — they must, to be summable per cut).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryPlan {
+    /// Cell fingerprint hash value `h(index)`.
+    hf: M61,
+    /// Verification hash value `g(index)`.
+    hv: M61,
+    /// Bucket of the index in each row.
+    buckets: Vec<u32>,
+}
 
 impl SparseRecovery {
     /// A `k-RECOVERY` sketch over indices `[0, domain)` under the oracle
@@ -85,7 +100,7 @@ impl SparseRecovery {
             buckets,
             seed,
             kind,
-            cells: vec![OneSparseCell::new(); rows * buckets],
+            cells: CellBank::new(BankGeometry::new(rows, 1, buckets)),
             fp: M61::ZERO,
             finger,
             verify,
@@ -109,7 +124,8 @@ impl SparseRecovery {
         self.cells.len()
     }
 
-    /// Applies `x[index] += delta`.
+    /// Applies `x[index] += delta`: the fingerprint and verification
+    /// hashes are computed once and fanned into one bucket per row.
     ///
     /// # Panics
     /// Panics if `index ≥ domain`.
@@ -123,15 +139,44 @@ impl SparseRecovery {
             return;
         }
         self.fp += M61::from_i64(delta) * self.verify.hash_m61(index);
+        let (dw, ds, df) = CellBank::deltas(index, delta, self.finger.hash_m61(index));
         for r in 0..self.rows {
             let b = self.row_hash[r].hash_range(index, self.buckets as u64) as usize;
-            self.cells[r * self.buckets + b].update(index, delta, &self.finger);
+            self.cells.apply(r * self.buckets + b, dw, ds, df);
+        }
+    }
+
+    /// Computes the hash work of an update of `index` into `plan`,
+    /// reusable by [`SparseRecovery::apply_planned`] on **any recovery
+    /// built from the same seed**. The plan's buffers are recycled across
+    /// calls — hold one plan per batch loop.
+    pub fn plan_update(&self, index: u64, plan: &mut RecoveryPlan) {
+        plan.hf = self.finger.hash_m61(index);
+        plan.hv = self.verify.hash_m61(index);
+        plan.buckets.clear();
+        plan.buckets.extend(
+            self.row_hash
+                .iter()
+                .map(|h| h.hash_range(index, self.buckets as u64) as u32),
+        );
+    }
+
+    /// Applies `x[index] += delta` using hashes precomputed by
+    /// [`SparseRecovery::plan_update`] on a same-seed recovery.
+    /// Bit-identical to [`SparseRecovery::update`].
+    pub fn apply_planned(&mut self, index: u64, delta: i64, plan: &RecoveryPlan) {
+        debug_assert!(index < self.domain && delta != 0);
+        debug_assert_eq!(plan.buckets.len(), self.rows, "plan from a different shape");
+        self.fp += M61::from_i64(delta) * plan.hv;
+        let (dw, ds, df) = CellBank::deltas(index, delta, plan.hf);
+        for (r, &b) in plan.buckets.iter().enumerate() {
+            self.cells.apply(r * self.buckets + b as usize, dw, ds, df);
         }
     }
 
     /// `true` iff the sketch certifies the all-zero vector.
     pub fn is_zero(&self) -> bool {
-        self.fp.is_zero() && self.cells.iter().all(|c| c.is_zero())
+        self.fp.is_zero() && self.cells.is_zero()
     }
 
     /// Attempts exact recovery. Returns the non-zero entries (sorted by
@@ -144,19 +189,21 @@ impl SparseRecovery {
         // Each successful peel strictly reduces the support; cap defensively.
         let max_iters = 2 * self.buckets + 8;
         for _ in 0..max_iters {
-            if fp.is_zero() && cells.iter().all(|c| c.is_zero()) {
+            if fp.is_zero() && cells.is_zero() {
                 out.sort_unstable_by_key(|&(i, _)| i);
                 return Some(out);
             }
             let mut progress = false;
             'scan: for idx in 0..cells.len() {
-                if let OneSparseState::One(i, v) = cells[idx].decode(self.domain, &self.finger) {
+                if let OneSparseState::One(i, v) = cells.decode_cell(idx, self.domain, &self.finger)
+                {
                     // Subtract the recovered entry from every row and from
-                    // the verification fingerprint.
+                    // the verification fingerprint, hashing `i` once.
                     fp -= M61::from_i64(v) * self.verify.hash_m61(i);
+                    let (dw, ds, df) = CellBank::deltas(i, -v, self.finger.hash_m61(i));
                     for r in 0..self.rows {
                         let b = self.row_hash[r].hash_range(i, self.buckets as u64) as usize;
-                        cells[r * self.buckets + b].update(i, -v, &self.finger);
+                        cells.apply(r * self.buckets + b, dw, ds, df);
                     }
                     out.push((i, v));
                     progress = true;
@@ -201,10 +248,26 @@ impl Mergeable for SparseRecovery {
             "merging sketches with different domains"
         );
         assert_eq!(self.k, other.k, "merging sketches with different sparsity");
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.add(b);
-        }
+        self.cells.add(&other.cells);
         self.fp += other.fp;
+    }
+}
+
+impl CellBanked for SparseRecovery {
+    fn banks(&self) -> Vec<&CellBank> {
+        vec![&self.cells]
+    }
+
+    fn banks_mut(&mut self) -> Vec<&mut CellBank> {
+        vec![&mut self.cells]
+    }
+
+    fn fingerprints(&self) -> Vec<M61> {
+        vec![self.fp]
+    }
+
+    fn fingerprints_mut(&mut self) -> Vec<&mut M61> {
+        vec![&mut self.fp]
     }
 }
 
@@ -375,6 +438,30 @@ mod tests {
             s.update(30, -3);
             assert_eq!(s.decode(), Some(vec![(10, 1), (20, 2), (30, -3)]));
         }
+    }
+
+    #[test]
+    fn planned_updates_match_direct_updates() {
+        // plan_update + apply_planned on same-seed recoveries must be
+        // bit-identical to per-recovery update calls (the Fig. 3 shape:
+        // many node recoveries sharing one projection).
+        let mut direct_a = SparseRecovery::new(5000, 4, 77);
+        let mut direct_b = SparseRecovery::new(5000, 4, 77);
+        let mut planned_a = SparseRecovery::new(5000, 4, 77);
+        let mut planned_b = SparseRecovery::new(5000, 4, 77);
+        let mut plan = RecoveryPlan::default();
+        for i in 0..100u64 {
+            let idx = (i * 97) % 5000;
+            let d = if i % 4 == 0 { -3 } else { 2 };
+            direct_a.update(idx, d);
+            direct_b.update(idx, -d);
+            planned_a.plan_update(idx, &mut plan);
+            planned_a.apply_planned(idx, d, &plan);
+            planned_b.apply_planned(idx, -d, &plan);
+        }
+        assert_eq!(planned_a, direct_a);
+        assert_eq!(planned_b, direct_b);
+        assert_eq!(planned_a.decode(), direct_a.decode());
     }
 
     #[test]
