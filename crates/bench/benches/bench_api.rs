@@ -149,11 +149,62 @@ fn bench_bank_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental-sync hot pair: shipping a full v2 sketch file vs the
+/// delta record of a lightly-touched sketch (the coordinator-sync case the
+/// delta path exists for — a round's updates touch a small fraction of the
+/// cells, so the record is a fraction of the dump), and the engine's
+/// read-path merge: sequential fold vs the parallel merge tree.
+fn bench_delta_and_merge_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_delta_sync");
+    group.sample_size(10);
+    let n = 128;
+    let spec = SketchSpec::new(SketchTask::Connectivity, n).with_seed(31);
+    let g = gen::gnp(n, 0.02, 32);
+    let round = GraphStream::with_churn(&g, 20, 33).edge_updates();
+    let mut fed = spec.build();
+    fed.absorb(&round);
+    let file = graph_sketches::wire::SketchFile::new(spec, fed).expect("state matches spec");
+    group.bench_with_input(BenchmarkId::new("full_v2_bytes", n), &(), |b, _| {
+        b.iter(|| file.to_bytes())
+    });
+    // One whole sync round in steady state: emit (which drains) then
+    // apply the record back into the same sketch, which restores both the
+    // values and the dirty bits — so every iteration emits the identical
+    // delta and the loop measures only delta_bytes + apply_delta, with no
+    // per-iteration clone or spec.build() noise.
+    let mut sync_file = file.clone();
+    group.bench_with_input(BenchmarkId::new("delta_emit_apply", n), &(), |b, _| {
+        b.iter(|| {
+            let bytes = sync_file.delta_bytes();
+            sync_file.apply_delta(&bytes).expect("compatible delta");
+            bytes.len()
+        })
+    });
+    let big = gen::gnp(n, 0.2, 34);
+    let updates = GraphStream::with_churn(&big, big.m(), 35).edge_updates();
+    let shards: Vec<ForestSketch> = (0..16)
+        .map(|i| {
+            let mut s = ForestSketch::new(n, 37);
+            s.absorb(&updates[i * updates.len() / 16..(i + 1) * updates.len() / 16]);
+            s
+        })
+        .collect();
+    for budget in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("merge_tree_budget", budget),
+            &budget,
+            |b, &budget| b.iter(|| gs_stream::engine::merge_tree(shards.clone(), budget).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_absorb_dispatch,
     bench_distributed_ingest,
     bench_engine_ingest,
-    bench_bank_kernels
+    bench_bank_kernels,
+    bench_delta_and_merge_tree
 );
 criterion_main!(benches);

@@ -4,9 +4,10 @@
 //! ```text
 //! graph-sketch <command> --n <vertices> [options] < updates.txt
 //! graph-sketch --spec '<json>' [options] < updates.txt
-//! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin] < updates.txt
+//! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin|delta] < updates.txt
 //! graph-sketch merge      <sketch-file>... [--out FILE] [--format json|bin]
 //! graph-sketch decode     <sketch-file> [--json]
+//! graph-sketch sync       --state FILE [--format json|bin] <delta-file>...
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
 //! commands:
@@ -23,8 +24,15 @@
 //!
 //! verbs (the cross-process coordinator topology of S1.1):
 //!   sketch                ingest stdin, write a versioned sketch file
+//!                         (--format delta writes the incremental record
+//!                         instead: only the cells this stream touched)
 //!   merge                 fold sketch files from independent processes
 //!   decode                answer the query from a sketch file
+//!   sync                  coordinator: apply worker delta records to a
+//!                         resident state file (created from the first
+//!                         delta's spec if absent); workers re-sketch only
+//!                         their round's updates instead of re-shipping
+//!                         whole sketches
 //!   serve-demo            resident engine: ingest stdin, decode periodic
 //!                         quiesce-free snapshots on stderr while streaming
 //!
@@ -37,9 +45,12 @@
 //!   --stats         report updates/sec and engine counters on stderr
 //!   --every <int>   serve-demo: snapshot-decode period, in updates
 //!   --out <file>    sketch/merge: write the sketch file here (default stdout)
-//!   --format <f>    sketch/merge: output file format, `json` (wire v1,
+//!   --format <f>    sketch/merge/sync: output format, `json` (wire v1,
 //!                   default) or `bin` (wire v2, length-prefixed LE binary
-//!                   of the cell banks); loads always auto-detect
+//!                   of the cell banks; the sync default); `sketch` also
+//!                   takes `delta` (binary record of only the touched
+//!                   cells). Loads always auto-detect
+//!   --state <file>  sync: the coordinator's resident sketch file
 //!   --json          emit the answer as one JSON object
 //!   --seed <int>    master sketch seed
 //!
@@ -55,7 +66,7 @@
 mod parse;
 
 use graph_sketches::api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
-use graph_sketches::wire::SketchFile;
+use graph_sketches::wire::{SketchDelta, SketchFile};
 use gs_sketch::{EdgeUpdate, LinearSketch};
 use gs_stream::engine::{EngineConfig, EngineStats, SketchEngine};
 use parse::parse_line;
@@ -78,6 +89,9 @@ enum FileFormat {
     Json,
     /// Wire format 2: length-prefixed little-endian binary.
     Bin,
+    /// The incremental delta record: only the touched cells (`sketch`
+    /// output only — a delta is a summand for `sync`, not a sketch file).
+    Delta,
 }
 
 impl FileFormat {
@@ -85,7 +99,10 @@ impl FileFormat {
         match text {
             "json" => Ok(FileFormat::Json),
             "bin" => Ok(FileFormat::Bin),
-            other => Err(format!("--format must be json or bin, got {other:?}")),
+            "delta" => Ok(FileFormat::Delta),
+            other => Err(format!(
+                "--format must be json, bin, or delta, got {other:?}"
+            )),
         }
     }
 }
@@ -108,9 +125,10 @@ fn usage() -> ExitCode {
          [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] \
          [--sites <int>] [--chunk <int>] [--stats] [--json] < stream\n\
          \x20      graph-sketch --spec '<json>' [options] < stream\n\
-         \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin] < stream\n\
+         \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin|delta] < stream\n\
          \x20      graph-sketch merge <sketch-file>... [--out FILE] [--format json|bin]\n\
          \x20      graph-sketch decode <sketch-file> [--json]\n\
+         \x20      graph-sketch sync --state FILE [--format json|bin] <delta-file>...\n\
          \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream",
         commands = commands.join("|")
     );
@@ -343,6 +361,16 @@ fn ingest_stdin(opts: &Options, snapshots: bool) -> Result<(AnySketch, IngestRep
     ))
 }
 
+/// Consumes the value of a `--format` flag from an argument iterator —
+/// the shared plumbing of the merge and sync verbs (each caller refuses
+/// the variants that make no sense for its own output).
+fn take_format_flag(it: &mut std::slice::Iter<'_, String>) -> Result<FileFormat, String> {
+    match it.next() {
+        Some(value) => FileFormat::parse(value),
+        None => Err("missing value for --format".into()),
+    }
+}
+
 /// Writes `text` (plus a newline) to `--out` or stdout.
 fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
     match out {
@@ -355,21 +383,25 @@ fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
 }
 
 /// Writes a sketch file in the selected `--format` to `--out` or stdout
-/// (binary goes to stdout raw — pipe or redirect it).
-fn emit_file(out: &Option<String>, format: FileFormat, file: &SketchFile) -> Result<(), String> {
-    match format {
-        FileFormat::Json => emit(out, &file.to_json()),
-        FileFormat::Bin => {
-            let bytes = file.to_bytes();
-            match out {
-                Some(path) => std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}")),
-                None => {
-                    use std::io::Write;
-                    std::io::stdout()
-                        .write_all(&bytes)
-                        .map_err(|e| format!("stdout: {e}"))
-                }
-            }
+/// (binary formats go to stdout raw — pipe or redirect them). Emitting a
+/// delta drains the carried sketch, which is why the file is `&mut`.
+fn emit_file(
+    out: &Option<String>,
+    format: FileFormat,
+    file: &mut SketchFile,
+) -> Result<(), String> {
+    let bytes = match format {
+        FileFormat::Json => return emit(out, &file.to_json()),
+        FileFormat::Bin => file.to_bytes(),
+        FileFormat::Delta => file.delta_bytes(),
+    };
+    match out {
+        Some(path) => std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}")),
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| format!("stdout: {e}"))
         }
     }
 }
@@ -488,14 +520,14 @@ fn cmd_sketch(args: &[String]) -> ExitCode {
     if opts.stats {
         report.print();
     }
-    let file = match SketchFile::new(opts.spec, sketch) {
+    let mut file = match SketchFile::new(opts.spec, sketch) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = emit_file(&opts.out, opts.format.unwrap_or_default(), &file) {
+    if let Err(e) = emit_file(&opts.out, opts.format.unwrap_or_default(), &mut file) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -524,14 +556,10 @@ fn cmd_merge(args: &[String]) -> ExitCode {
                     return usage();
                 }
             },
-            "--format" => match it.next().map(|v| FileFormat::parse(v)) {
-                Some(Ok(f)) => format = f,
-                Some(Err(e)) => {
+            "--format" => match take_format_flag(&mut it) {
+                Ok(f) => format = f,
+                Err(e) => {
                     eprintln!("error: {e}");
-                    return usage();
-                }
-                None => {
-                    eprintln!("error: missing value for --format");
                     return usage();
                 }
             },
@@ -544,6 +572,13 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     }
     if files.is_empty() {
         eprintln!("error: merge needs at least one sketch file");
+        return usage();
+    }
+    if format == FileFormat::Delta {
+        eprintln!(
+            "error: merge writes full sketch files; delta records are produced by \
+             sketch --format delta and consumed by sync"
+        );
         return usage();
     }
     // Inputs auto-detect their format, so JSON and binary files from
@@ -567,12 +602,143 @@ fn cmd_merge(args: &[String]) -> ExitCode {
             }
         }
     }
-    let merged = acc.expect("at least one file");
+    let mut merged = acc.expect("at least one file");
     eprintln!("merged {} sketch file(s)", files.len());
-    if let Err(e) = emit_file(&out, format, &merged) {
+    if let Err(e) = emit_file(&out, format, &mut merged) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// `graph-sketch sync --state FILE <delta-file>…` — the coordinator side
+/// of the incremental topology: apply worker delta records to a resident
+/// sketch state. The state file is created from the first delta's spec if
+/// it does not exist yet; afterwards it always holds the full sketch of
+/// everything every worker has drained so far (`decode` answers from it
+/// at any point). Deltas are sums, so the application order is
+/// irrelevant; an incompatible or corrupt delta is refused with a typed
+/// error and the state file is left untouched (the new state lands via
+/// write-then-rename, never an in-place truncation).
+///
+/// One coordinator per state file: `sync` is the serialization point of
+/// the topology — N workers emit deltas concurrently, one `sync`
+/// invocation at a time folds them in. Two racing invocations over the
+/// same `--state` cannot corrupt the file, but the later rename wins and
+/// the earlier invocation's deltas would need re-applying.
+fn cmd_sync(args: &[String]) -> ExitCode {
+    let mut state: Option<String> = None;
+    let mut deltas: Vec<String> = Vec::new();
+    let mut format = FileFormat::Bin;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--state" => match it.next() {
+                Some(path) => state = Some(path.clone()),
+                None => {
+                    eprintln!("error: missing value for --state");
+                    return usage();
+                }
+            },
+            "--format" => match take_format_flag(&mut it) {
+                Ok(FileFormat::Delta) => {
+                    eprintln!(
+                        "error: the sync state is a full sketch file; --format must be \
+                         json or bin"
+                    );
+                    return usage();
+                }
+                Ok(f) => format = f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                return usage();
+            }
+            path => deltas.push(path.to_string()),
+        }
+    }
+    let Some(state_path) = state else {
+        eprintln!("error: sync needs --state <file> (the coordinator's resident sketch)");
+        return usage();
+    };
+    if deltas.is_empty() {
+        eprintln!("error: sync needs at least one delta record to apply");
+        return usage();
+    }
+    // Parse every delta up front: a bad record in the middle must not
+    // leave the state half-synced.
+    let mut parsed = Vec::with_capacity(deltas.len());
+    for path in &deltas {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match SketchDelta::from_bytes(&bytes) {
+            Ok(d) => parsed.push(d),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut file = if std::path::Path::new(&state_path).exists() {
+        match load_sketch_file(&state_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Bootstrap: the first delta carries the full spec, which is all a
+        // coordinator needs to build its empty receiving sketch. The spec
+        // is untrusted input — empty_file contains the build, so a record
+        // describing an unconstructible sketch is an error, not a panic.
+        match parsed[0].empty_file() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {}: {e}", deltas[0]);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut cells = 0usize;
+    for (path, delta) in deltas.iter().zip(&parsed) {
+        if let Err(e) = file.apply_delta_parsed(delta) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        cells += delta.touched_cells();
+    }
+    // Replace the state atomically (write-then-rename): the accumulated
+    // rounds are unrecoverable — the workers drained when they emitted
+    // them — so a crashed or out-of-space write must not truncate the old
+    // state in place. The staging name is per-process so racing syncs
+    // cannot corrupt each other's half-written file; last-rename-wins
+    // between whole invocations is still the caller's to serialize (see
+    // the verb docs: one coordinator per state file).
+    let staging = format!("{state_path}.tmp.{}", std::process::id());
+    if let Err(e) = emit_file(&Some(staging.clone()), format, &mut file) {
+        eprintln!("error: {e}");
+        let _ = std::fs::remove_file(&staging);
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::rename(&staging, &state_path) {
+        eprintln!("error: renaming {staging} over {state_path}: {e}");
+        let _ = std::fs::remove_file(&staging);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "synced {} delta record(s) ({cells} touched cells) into {state_path}",
+        deltas.len()
+    );
     ExitCode::SUCCESS
 }
 
@@ -629,6 +795,7 @@ fn main() -> ExitCode {
         Some("sketch") => cmd_sketch(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
+        Some("sync") => cmd_sync(&args[1..]),
         Some("serve-demo") => cmd_query(&args[1..], true),
         _ => cmd_query(&args, false),
     }

@@ -406,6 +406,16 @@ fn truncated_binary_file_fails_loudly() {
     std::fs::write(&f, &bytes[..bytes.len() / 2]).unwrap();
     let (_, err, code) = run(&["decode", &f], "");
     assert_ne!(code, 0);
+    // The checksum gate catches a mid-file cut (the declared sum is no
+    // longer the trailing word); a cut inside the header reports
+    // truncation. Either way the load fails loudly and typed.
+    assert!(
+        err.contains("checksum") || err.contains("truncated"),
+        "unhelpful error: {err}"
+    );
+    std::fs::write(&f, &bytes[..10]).unwrap(); // magic + half the version
+    let (_, err, code) = run(&["decode", &f], "");
+    assert_ne!(code, 0);
     assert!(err.contains("truncated"), "unhelpful error: {err}");
 }
 
@@ -431,7 +441,10 @@ fn format_flag_is_refused_out_of_place() {
         "+ 0 1\n",
     );
     assert_ne!(code, 0);
-    assert!(err.contains("json or bin"), "unhelpful error: {err}");
+    assert!(
+        err.contains("json, bin, or delta"),
+        "unhelpful error: {err}"
+    );
 }
 
 #[test]
@@ -449,4 +462,257 @@ fn out_of_place_flags_are_refused_not_ignored() {
     let (_, err, code) = run(&["sketch", "connectivity", "--n", "4", "--json"], "+ 0 1\n");
     assert_ne!(code, 0);
     assert!(err.contains("--json"), "unhelpful error: {err}");
+}
+
+#[test]
+fn delta_sync_rounds_reconstruct_the_single_process_answer() {
+    // The continuously-syncing topology: two workers each sketch their
+    // round's updates and ship a *delta* record; the coordinator `sync`s
+    // the deltas into a resident state file (bootstrapped from the first
+    // delta). After every round the state decodes exactly like a single
+    // process that saw every update so far.
+    let n = 12;
+    let stream = demo_stream(n);
+    let n_flag = n.to_string();
+    let dir = Scratch::new("sync");
+    let state = dir.path("central.state");
+    let workers = split_lines(&stream, 2);
+    let rounds: Vec<Vec<String>> = workers
+        .iter()
+        .map(|w| split_lines(w, 2)) // 2 rounds per worker
+        .collect();
+    let mut seen = String::new();
+    for round in 0..2 {
+        let mut delta_files = Vec::new();
+        for (w, worker_rounds) in rounds.iter().enumerate() {
+            let part = &worker_rounds[round];
+            seen.push_str(part);
+            let file = dir.path(&format!("w{w}-r{round}.delta"));
+            let (_, err, code) = run(
+                &[
+                    "sketch",
+                    "connectivity",
+                    "--n",
+                    &n_flag,
+                    "--seed",
+                    "77",
+                    "--format",
+                    "delta",
+                    "--out",
+                    &file,
+                ],
+                part,
+            );
+            assert_eq!(code, 0, "worker sketch failed: {err}");
+            let magic = std::fs::read(&file).expect("delta file");
+            assert!(magic.starts_with(b"AGMSKD2\n"), "not a delta record");
+            delta_files.push(file);
+        }
+        let mut args = vec!["sync", "--state", &state];
+        args.extend(delta_files.iter().map(String::as_str));
+        let (_, err, code) = run(&args, "");
+        assert_eq!(code, 0, "sync failed: {err}");
+        assert!(err.contains("synced 2 delta record(s)"), "summary: {err}");
+        let (decoded, _, code) = run(&["decode", &state], "");
+        assert_eq!(code, 0);
+        let (central, _, code) = run(&["connectivity", "--n", &n_flag, "--seed", "77"], &seen);
+        assert_eq!(code, 0);
+        assert_eq!(
+            decoded, central,
+            "round {round}: synced state differs from single-process answer"
+        );
+    }
+}
+
+#[test]
+fn sync_refuses_incompatible_and_corrupt_deltas() {
+    let dir = Scratch::new("sync-refuse");
+    let state = dir.path("central.state");
+    let good = dir.path("good.delta");
+    let bad_seed = dir.path("bad-seed.delta");
+    let sketch = |seed: &str, out: &str| {
+        let (_, err, code) = run(
+            &[
+                "sketch",
+                "connectivity",
+                "--n",
+                "8",
+                "--seed",
+                seed,
+                "--format",
+                "delta",
+                "--out",
+                out,
+            ],
+            "+ 0 1\n+ 1 2\n",
+        );
+        assert_eq!(code, 0, "sketch failed: {err}");
+    };
+    sketch("7", &good);
+    sketch("8", &bad_seed);
+    let (_, err, code) = run(&["sync", "--state", &state, &good], "");
+    assert_eq!(code, 0, "first sync failed: {err}");
+    let before = std::fs::read(&state).expect("state file");
+    // A delta sketched under another seed is refused whole...
+    let (_, err, code) = run(&["sync", "--state", &state, &bad_seed], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("specs differ"), "unhelpful error: {err}");
+    // ...and a corrupted delta is refused by the checksum gate; in both
+    // cases the state file is untouched.
+    let mut corrupt = std::fs::read(&good).expect("delta bytes");
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let corrupt_path = dir.path("corrupt.delta");
+    std::fs::write(&corrupt_path, &corrupt).expect("write corrupt delta");
+    let (_, err, code) = run(&["sync", "--state", &state, &corrupt_path], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("checksum"), "unhelpful error: {err}");
+    assert_eq!(
+        std::fs::read(&state).expect("state file"),
+        before,
+        "a refused sync must leave the state untouched"
+    );
+}
+
+#[test]
+fn delta_records_are_not_sketch_files_and_vice_versa() {
+    let dir = Scratch::new("delta-misuse");
+    let delta = dir.path("site.delta");
+    let full = dir.path("site.sketch");
+    for (format, out) in [("delta", &delta), ("bin", &full)] {
+        let (_, err, code) = run(
+            &[
+                "sketch",
+                "connectivity",
+                "--n",
+                "6",
+                "--seed",
+                "3",
+                "--format",
+                format,
+                "--out",
+                out,
+            ],
+            "+ 0 1\n",
+        );
+        assert_eq!(code, 0, "sketch failed: {err}");
+    }
+    // decode / merge refuse a delta record with a pointer to sync...
+    let (_, err, code) = run(&["decode", &delta], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("sync"), "unhelpful error: {err}");
+    let (_, err, code) = run(&["merge", &delta, &full], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("sync"), "unhelpful error: {err}");
+    // ...sync refuses a full sketch file in delta position...
+    let state = dir.path("state");
+    let (_, err, code) = run(&["sync", "--state", &state, &full], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("magic"), "unhelpful error: {err}");
+    // ...and merge won't write deltas.
+    let (_, err, code) = run(&["merge", &full, "--format", "delta"], "");
+    assert_ne!(code, 0);
+    assert!(err.contains("sync"), "unhelpful error: {err}");
+}
+
+#[test]
+fn empty_round_delta_is_valid_and_a_no_op() {
+    // A worker with nothing to report still ships a well-formed (empty)
+    // delta, and syncing it changes nothing — the zero-update regression.
+    let dir = Scratch::new("empty-delta");
+    let state = dir.path("central.state");
+    let first = dir.path("first.delta");
+    let empty = dir.path("empty.delta");
+    let (_, err, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "6",
+            "--seed",
+            "5",
+            "--format",
+            "delta",
+            "--out",
+            &first,
+        ],
+        "+ 0 1\n+ 1 2\n",
+    );
+    assert_eq!(code, 0, "sketch failed: {err}");
+    let (_, err, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "6",
+            "--seed",
+            "5",
+            "--format",
+            "delta",
+            "--out",
+            &empty,
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "empty-round sketch failed: {err}");
+    let (_, err, code) = run(&["sync", "--state", &state, &first], "");
+    assert_eq!(code, 0, "sync failed: {err}");
+    let before = std::fs::read(&state).expect("state file");
+    let (_, err, code) = run(&["sync", "--state", &state, &empty], "");
+    assert_eq!(code, 0, "empty sync failed: {err}");
+    assert!(err.contains("(0 touched cells)"), "summary: {err}");
+    assert_eq!(
+        std::fs::read(&state).expect("state file"),
+        before,
+        "an empty delta must be a bit-exact no-op"
+    );
+}
+
+#[test]
+fn sync_bootstrap_refuses_a_hostile_delta_spec_without_panicking() {
+    // A checksum-valid delta whose spec header declares an unconstructible
+    // sketch (n = 1) must be refused with a typed error at bootstrap —
+    // never a panic/abort (exit 101) from the sketch constructors.
+    use graph_sketches::wire::v2_checksum;
+    let dir = Scratch::new("hostile-spec");
+    let delta = dir.path("site.delta");
+    let (_, err, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "8",
+            "--seed",
+            "2",
+            "--format",
+            "delta",
+            "--out",
+            &delta,
+        ],
+        "+ 0 1\n",
+    );
+    assert_eq!(code, 0, "sketch failed: {err}");
+    let mut bytes = std::fs::read(&delta).expect("delta bytes");
+    let at = 12; // magic + version
+    let spec_len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    let header = String::from_utf8(bytes[at + 4..at + 4 + spec_len].to_vec()).unwrap();
+    let bad = header.replacen("\"n\":8", "\"n\":1", 1);
+    assert_eq!(bad.len(), spec_len, "same-length edit");
+    bytes[at + 4..at + 4 + spec_len].copy_from_slice(bad.as_bytes());
+    let split = bytes.len() - 8;
+    let sum = v2_checksum(&bytes[..split]);
+    bytes[split..].copy_from_slice(&sum.to_le_bytes());
+    let hostile = dir.path("hostile.delta");
+    std::fs::write(&hostile, &bytes).expect("write hostile delta");
+    let state = dir.path("fresh.state");
+    let (_, err, code) = run(&["sync", "--state", &state, &hostile], "");
+    assert_eq!(
+        code, 1,
+        "expected a clean typed failure, got exit {code}: {err}"
+    );
+    assert!(err.contains("unconstructible"), "unhelpful error: {err}");
+    assert!(
+        !std::path::Path::new(&state).exists(),
+        "no state file may appear from a refused bootstrap"
+    );
 }

@@ -19,25 +19,60 @@
 //! the spec-built receiver:
 //!
 //! ```text
-//! magic "AGMSKB2\n" · u32 version=2 · u32 spec_len · spec JSON
+//! magic "AGMSKB2\n" · u32 version=3 · u32 spec_len · spec JSON
 //! u32 bank_count · per bank: u32×3 geometry, then w (i64), s (i128),
 //!                            f (u64 < 2^61−1) lanes, all LE
 //! u32 fingerprint_count · fingerprints (u64 LE)
+//! u64 FNV-1a checksum of every preceding byte
 //! ```
 //!
-//! In both formats the file carries the full [`SketchSpec`] — everything
-//! two sites must agree on for their measurements to be compatible —
-//! so the coordinator *checks* compatibility instead of trusting the
-//! sender. [`SketchFile::try_merge`] refuses (with a [`WireError`]) to
-//! fold files whose specs differ in any field or whose bank geometries
-//! disagree, and loading validates the state against its *declared* spec
-//! (v1: a contained probe merge against a spec-built empty sketch, which
-//! also re-structures the flat-deserialized banks; v2: the per-bank
+//! **Delta record** — the incremental sibling of format 2, produced by
+//! [`SketchFile::delta_bytes`] and consumed by
+//! [`SketchFile::apply_delta`]. Instead of whole lanes it ships only the
+//! cells **touched since the last drain** (the bank dirty bitmaps of
+//! [`gs_sketch::CellBank`]), as `(flat index, w, s, f)` columns per bank,
+//! plus every fingerprint scalar (they are single field elements).
+//! Emitting a delta *drains* the sender — touched cells and fingerprints
+//! are zeroed — so by linearity a coordinator that adds successive deltas
+//! holds exactly the sketch of everything the sender ever absorbed:
+//!
+//! ```text
+//! magic "AGMSKD2\n" · u32 version=3 · u32 spec_len · spec JSON
+//! u32 bank_count · per bank: u32×3 geometry, u32 touched_count,
+//!                            touched flat indices (u32 LE, strictly
+//!                            ascending), then w/s/f columns of exactly
+//!                            those cells
+//! u32 fingerprint_count · fingerprints (u64 LE)
+//! u64 FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! Both binary layouts end in an [FNV-1a] checksum ([`v2_checksum`]) over
+//! everything before it, verified **before any content is parsed**: a
+//! flipped bit, a truncation past the header, or a spliced payload is
+//! refused as [`WireError::Corrupt`] without the reader ever acting on
+//! the damaged bytes — there is no silent wrong state. The structural
+//! validation below the checksum (geometry gates, field-range checks,
+//! strict index monotonicity, trailing-byte rejection) still runs, so a
+//! *re-sealed* tampered file is caught too wherever the damage is
+//! detectable.
+//!
+//! In all formats the payload carries the full [`SketchSpec`] —
+//! everything two sites must agree on for their measurements to be
+//! compatible — so the coordinator *checks* compatibility instead of
+//! trusting the sender. [`SketchFile::try_merge`] refuses (with a
+//! [`WireError`]) to fold files whose specs differ in any field or whose
+//! bank geometries disagree, [`SketchFile::apply_delta`] refuses deltas
+//! the same way, and loading validates the state against its *declared*
+//! spec (v1: a contained probe merge against a spec-built empty sketch,
+//! which also re-structures the flat-deserialized banks; v2: the per-bank
 //! geometry gate), so a corrupted or tampered file fails at load rather
 //! than aborting a coordinator mid-merge. The CLI's
-//! `sketch` / `merge` / `decode` verbs are thin shells over this module;
-//! `tests/integration_wire.rs` and `tests/integration_wire_v2.rs` assert
-//! both round trips are bit-exact for every task.
+//! `sketch` / `merge` / `decode` / `sync` verbs are thin shells over this
+//! module; `tests/integration_wire.rs`, `tests/integration_wire_v2.rs`,
+//! `tests/integration_delta.rs`, and `tests/integration_wire_fuzz.rs`
+//! assert the round trips are bit-exact and the rejections are typed.
+//!
+//! [FNV-1a]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
 
 use crate::api::{AnySketch, MergeError, SketchAnswer, SketchSpec};
 use gs_field::{m61, M61};
@@ -48,12 +83,97 @@ use serde::{Deserialize, Serialize, Value};
 /// The JSON sketch-file wire version.
 pub const WIRE_FORMAT: u64 = 1;
 
-/// The binary sketch-file wire version.
-pub const WIRE_FORMAT_V2: u32 = 2;
+/// The binary sketch-file wire version, carried in the `u32` after the
+/// magic. Version 2 was the pre-checksum binary layout; appending the
+/// trailing checksum word changed the byte layout, so the version was
+/// bumped to 3 — a version-2 file written by an older build is refused
+/// with a [`WireError::Format`] naming both versions, not misread as
+/// checksum corruption.
+pub const WIRE_FORMAT_BIN: u32 = 3;
 
 /// Magic prefix of a binary (format 2) sketch file. Starts with a byte
 /// that can never open a JSON document, so the two formats are sniffable.
 pub const V2_MAGIC: &[u8; 8] = b"AGMSKB2\n";
+
+/// Magic prefix of a binary delta record (the incremental sibling of
+/// format 2): `D` for delta where the full dump has `B`.
+pub const DELTA_MAGIC: &[u8; 8] = b"AGMSKD2\n";
+
+/// The FNV-1a 64-bit checksum both binary layouts carry as their final
+/// word, computed over every preceding byte. Public so external tools
+/// (and the corruption tests) can re-seal a payload they have edited.
+pub fn v2_checksum(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the [`v2_checksum`] of everything written so far.
+fn seal(out: &mut Vec<u8>) {
+    let sum = v2_checksum(out);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Reads the `u32` wire version that follows an 8-byte magic and rejects
+/// anything but [`WIRE_FORMAT_BIN`] (the version is checked before the
+/// checksum so a future-format file reports [`WireError::Format`], not a
+/// hash mismatch).
+fn check_version(bytes: &[u8]) -> Result<(), WireError> {
+    let at = V2_MAGIC.len();
+    if bytes.len() < at + 4 {
+        return Err(WireError::Truncated { at: bytes.len() });
+    }
+    let version = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    if version != WIRE_FORMAT_BIN {
+        return Err(WireError::Format {
+            found: version as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Parses the prologue shared by both binary layouts: the expected magic
+/// ([`WireError::BadMagic`] otherwise), the version word, the trailing
+/// checksum (verified before any content is read), then the spec header.
+/// Returns the spec and a reader positioned at the first byte after it.
+fn parse_binary_header<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 8],
+) -> Result<(SketchSpec, ByteReader<'a>), WireError> {
+    if !bytes.starts_with(magic) {
+        return Err(WireError::BadMagic);
+    }
+    check_version(bytes)?;
+    let mut r = ByteReader::new(checked_content(bytes)?);
+    let spec_len = r.u32()? as usize;
+    let spec_text = std::str::from_utf8(r.take(spec_len)?)
+        .map_err(|_| WireError::Corrupt("spec header is not UTF-8".into()))?;
+    let spec = SketchSpec::from_json(spec_text).map_err(|e| WireError::Json(e.to_string()))?;
+    Ok((spec, r))
+}
+
+/// Verifies the trailing checksum of a binary payload (full or delta) and
+/// returns the content slice between the `magic · u32 version` header and
+/// the checksum word. Runs before any content is parsed.
+fn checked_content(bytes: &[u8]) -> Result<&[u8], WireError> {
+    let header = V2_MAGIC.len() + 4;
+    if bytes.len() < header + 8 {
+        return Err(WireError::Truncated { at: bytes.len() });
+    }
+    let split = bytes.len() - 8;
+    let declared = u64::from_le_bytes(bytes[split..].try_into().expect("8 bytes"));
+    let computed = v2_checksum(&bytes[..split]);
+    if declared != computed {
+        return Err(WireError::Corrupt(format!(
+            "checksum mismatch: file declares {declared:#018x}, contents hash to \
+             {computed:#018x}"
+        )));
+    }
+    Ok(&bytes[header..split])
+}
 
 /// A sketch and the spec it was built from, as shipped between processes.
 #[derive(Clone, Debug, PartialEq)]
@@ -117,7 +237,7 @@ impl std::fmt::Display for WireError {
             WireError::Format { found } => write!(
                 f,
                 "sketch file declares wire format {found}, this build reads formats \
-                 {WIRE_FORMAT} and {WIRE_FORMAT_V2}"
+                 {WIRE_FORMAT} and {WIRE_FORMAT_BIN}"
             ),
             WireError::BadMagic => write!(
                 f,
@@ -263,13 +383,21 @@ impl SketchFile {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(V2_MAGIC);
-        write_u32(&mut out, WIRE_FORMAT_V2);
+        write_u32(&mut out, WIRE_FORMAT_BIN);
         let spec_json = self.spec.to_json();
         write_u32(&mut out, spec_json.len() as u32);
         out.extend_from_slice(spec_json.as_bytes());
         let banks = self.state.banks();
         write_u32(&mut out, banks.len() as u32);
         for bank in banks {
+            // Geometry axes ride as u32 (same invariant delta_bytes
+            // guards): a larger bank would truncate silently into a
+            // checksum-valid but unloadable file, so refuse loudly.
+            assert!(
+                bank.len() <= u32::MAX as usize,
+                "the binary format sizes banks as u32, bank holds {} cells",
+                bank.len()
+            );
             let geom = bank.geometry();
             write_u32(&mut out, geom.reps as u32);
             write_u32(&mut out, geom.levels as u32);
@@ -290,27 +418,16 @@ impl SketchFile {
         for fp in fps {
             out.extend_from_slice(&fp.value().to_le_bytes());
         }
+        seal(&mut out);
         out
     }
 
-    /// Parses a binary (v2) sketch file: magic, version, spec header, then
-    /// the bank lanes overlaid onto a spec-built sketch with per-bank
-    /// geometry checks.
+    /// Parses a binary (v2) sketch file: magic, version, the trailing
+    /// checksum (verified before anything else is read), then the spec
+    /// header and the bank lanes overlaid onto a spec-built sketch with
+    /// per-bank geometry checks.
     pub fn from_bytes_v2(bytes: &[u8]) -> Result<Self, WireError> {
-        let mut r = ByteReader::new(bytes);
-        if r.take(V2_MAGIC.len())? != V2_MAGIC.as_slice() {
-            return Err(WireError::BadMagic);
-        }
-        let version = r.u32()?;
-        if version != WIRE_FORMAT_V2 {
-            return Err(WireError::Format {
-                found: version as u64,
-            });
-        }
-        let spec_len = r.u32()? as usize;
-        let spec_text = std::str::from_utf8(r.take(spec_len)?)
-            .map_err(|_| WireError::Corrupt("spec header is not UTF-8".into()))?;
-        let spec = SketchSpec::from_json(spec_text).map_err(|e| WireError::Json(e.to_string()))?;
+        let (spec, mut r) = parse_binary_header(bytes, V2_MAGIC)?;
         // Untrusted header: the constructors assert on out-of-range spec
         // values, so contain the build like the v1 probe.
         let mut state = contained(|| spec.build()).ok_or_else(|| {
@@ -375,13 +492,141 @@ impl SketchFile {
 
     /// Loads a sketch file of either wire format, auto-detected by
     /// content: the binary magic selects format 2, anything else is
-    /// treated as format-1 JSON text.
+    /// treated as format-1 JSON text. A delta record is *not* a sketch
+    /// file (it is one summand, not a sum) and is named in its rejection.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         if bytes.starts_with(V2_MAGIC) {
             return Self::from_bytes_v2(bytes);
         }
+        if bytes.starts_with(DELTA_MAGIC) {
+            return Err(WireError::Corrupt(
+                "this is a delta record, not a standalone sketch file; apply it to a \
+                 coordinator state (CLI: the sync verb)"
+                    .into(),
+            ));
+        }
         let text = std::str::from_utf8(bytes).map_err(|_| WireError::BadMagic)?;
         Self::from_json(text)
+    }
+
+    /// Serializes and **drains** the sketch's pending delta: a
+    /// [`DELTA_MAGIC`] record carrying only the cells touched since the
+    /// last drain (see the module docs for the layout) plus every
+    /// fingerprint scalar, then zeroes exactly what it shipped. Repeated
+    /// calls therefore emit consecutive, disjoint-in-time deltas whose sum
+    /// at a coordinator ([`SketchFile::apply_delta`]) reconstructs the
+    /// full sketch bit for bit — the linearity law on the delta path. A
+    /// call with nothing pending emits a valid empty delta.
+    pub fn delta_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(DELTA_MAGIC);
+        write_u32(&mut out, WIRE_FORMAT_BIN);
+        let spec_json = self.spec.to_json();
+        write_u32(&mut out, spec_json.len() as u32);
+        out.extend_from_slice(spec_json.as_bytes());
+        let banks = self.state.banks();
+        write_u32(&mut out, banks.len() as u32);
+        for bank in banks {
+            // Cell indices (and hence the touched count and every
+            // geometry axis) ride as u32; a larger bank would silently
+            // alias indices, so refuse loudly instead.
+            assert!(
+                bank.len() <= u32::MAX as usize,
+                "a delta record indexes cells as u32, bank holds {} cells",
+                bank.len()
+            );
+            let geom = bank.geometry();
+            write_u32(&mut out, geom.reps as u32);
+            write_u32(&mut out, geom.levels as u32);
+            write_u32(&mut out, geom.slots as u32);
+            let touched = bank.dirty_indices();
+            write_u32(&mut out, touched.len() as u32);
+            for &i in &touched {
+                write_u32(&mut out, i as u32);
+            }
+            let (w, s, f) = bank.lanes();
+            for &i in &touched {
+                out.extend_from_slice(&w[i].to_le_bytes());
+            }
+            for &i in &touched {
+                out.extend_from_slice(&s[i].to_le_bytes());
+            }
+            for &i in &touched {
+                out.extend_from_slice(&f[i].value().to_le_bytes());
+            }
+        }
+        let fps = self.state.fingerprints();
+        write_u32(&mut out, fps.len() as u32);
+        for fp in fps {
+            out.extend_from_slice(&fp.value().to_le_bytes());
+        }
+        seal(&mut out);
+        self.state.drain_dirty();
+        out
+    }
+
+    /// Parses and fully validates a delta record, then adds it into this
+    /// file's state. Nothing is mutated unless the whole record is valid
+    /// and compatible: the spec must equal this file's spec in every
+    /// field ([`WireError::SpecMismatch`] otherwise) and the record's
+    /// bank geometries must match the state's
+    /// ([`WireError::Geometry`]), so a delta can never be summed into a
+    /// sketch measuring a different projection.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.apply_delta_parsed(&SketchDelta::from_bytes(bytes)?)
+    }
+
+    /// [`SketchFile::apply_delta`] for an already-parsed record (callers
+    /// that inspect the delta first — the CLI `sync` verb reports its
+    /// touched-cell counts — avoid parsing twice).
+    pub fn apply_delta_parsed(&mut self, delta: &SketchDelta) -> Result<(), WireError> {
+        if delta.spec != self.spec {
+            return Err(WireError::SpecMismatch {
+                left: Box::new(self.spec),
+                right: Box::new(delta.spec),
+            });
+        }
+        {
+            let banks = self.state.banks();
+            if delta.banks.len() != banks.len() {
+                return Err(WireError::Corrupt(format!(
+                    "delta carries {} banks, the receiving sketch has {}",
+                    delta.banks.len(),
+                    banks.len()
+                )));
+            }
+            for (i, (bank, part)) in banks.iter().zip(&delta.banks).enumerate() {
+                if bank.geometry() != part.geom {
+                    return Err(WireError::Geometry {
+                        bank: i,
+                        declared: part.geom,
+                        expected: bank.geometry(),
+                    });
+                }
+            }
+            let fp_count = self.state.fingerprints().len();
+            if delta.fingerprints.len() != fp_count {
+                return Err(WireError::Corrupt(format!(
+                    "delta carries {} fingerprints, the receiving sketch has {fp_count}",
+                    delta.fingerprints.len()
+                )));
+            }
+        }
+        // Fully validated: the sum below cannot fail half-way.
+        for (bank, part) in self.state.banks_mut().iter_mut().zip(&delta.banks) {
+            for (k, &i) in part.idx.iter().enumerate() {
+                bank.apply(i as usize, part.w[k], part.s[k], part.f[k]);
+            }
+        }
+        for (fp, df) in self
+            .state
+            .fingerprints_mut()
+            .into_iter()
+            .zip(&delta.fingerprints)
+        {
+            *fp += *df;
+        }
+        Ok(())
     }
 
     /// Folds another site's sketch file into this one. Refuses unless the
@@ -418,6 +663,144 @@ impl SketchFile {
     /// Decodes the carried sketch.
     pub fn decode(&self) -> SketchAnswer {
         self.state.decode()
+    }
+}
+
+/// One bank's share of a parsed delta record: the declared geometry and
+/// the touched cells' flat indices (strictly ascending) with their
+/// measurement columns.
+#[derive(Clone, Debug, PartialEq)]
+struct DeltaBank {
+    geom: BankGeometry,
+    idx: Vec<u32>,
+    w: Vec<i64>,
+    s: Vec<i128>,
+    f: Vec<M61>,
+}
+
+/// A parsed, internally-validated delta record: the sender's spec plus the
+/// sparse per-bank cell columns and fingerprint scalars emitted by
+/// [`SketchFile::delta_bytes`]. Parsing checks the checksum **first**, then
+/// every structural invariant (ascending in-range indices, in-field values,
+/// exact length); compatibility with a *receiver* is checked by
+/// [`SketchFile::apply_delta`], which is the only way to consume one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SketchDelta {
+    spec: SketchSpec,
+    banks: Vec<DeltaBank>,
+    fingerprints: Vec<M61>,
+}
+
+impl SketchDelta {
+    /// Parses and validates a delta record (see the module docs for the
+    /// layout). Rejections are typed: [`WireError::BadMagic`] for the
+    /// wrong magic (including a full v2 file), [`WireError::Format`],
+    /// [`WireError::Truncated`], and [`WireError::Corrupt`] for checksum,
+    /// range, ordering, or length violations.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let (spec, mut r) = parse_binary_header(bytes, DELTA_MAGIC)?;
+        let bank_count = r.u32()? as usize;
+        let mut banks = Vec::with_capacity(bank_count.min(r.remaining() / 16 + 1));
+        for b in 0..bank_count {
+            let geom = BankGeometry {
+                reps: r.u32()? as usize,
+                levels: r.u32()? as usize,
+                slots: r.u32()? as usize,
+            };
+            // Cell count in u64 so an absurd header cannot overflow usize
+            // arithmetic before it is range-checked.
+            let cells = (geom.reps as u64)
+                .checked_mul(geom.levels as u64)
+                .and_then(|x| x.checked_mul(geom.slots as u64))
+                .ok_or_else(|| {
+                    WireError::Corrupt(format!("bank {b} declares an impossible geometry"))
+                })?;
+            let touched = r.u32()? as usize;
+            if touched as u64 > cells {
+                return Err(WireError::Corrupt(format!(
+                    "bank {b} declares {touched} touched cells of {cells}"
+                )));
+            }
+            let mut idx = Vec::with_capacity(touched.min(r.remaining() / 4 + 1));
+            for k in 0..touched {
+                let i = r.u32()?;
+                if i as u64 >= cells {
+                    return Err(WireError::Corrupt(format!(
+                        "bank {b} touches cell {i}, past its {cells} cells"
+                    )));
+                }
+                if let Some(&prev) = idx.last() {
+                    if i <= prev {
+                        return Err(WireError::Corrupt(format!(
+                            "bank {b} touched-index {k} ({i}) is not strictly \
+                             ascending after {prev}"
+                        )));
+                    }
+                }
+                idx.push(i);
+            }
+            let mut w = Vec::with_capacity(touched.min(r.remaining() / 8 + 1));
+            for _ in 0..touched {
+                w.push(i64::from_le_bytes(r.array::<8>()?));
+            }
+            let mut s = Vec::with_capacity(touched.min(r.remaining() / 16 + 1));
+            for _ in 0..touched {
+                s.push(i128::from_le_bytes(r.array::<16>()?));
+            }
+            let mut f = Vec::with_capacity(touched.min(r.remaining() / 8 + 1));
+            for _ in 0..touched {
+                f.push(read_m61(&mut r)?);
+            }
+            banks.push(DeltaBank { geom, idx, w, s, f });
+        }
+        let fp_count = r.u32()? as usize;
+        let mut fingerprints = Vec::with_capacity(fp_count.min(r.remaining() / 8 + 1));
+        for _ in 0..fp_count {
+            fingerprints.push(read_m61(&mut r)?);
+        }
+        if !r.is_done() {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after the delta record",
+                r.remaining()
+            )));
+        }
+        Ok(SketchDelta {
+            spec,
+            banks,
+            fingerprints,
+        })
+    }
+
+    /// The spec the sending site sketched under (a coordinator can
+    /// bootstrap its empty state from the first delta it receives).
+    pub fn spec(&self) -> SketchSpec {
+        self.spec
+    }
+
+    /// Builds the empty receiving [`SketchFile`] this delta's spec
+    /// describes — the coordinator bootstrap for the first delta it ever
+    /// receives. Parsing never builds the spec, so it is still untrusted
+    /// here: the build is contained exactly like the v2 load path, and a
+    /// checksum-valid record whose spec header describes an
+    /// unconstructible sketch (the constructors assert on out-of-range
+    /// parameters) is a typed error, never a panic.
+    pub fn empty_file(&self) -> Result<SketchFile, WireError> {
+        let spec = self.spec;
+        let state = contained(|| spec.build()).ok_or_else(|| {
+            WireError::Corrupt("spec header describes an unconstructible sketch".into())
+        })?;
+        Ok(SketchFile { spec, state })
+    }
+
+    /// Total touched cells shipped across every bank.
+    pub fn touched_cells(&self) -> usize {
+        self.banks.iter().map(|b| b.idx.len()).sum()
+    }
+
+    /// `true` iff the record ships no cells and only zero fingerprints —
+    /// the delta of a sender that absorbed nothing since its last drain.
+    pub fn is_empty(&self) -> bool {
+        self.touched_cells() == 0 && self.fingerprints.iter().all(|f| f.is_zero())
     }
 }
 
@@ -488,6 +871,15 @@ mod tests {
         let mut s = spec.build();
         s.absorb(ups);
         s
+    }
+
+    /// Rewrites the trailing checksum after a deliberate in-place edit, so
+    /// a test exercises the *structural* validation behind the checksum
+    /// gate (a tamperer who re-seals is exactly who that layer is for).
+    fn reseal(bytes: &mut [u8]) {
+        let split = bytes.len() - 8;
+        let sum = v2_checksum(&bytes[..split]);
+        bytes[split..].copy_from_slice(&sum.to_le_bytes());
     }
 
     #[test]
@@ -564,6 +956,7 @@ mod tests {
         let bad = header.replacen("\"n\":8", "\"n\":1", 1);
         assert_eq!(bad.len(), spec_len);
         bytes[at..at + spec_len].copy_from_slice(bad.as_bytes());
+        reseal(&mut bytes);
         match SketchFile::from_bytes(&bytes) {
             Err(WireError::Corrupt(detail)) => {
                 assert!(detail.contains("unconstructible"), "detail: {detail}")
@@ -598,6 +991,149 @@ mod tests {
             a.try_merge(&b),
             Err(WireError::SpecMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn checksum_guards_every_binary_byte() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 6).with_seed(2);
+        let mut file = SketchFile::new(spec, fed(&spec, &[EdgeUpdate::insert(0, 1)])).unwrap();
+        for bytes in [file.to_bytes(), file.delta_bytes()] {
+            // Flip one bit past the magic/version header: the checksum
+            // gate must refuse before anything is parsed.
+            let mut flipped = bytes.clone();
+            let at = V2_MAGIC.len() + 4 + 2;
+            flipped[at] ^= 0x10;
+            let v2 = SketchFile::from_bytes(&flipped);
+            let delta = SketchDelta::from_bytes(&flipped);
+            let err = if bytes.starts_with(V2_MAGIC) {
+                v2.err()
+            } else {
+                delta.err()
+            };
+            match err {
+                Some(WireError::Corrupt(detail)) => {
+                    assert!(detail.contains("checksum"), "detail: {detail}")
+                }
+                other => panic!("expected checksum rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_reconstructs_the_sketch() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(6);
+        let first = vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(1, 2)];
+        let second = vec![EdgeUpdate::delete(0, 1), EdgeUpdate::insert(3, 4)];
+        let mut worker = SketchFile::new(spec, spec.build()).unwrap();
+        let mut coordinator = SketchFile::new(spec, spec.build()).unwrap();
+        for round in [&first, &second] {
+            worker.state.absorb(round);
+            let delta = worker.delta_bytes();
+            coordinator.apply_delta(&delta).unwrap();
+        }
+        // Draining left the worker at zero...
+        assert_eq!(worker.state, spec.build());
+        // ...and the coordinator at the central sketch, bit for bit.
+        let whole: Vec<EdgeUpdate> = first.into_iter().chain(second).collect();
+        assert_eq!(coordinator.state, fed(&spec, &whole));
+        // A drained worker's next delta is valid and empty.
+        let empty = worker.delta_bytes();
+        assert!(SketchDelta::from_bytes(&empty).unwrap().is_empty());
+        coordinator.apply_delta(&empty).unwrap();
+        assert_eq!(coordinator.state, fed(&spec, &whole));
+    }
+
+    #[test]
+    fn delta_refuses_mismatched_spec_and_geometry() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(1);
+        let mut worker = SketchFile::new(spec, fed(&spec, &[EdgeUpdate::insert(0, 1)])).unwrap();
+        let delta = worker.delta_bytes();
+        // Different seed: refused whole, coordinator state untouched.
+        let other = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(9);
+        let mut coord = SketchFile::new(other, other.build()).unwrap();
+        let before = coord.state.clone();
+        assert!(matches!(
+            coord.apply_delta(&delta),
+            Err(WireError::SpecMismatch { .. })
+        ));
+        assert_eq!(coord.state, before);
+        // A full v2 file is not a delta record.
+        let full = worker.to_bytes();
+        assert_eq!(SketchDelta::from_bytes(&full), Err(WireError::BadMagic));
+        // And a delta record is not a standalone sketch file.
+        match SketchFile::from_bytes(&delta) {
+            Err(WireError::Corrupt(detail)) => {
+                assert!(detail.contains("delta record"), "detail: {detail}")
+            }
+            other => panic!("expected delta-record rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_delta_spec_is_contained_at_bootstrap() {
+        // Parsing a delta never builds its spec, so a checksum-valid
+        // record declaring an unconstructible sketch must be caught by
+        // the contained build in empty_file — typed error, no panic.
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(2);
+        let mut worker = SketchFile::new(spec, spec.build()).unwrap();
+        let bytes = worker.delta_bytes();
+        let at = DELTA_MAGIC.len() + 4;
+        let spec_len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let header = String::from_utf8(bytes[at + 4..at + 4 + spec_len].to_vec()).unwrap();
+        // Same-length edit keeps the length prefix valid: n = 8 -> n = 1.
+        let bad = header.replacen("\"n\":8", "\"n\":1", 1);
+        assert_eq!(bad.len(), spec_len);
+        let mut tampered = bytes.clone();
+        tampered[at + 4..at + 4 + spec_len].copy_from_slice(bad.as_bytes());
+        reseal(&mut tampered);
+        let delta = SketchDelta::from_bytes(&tampered).expect("parsing never builds the spec");
+        match delta.empty_file() {
+            Err(WireError::Corrupt(detail)) => {
+                assert!(detail.contains("unconstructible"), "detail: {detail}")
+            }
+            other => panic!("expected contained rejection, got {other:?}"),
+        }
+        // The untampered record bootstraps an empty receiver that the
+        // delta then applies into cleanly.
+        let delta = SketchDelta::from_bytes(&bytes).unwrap();
+        let mut boot = delta.empty_file().unwrap();
+        assert_eq!(boot.state, spec.build());
+        boot.apply_delta_parsed(&delta).unwrap();
+    }
+
+    #[test]
+    fn delta_rejects_nonmonotonic_indices_even_resealed() {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(3);
+        let ups = [EdgeUpdate::insert(0, 1), EdgeUpdate::insert(2, 3)];
+        let mut worker = SketchFile::new(spec, fed(&spec, &ups)).unwrap();
+        let bytes = worker.delta_bytes();
+        let parsed = SketchDelta::from_bytes(&bytes).unwrap();
+        // Find a bank shipping >= 2 cells and swap its first two indices.
+        let (bank_at, _) = parsed
+            .banks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.idx.len() >= 2)
+            .expect("some bank ships two cells");
+        let mut at = DELTA_MAGIC.len() + 4;
+        at += 4 + u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 4; // bank count
+        for b in &parsed.banks[..bank_at] {
+            at += 16 + b.idx.len() * (4 + 8 + 16 + 8);
+        }
+        at += 16; // geometry + touched count of the target bank
+        let mut tampered = bytes.clone();
+        let (i, j) = (at, at + 4);
+        for k in 0..4 {
+            tampered.swap(i + k, j + k);
+        }
+        reseal(&mut tampered);
+        match SketchDelta::from_bytes(&tampered) {
+            Err(WireError::Corrupt(detail)) => {
+                assert!(detail.contains("ascending"), "detail: {detail}")
+            }
+            other => panic!("expected monotonicity rejection, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,22 @@
 //! the refactor still load (they deserialize with a
 //! [`BankGeometry::flat`] descriptor, re-structured when the state is
 //! transplanted into a spec-built sketch at the wire boundary).
+//!
+//! ## Dirty tracking and the delta path
+//!
+//! Every bank additionally carries a **touched-slot bitmap**: one bit per
+//! cell, set whenever the cell's measurements change ([`CellBank::apply`],
+//! [`CellBank::fan`], [`CellBank::add`] unions the other bank's bits, and
+//! the bulk-import paths mark everything). [`CellBank::drain_dirty`]
+//! zeroes the touched cells and clears the bitmap, which maintains the
+//! delta invariant the wire layer's incremental records stand on: **after
+//! any drain every cell is zero**, so between drains the bank's value is
+//! exactly the linear measurement of the updates absorbed since the last
+//! drain, supported on the dirty cells. Shipping just those cells and
+//! summing them at a coordinator is therefore exact — the
+//! [`crate::LinearSketch`] linearity law restricted to the delta path.
+//! The bitmap never participates in equality or serialization; it is
+//! bookkeeping about *freshness*, not part of the measurement.
 
 use crate::one_sparse::{OneSparseCell, OneSparseState};
 use gs_field::{Randomness, M61};
@@ -107,6 +123,11 @@ pub struct CellBank {
     s: Vec<i128>,
     /// Σ x_i·h(i) per cell, over F_{2^61−1}.
     f: Vec<M61>,
+    /// Touched-slot bitmap (one bit per cell, `⌈len/64⌉` words): bit `i`
+    /// is set iff cell `i` changed since the last [`CellBank::drain_dirty`].
+    /// Unused tail bits of the last word stay zero. Not part of equality
+    /// or serialization.
+    dirty: Vec<u64>,
 }
 
 impl PartialEq for CellBank {
@@ -118,7 +139,7 @@ impl PartialEq for CellBank {
 impl Eq for CellBank {}
 
 impl CellBank {
-    /// A zeroed bank of the given geometry.
+    /// A zeroed bank of the given geometry (nothing is dirty).
     pub fn new(geom: BankGeometry) -> Self {
         let len = geom.len();
         CellBank {
@@ -126,6 +147,7 @@ impl CellBank {
             w: vec![0; len],
             s: vec![0; len],
             f: vec![M61::ZERO; len],
+            dirty: vec![0; len.div_ceil(64)],
         }
     }
 
@@ -162,6 +184,7 @@ impl CellBank {
     /// Applies a precomputed update triple to one cell.
     #[inline]
     pub fn apply(&mut self, i: usize, dw: i64, ds: i128, df: M61) {
+        self.dirty[i >> 6] |= 1u64 << (i & 63);
         self.w[i] += dw;
         #[cfg(debug_assertions)]
         {
@@ -181,6 +204,7 @@ impl CellBank {
     /// each loop over one primitive type.
     #[inline]
     pub fn fan(&mut self, range: Range<usize>, dw: i64, ds: i128, df: M61) {
+        self.mark_dirty_range(range.clone());
         for w in &mut self.w[range.clone()] {
             *w += dw;
         }
@@ -254,6 +278,11 @@ impl CellBank {
                 || other.geom == BankGeometry::flat(other.len()),
             "adding structured banks with different geometries"
         );
+        // Every cell where `other` can be nonzero is dirty in `other` (the
+        // delta invariant), so the union keeps the invariant here.
+        for (a, b) in self.dirty.iter_mut().zip(&other.dirty) {
+            *a |= *b;
+        }
         for (a, b) in self.w.iter_mut().zip(&other.w) {
             *a += *b;
         }
@@ -272,7 +301,9 @@ impl CellBank {
 
     /// Overwrites the measurement lanes with externally-provided data
     /// (wire import into a spec-built bank). The geometry descriptor is
-    /// kept — the receiver's structure is the source of truth.
+    /// kept — the receiver's structure is the source of truth. The whole
+    /// bank is marked dirty: a bulk import has no per-cell freshness
+    /// record, so everything counts as touched since the last drain.
     ///
     /// # Panics
     /// Panics if the lane lengths disagree with the bank's cell count.
@@ -284,6 +315,88 @@ impl CellBank {
         self.w = w;
         self.s = s;
         self.f = f;
+        self.mark_all_dirty();
+    }
+
+    /// `true` iff cell `i` was touched since the last
+    /// [`CellBank::drain_dirty`].
+    #[inline]
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Number of cells touched since the last [`CellBank::drain_dirty`].
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Flat indices of the touched cells, ascending — the support of the
+    /// pending delta (the wire layer ships exactly these cells).
+    pub fn dirty_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dirty_count());
+        for (word_i, &word) in self.dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push((word_i << 6) + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Drains the pending delta: zeroes every touched cell and clears the
+    /// bitmap, returning how many cells were drained. Afterwards the whole
+    /// bank is zero (untouched cells were already zero since the previous
+    /// drain — see the module docs), so it starts accumulating the next
+    /// delta from scratch.
+    pub fn drain_dirty(&mut self) -> usize {
+        let mut drained = 0;
+        for (word_i, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let i = (word_i << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.w[i] = 0;
+                self.s[i] = 0;
+                self.f[i] = M61::ZERO;
+                drained += 1;
+            }
+            *word = 0;
+        }
+        drained
+    }
+
+    /// Marks every cell in `range` touched.
+    #[inline]
+    fn mark_dirty_range(&mut self, range: Range<usize>) {
+        debug_assert!(range.end <= self.len());
+        let mut i = range.start;
+        while i < range.end {
+            let word = i >> 6;
+            let hi = range.end.min((word + 1) << 6);
+            // Bits i..hi of this word: (hi-i) ones shifted up to bit i&63.
+            let run = hi - i;
+            let mask = if run == 64 {
+                !0
+            } else {
+                ((1u64 << run) - 1) << (i & 63)
+            };
+            self.dirty[word] |= mask;
+            i = hi;
+        }
+    }
+
+    /// Marks every cell touched (bulk imports with no freshness record).
+    fn mark_all_dirty(&mut self) {
+        for word in &mut self.dirty {
+            *word = !0;
+        }
+        let tail = self.len() & 63;
+        if tail != 0 {
+            if let Some(last) = self.dirty.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
     }
 }
 
@@ -308,6 +421,9 @@ impl Deserialize for CellBank {
             bank.s[i] = s;
             bank.f[i] = f;
         }
+        // A deserialized bank has no freshness record: everything counts
+        // as touched since the (never-happened) last drain.
+        bank.mark_all_dirty();
         Ok(bank)
     }
 }
@@ -334,6 +450,29 @@ pub trait CellBanked {
 
     /// Mutable counterpart of [`CellBanked::fingerprints`], same order.
     fn fingerprints_mut(&mut self) -> Vec<&mut M61>;
+
+    /// Total cells touched across every bank since the last drain — the
+    /// support size of the pending delta.
+    fn dirty_cells(&self) -> usize {
+        self.banks().iter().map(|b| b.dirty_count()).sum()
+    }
+
+    /// Drains the sketch's pending delta: every bank is
+    /// [`CellBank::drain_dirty`]-ed and every fingerprint scalar is zeroed
+    /// (fingerprints are linear sums too, so their post-drain value is the
+    /// fingerprint of the updates since the drain). Afterwards the sketch
+    /// is the zero measurement and starts accumulating the next delta.
+    /// Returns the number of cells drained.
+    fn drain_dirty(&mut self) -> usize {
+        let mut drained = 0;
+        for bank in self.banks_mut() {
+            drained += bank.drain_dirty();
+        }
+        for fp in self.fingerprints_mut() {
+            *fp = M61::ZERO;
+        }
+        drained
+    }
 }
 
 #[cfg(test)]
@@ -435,6 +574,81 @@ mod tests {
         structured.update(4, 10, 2, &h);
         flat.update(4, 10, 2, &h);
         assert_eq!(structured, flat);
+    }
+
+    #[test]
+    fn dirty_bits_track_touched_cells() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(2, 3, 1));
+        assert_eq!(bank.dirty_count(), 0);
+        bank.update(1, 7, 3, &h);
+        bank.update(4, 9, -2, &h);
+        bank.update(1, 7, -3, &h); // cancels cell 1, still touched
+        assert_eq!(bank.dirty_indices(), vec![1, 4]);
+        assert!(bank.is_dirty(1) && bank.is_dirty(4) && !bank.is_dirty(0));
+        assert!(bank.cell_is_zero(1), "cancelled but dirty");
+    }
+
+    #[test]
+    fn fan_marks_the_whole_range_dirty() {
+        let h = h();
+        // 130 cells: the range crosses two word boundaries.
+        let mut bank = CellBank::new(BankGeometry::new(1, 1, 130));
+        let (dw, ds, df) = CellBank::deltas(5, 2, h.hash_m61(5));
+        bank.fan(60..129, dw, ds, df);
+        assert_eq!(bank.dirty_indices(), (60..129).collect::<Vec<_>>());
+        assert!(!bank.is_dirty(59) && !bank.is_dirty(129));
+    }
+
+    #[test]
+    fn drain_zeroes_touched_cells_and_resets_tracking() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(1, 1, 70));
+        bank.update(3, 10, 4, &h);
+        bank.update(66, 11, -1, &h);
+        assert_eq!(bank.drain_dirty(), 2);
+        assert!(bank.is_zero(), "drain leaves the zero measurement");
+        assert_eq!(bank.dirty_count(), 0);
+        // The next delta accumulates from scratch.
+        bank.update(3, 10, 2, &h);
+        assert_eq!(bank.dirty_indices(), vec![3]);
+        let expect = CellBank::deltas(10, 2, h.hash_m61(10));
+        assert_eq!(bank.cell(3).parts(), (expect.0, expect.1, expect.2));
+    }
+
+    #[test]
+    fn add_unions_dirty_sets() {
+        let h = h();
+        let mut a = CellBank::new(BankGeometry::new(1, 1, 8));
+        let mut b = CellBank::new(BankGeometry::new(1, 1, 8));
+        a.update(1, 3, 1, &h);
+        b.update(6, 4, 1, &h);
+        a.add(&b);
+        assert_eq!(a.dirty_indices(), vec![1, 6]);
+    }
+
+    #[test]
+    fn overlay_and_deserialize_mark_everything_dirty() {
+        let h = h();
+        let mut src = CellBank::new(BankGeometry::new(1, 3, 1));
+        src.update(1, 77, 3, &h);
+        let (w, s, f) = src.lanes();
+        let mut dst = CellBank::new(BankGeometry::new(1, 3, 1));
+        dst.overlay(w.to_vec(), s.to_vec(), f.to_vec());
+        assert_eq!(dst.dirty_count(), 3, "bulk import has no freshness record");
+        let back = CellBank::from_value(&src.to_value()).unwrap();
+        assert_eq!(back.dirty_count(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_bits() {
+        let h = h();
+        let mut touched = CellBank::new(BankGeometry::new(1, 1, 4));
+        touched.update(2, 5, 1, &h);
+        touched.update(2, 5, -1, &h);
+        let fresh = CellBank::new(BankGeometry::new(1, 1, 4));
+        assert_eq!(touched, fresh);
+        assert_ne!(touched.dirty_count(), fresh.dirty_count());
     }
 
     #[test]

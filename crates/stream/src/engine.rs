@@ -23,15 +23,31 @@
 //!   per shard), so it is queryable mid-stream; after [`SketchEngine::flush`]
 //!   it equals the central sketch of everything ingested so far, bit for
 //!   bit.
+//! * **Parallel merge tree.** Both reads fold the active shards through
+//!   [`merge_tree`]: a binary tree reduction over scoped threads whose
+//!   result is **bit-identical to the in-order sequential fold**, because
+//!   every sketch merge is an associative lane-wise sum (integer and
+//!   `F_{2^61−1}` addition). The O(shards) sequential merge chain on the
+//!   read path becomes O(log shards) merge depth across
+//!   [`default_workers`] threads.
 //! * **Sealing.** [`SketchEngine::seal`] drains the queues, joins the
 //!   workers, and folds the shard sketches **in shard order**, preserving
 //!   the deterministic merge order that the E12 bit-identity experiments
 //!   rely on. Shards that never received an update are skipped (an
 //!   empty-constructed sketch is the zero of the merge group, so skipping
 //!   it is exact).
+//! * **Delta drains.** [`SketchEngine::delta_snapshot`] flushes, then
+//!   swaps every shard for a fresh zero sketch and hands back the drained
+//!   shards — each one the exact linear sketch of the updates that shard
+//!   absorbed **since the last drain**, idle shards included (a valid
+//!   empty delta, so every round ships the same shard count). Summing all
+//!   drained rounds reconstructs the central sketch bit for bit; a
+//!   coordinator in another process applies them through
+//!   `graph_sketches::wire::SketchFile::apply_delta` instead of receiving
+//!   whole sketches.
 //! * **Live counters.** [`SketchEngine::stats`] reports updates routed,
-//!   in-flight updates, per-worker queue depths, and resident sketch
-//!   bytes.
+//!   in-flight updates, per-worker queue depths, delta drains, and
+//!   resident sketch bytes.
 //!
 //! Linearity does all the heavy lifting: however updates are routed and
 //! however shard application interleaves, the shard sketches always sum to
@@ -134,6 +150,8 @@ pub struct EngineStats {
     pub updates_pending: u64,
     /// Batches enqueued so far (one per worker per `ingest` call).
     pub batches_enqueued: u64,
+    /// Delta drains performed so far ([`SketchEngine::delta_snapshot`]).
+    pub deltas_drained: u64,
     /// Per-worker queue depth, in batches.
     pub queue_depths: Vec<usize>,
     /// Total resident shard-sketch size in bytes
@@ -157,6 +175,10 @@ pub struct SketchEngine<S: LinearSketch + Send + 'static> {
     /// Shard sketches, indexed by shard id; workers hold clones of the
     /// `Arc`s and lock a shard only while absorbing one batch into it.
     shards: Vec<Arc<Mutex<S>>>,
+    /// A pristine zero sketch from the same factory as the shards —
+    /// cloned into a shard's slot when [`SketchEngine::delta_snapshot`]
+    /// drains it, and the fallback read of an all-idle engine.
+    zero: S,
     /// One bounded sender per worker; dropping them shuts the workers down.
     senders: Vec<SyncSender<Batch>>,
     /// Worker join handles.
@@ -173,13 +195,18 @@ pub struct SketchEngine<S: LinearSketch + Send + 'static> {
     touched: Vec<usize>,
     updates_routed: u64,
     batches_enqueued: u64,
+    deltas_drained: u64,
 }
 
 impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
     /// An engine routing by a seeded hash of the edge `{u, v}` (every
-    /// update of an edge lands on the same shard). `make` is called once
-    /// per shard, on the calling thread; all shards must be built from
-    /// the same seed/parameters, which a single factory guarantees.
+    /// update of an edge lands on the same shard). `make` is called
+    /// `shards + 1` times on the calling thread — once per shard plus
+    /// once for the pristine zero reference that delta drains and
+    /// all-idle reads hand out — so it must behave as a pure factory:
+    /// every call returns the same empty sketch (equal seeds and
+    /// parameters), which is also what makes the shards mutually
+    /// mergeable.
     pub fn new(config: EngineConfig, make: impl FnMut() -> S) -> Self {
         let (seed, shards) = (config.seed, config.shards);
         let router: Router = Box::new(move |up| edge_shard(seed, shards, up.u, up.v));
@@ -188,7 +215,9 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
 
     /// An engine with a caller-supplied router (e.g. the §1.1 site
     /// sequence, round-robin, or a locality-aware scheme). The router runs
-    /// on the ingesting thread in ingest order.
+    /// on the ingesting thread in ingest order. `make` is called
+    /// `shards + 1` times and must be a pure factory — see
+    /// [`SketchEngine::new`].
     ///
     /// # Panics
     /// Panics if `config.shards` is 0 (reachable by building the config
@@ -200,6 +229,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
         let shards: Vec<Arc<Mutex<S>>> = (0..config.shards)
             .map(|_| Arc::new(Mutex::new(make())))
             .collect();
+        let zero = make();
         let counters = Arc::new(Counters {
             pending: AtomicU64::new(0),
             depths: (0..workers_n).map(|_| AtomicUsize::new(0)).collect(),
@@ -219,6 +249,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
         }
         SketchEngine {
             shards,
+            zero,
             senders,
             workers: handles,
             router,
@@ -228,6 +259,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             touched: Vec::new(),
             updates_routed: 0,
             batches_enqueued: 0,
+            deltas_drained: 0,
         }
     }
 
@@ -307,6 +339,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             updates_routed: self.updates_routed,
             updates_pending: self.counters.pending.load(Ordering::SeqCst),
             batches_enqueued: self.batches_enqueued,
+            deltas_drained: self.deltas_drained,
             queue_depths: self
                 .counters
                 .depths
@@ -318,9 +351,13 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
     }
 
     /// Drains the queues, joins the workers, and folds the shard sketches
-    /// in shard order into the final sketch. Shards that never received an
-    /// update are skipped (exact — see the module docs); if *no* shard
-    /// received one, the empty-constructed shard 0 is returned.
+    /// in shard order into the final sketch through the parallel
+    /// [`merge_tree`] (bit-identical to the sequential fold). Shards that
+    /// never received an update are skipped (exact — see the module
+    /// docs); if *no* shard received one — a fresh engine, or one fully
+    /// drained by [`SketchEngine::delta_snapshot`] — the pristine zero
+    /// sketch is returned, so the all-idle read is the same valid empty
+    /// sketch however the engine got there.
     ///
     /// # Panics
     /// Panics if a worker panicked.
@@ -331,27 +368,35 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
         }
         let shards = std::mem::take(&mut self.shards);
         let routed = std::mem::take(&mut self.routed_per_shard);
-        let mut sketches = shards.into_iter().map(|slot| {
-            Arc::try_unwrap(slot)
-                .unwrap_or_else(|_| panic!("a joined worker still holds a shard"))
-                .into_inner()
-                .expect("shard mutex poisoned")
-        });
+        let mut sketches: Vec<S> = shards
+            .into_iter()
+            .map(|slot| {
+                Arc::try_unwrap(slot)
+                    .unwrap_or_else(|_| panic!("a joined worker still holds a shard"))
+                    .into_inner()
+                    .expect("shard mutex poisoned")
+            })
+            .collect();
         if routed.iter().all(|&r| r == 0) {
-            return sketches.next().expect("an engine has at least one shard");
+            // All idle: every shard holds the zero sketch (empty-built, or
+            // freshly swapped in by a delta drain) — return one of them.
+            return sketches.swap_remove(0);
         }
-        fold_active(
-            sketches
-                .zip(routed)
-                .map(|(sketch, routed)| (routed > 0).then_some(sketch)),
-        )
-        .expect("some shard was active")
+        let active: Vec<S> = sketches
+            .into_iter()
+            .zip(routed)
+            .filter(|(_, routed)| *routed > 0)
+            .map(|(sketch, _)| sketch)
+            .collect();
+        merge_tree(active, default_workers()).expect("some shard was active")
     }
 }
 
 impl<S: LinearSketch + Send + Clone + 'static> SketchEngine<S> {
     /// Merges clones of the shard sketches in shard order **without
-    /// stopping ingestion** and returns the merged sketch — merge-on-read.
+    /// stopping ingestion** and returns the merged sketch — merge-on-read
+    /// through the parallel [`merge_tree`] (bit-identical to the
+    /// sequential fold).
     ///
     /// The result is a linear sketch of a sub-multiset of the ingested
     /// updates: each routed share is reflected fully or not at all, per
@@ -360,35 +405,91 @@ impl<S: LinearSketch + Send + Clone + 'static> SketchEngine<S> {
     /// per-site streams of §1.1 exhibit). After [`SketchEngine::flush`]
     /// the snapshot equals the central sketch of everything ingested.
     pub fn snapshot(&self) -> S {
-        fn clone_shard<S: Clone>(slot: &Mutex<S>) -> S {
-            slot.lock().expect("shard mutex poisoned").clone()
-        }
         // Idle shards are never locked or cloned — with many mostly-idle
         // shards a snapshot costs one clone per *active* shard.
-        fold_active(
-            self.shards
-                .iter()
-                .zip(&self.routed_per_shard)
-                .map(|(slot, &routed)| (routed > 0).then(|| clone_shard(slot))),
-        )
-        .unwrap_or_else(|| clone_shard(&self.shards[0]))
+        let active: Vec<S> = self
+            .shards
+            .iter()
+            .zip(&self.routed_per_shard)
+            .filter(|(_, &routed)| routed > 0)
+            .map(|(slot, _)| slot.lock().expect("shard mutex poisoned").clone())
+            .collect();
+        merge_tree(active, default_workers()).unwrap_or_else(|| self.zero.clone())
+    }
+
+    /// Drains the engine's pending delta: flushes the queues, then swaps
+    /// **every** shard (idle ones included, so a round always ships the
+    /// same shard count) for a fresh zero sketch and returns the drained
+    /// shard sketches in shard order. Each returned sketch is the exact
+    /// linear sketch of the updates its shard absorbed since the previous
+    /// drain — an engine that ingested nothing yields one valid empty
+    /// delta per shard, never an inconsistent subset. By linearity,
+    /// summing every drained round (plus a final [`SketchEngine::seal`],
+    /// which covers updates ingested after the last drain) reconstructs
+    /// the central sketch of the whole stream bit for bit.
+    pub fn delta_snapshot(&mut self) -> Vec<S> {
+        // Flush first: routed-counter resets must not race in-flight
+        // batches, or a later merge could skip a shard that still absorbs
+        // a pre-drain batch (`ingest` and this method share `&mut self`,
+        // so nothing new is routed while the swap runs).
+        self.flush();
+        let drained = self
+            .shards
+            .iter()
+            .map(|slot| {
+                let mut shard = slot.lock().expect("shard mutex poisoned");
+                std::mem::replace(&mut *shard, self.zero.clone())
+            })
+            .collect();
+        for routed in &mut self.routed_per_shard {
+            *routed = 0;
+        }
+        self.deltas_drained += 1;
+        drained
     }
 }
 
-/// Folds the active shard sketches (`None` = idle, skipped) in shard
-/// order; `None` if every shard was idle. Skipping idle shards is exact —
-/// an empty-constructed sketch is the zero of the merge group — and both
-/// [`SketchEngine::seal`] and [`SketchEngine::snapshot`] fold through
-/// here, so the two reads cannot drift apart.
-fn fold_active<S: gs_sketch::Mergeable>(shards: impl Iterator<Item = Option<S>>) -> Option<S> {
-    let mut acc: Option<S> = None;
-    for sketch in shards.flatten() {
-        match &mut acc {
-            None => acc = Some(sketch),
-            Some(merged) => merged.merge(&sketch),
+/// Merges the sketches into one as a **binary tree reduction** over
+/// scoped threads: the slice is split in half, the halves reduce
+/// concurrently (recursively, while thread `budget` remains), and the two
+/// results merge. Returns `None` for an empty input.
+///
+/// Because every sketch merge is an associative lane-wise sum (integer
+/// and `F_{2^61−1}` addition), the tree's result is **bit-identical to
+/// the in-order sequential fold** — `budget <= 1` *is* that fold, and
+/// `tests/integration_delta.rs` pins the equality for every sketch type.
+/// Wall-clock merge depth drops from O(n) to O(log n) across `budget`
+/// threads, which is what takes the O(shards × state) merge chain off the
+/// engine's read path.
+pub fn merge_tree<S: gs_sketch::Mergeable + Send>(items: Vec<S>, budget: usize) -> Option<S> {
+    fn reduce<S: gs_sketch::Mergeable + Send>(items: &mut [Option<S>], budget: usize) -> S {
+        if items.len() == 1 {
+            return items[0].take().expect("slots are filled once");
         }
+        if budget <= 1 || items.len() == 2 {
+            let (first, rest) = items.split_first_mut().expect("non-empty slice");
+            let mut acc = first.take().expect("slots are filled once");
+            for slot in rest {
+                acc.merge(&slot.take().expect("slots are filled once"));
+            }
+            return acc;
+        }
+        let mid = items.len() / 2;
+        let (left, right) = items.split_at_mut(mid);
+        let right_budget = budget - budget / 2;
+        let (mut folded, right) = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || reduce(right, right_budget));
+            let left = reduce(left, budget / 2);
+            (left, handle.join().expect("merge thread panicked"))
+        });
+        folded.merge(&right);
+        folded
     }
-    acc
+    if items.is_empty() {
+        return None;
+    }
+    let mut slots: Vec<Option<S>> = items.into_iter().map(Some).collect();
+    Some(reduce(&mut slots, budget.max(1)))
 }
 
 impl<S: LinearSketch + Send + 'static> Drop for SketchEngine<S> {
@@ -641,6 +742,100 @@ mod tests {
         let mut engine = SketchEngine::new(cfg, || TallySketch::new(4));
         engine.ingest(&updates);
         assert_eq!(engine.seal(), central(4, &updates));
+    }
+
+    #[test]
+    fn merge_tree_equals_sequential_fold_at_every_budget() {
+        let n = 10;
+        let parts: Vec<TallySketch> = (0..9).map(|i| central(n, &churn(n, 120, 40 + i))).collect();
+        // budget = 1 is the sequential fold by construction.
+        let sequential = merge_tree(parts.clone(), 1).unwrap();
+        let mut manual = parts[0].clone();
+        for p in &parts[1..] {
+            manual.merge(p);
+        }
+        assert_eq!(sequential, manual);
+        for budget in [2, 3, 4, 8, 64] {
+            assert_eq!(
+                merge_tree(parts.clone(), budget).unwrap(),
+                sequential,
+                "budget {budget} drifted from the sequential fold"
+            );
+        }
+        assert!(merge_tree(Vec::<TallySketch>::new(), 4).is_none());
+        assert_eq!(merge_tree(vec![parts[0].clone()], 4).unwrap(), parts[0]);
+    }
+
+    #[test]
+    fn delta_rounds_compose_to_central_under_contention() {
+        // The linearity law on the delta path: interleave backpressured
+        // ingest with repeated drains; every drained shard plus a final
+        // seal must sum to the central sketch bit for bit.
+        let n = 16;
+        let updates = churn(n, 3000, 31);
+        let cfg = EngineConfig::new(8)
+            .with_workers(4)
+            .with_queue_batches(1)
+            .with_seed(17);
+        let mut engine = SketchEngine::new(cfg, || TallySketch::new(n));
+        let mut sum = TallySketch::new(n);
+        for (round, chunk) in updates.chunks(157).enumerate() {
+            engine.ingest(chunk);
+            if round % 3 == 2 {
+                let drained = engine.delta_snapshot();
+                assert_eq!(drained.len(), 8, "a drain ships every shard");
+                for shard in &drained {
+                    sum.merge(shard);
+                }
+            }
+        }
+        assert_eq!(engine.stats().deltas_drained, 6);
+        // The residual (updates since the last drain) comes out of seal.
+        sum.merge(&engine.seal());
+        assert_eq!(sum, central(n, &updates));
+    }
+
+    #[test]
+    fn zero_ingest_delta_snapshot_is_a_full_round_of_valid_empty_deltas() {
+        // Regression: an engine that ingested nothing must emit one valid
+        // empty delta per shard — the same shard count as any other round,
+        // never an inconsistently-skipped subset — and still seal to the
+        // empty sketch afterwards.
+        let mut engine = SketchEngine::new(EngineConfig::new(5), || TallySketch::new(8));
+        let drained = engine.delta_snapshot();
+        assert_eq!(drained.len(), 5);
+        for shard in &drained {
+            assert_eq!(
+                *shard,
+                TallySketch::new(8),
+                "an empty delta is the zero sketch"
+            );
+        }
+        // A second drain is just as consistent, and the engine still
+        // ingests and seals correctly afterwards.
+        assert_eq!(engine.delta_snapshot().len(), 5);
+        assert_eq!(engine.stats().deltas_drained, 2);
+        let updates = churn(8, 50, 77);
+        engine.ingest(&updates);
+        assert_eq!(engine.seal(), central(8, &updates));
+    }
+
+    #[test]
+    fn drained_engine_snapshot_and_seal_read_zero() {
+        // After a drain the engine's own reads see only the residual.
+        let n = 12;
+        let updates = churn(n, 200, 55);
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(4).with_seed(3), || TallySketch::new(n));
+        engine.ingest(&updates);
+        let drained = engine.delta_snapshot();
+        assert_eq!(engine.snapshot(), TallySketch::new(n));
+        let mut sum = TallySketch::new(n);
+        for shard in &drained {
+            sum.merge(shard);
+        }
+        assert_eq!(sum, central(n, &updates));
+        assert_eq!(engine.seal(), TallySketch::new(n));
     }
 
     #[test]

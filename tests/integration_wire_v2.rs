@@ -8,7 +8,7 @@
 //! [`WireError`], never mis-loaded.
 
 use graph_sketches::api::{SketchSpec, SketchTask};
-use graph_sketches::wire::{SketchFile, WireError, V2_MAGIC, WIRE_FORMAT_V2};
+use graph_sketches::wire::{v2_checksum, SketchFile, WireError, V2_MAGIC, WIRE_FORMAT_BIN};
 use gs_graph::gen;
 use gs_sketch::bank::CellBanked;
 use gs_sketch::EdgeUpdate;
@@ -33,6 +33,14 @@ fn task_updates(task: SketchTask, n: usize, seed: u64) -> Vec<EdgeUpdate> {
         SketchTask::WeightedSparsify | SketchTask::Mst => weighted_updates(n, seed),
         _ => churn_updates(n, 0.3, seed),
     }
+}
+
+/// Rewrites the trailing checksum after a deliberate in-place edit, so the
+/// test reaches the structural validation *behind* the checksum gate.
+fn reseal(bytes: &mut [u8]) {
+    let split = bytes.len() - 8;
+    let sum = v2_checksum(&bytes[..split]);
+    bytes[split..].copy_from_slice(&sum.to_le_bytes());
 }
 
 fn spec_for(task: SketchTask) -> SketchSpec {
@@ -151,7 +159,7 @@ fn wrong_v2_version_is_rejected() {
         SketchFile::from_bytes(&bytes),
         Err(WireError::Format { found: 7 })
     );
-    assert_eq!(WIRE_FORMAT_V2, 2);
+    assert_eq!(WIRE_FORMAT_BIN, 3);
 }
 
 #[test]
@@ -166,9 +174,11 @@ fn geometry_mismatch_is_rejected() {
     ) as usize;
     let geom_at = V2_MAGIC.len() + 8 + spec_len + 4;
     let mut tampered = bytes.clone();
-    // Double the declared rep count of bank 0.
+    // Double the declared rep count of bank 0 (and re-seal the checksum:
+    // the structural gate must catch a deliberate tamperer too).
     let reps = u32::from_le_bytes(tampered[geom_at..geom_at + 4].try_into().unwrap());
     tampered[geom_at..geom_at + 4].copy_from_slice(&(reps * 2).to_le_bytes());
+    reseal(&mut tampered);
     match SketchFile::from_bytes(&tampered) {
         Err(WireError::Geometry { bank: 0, .. }) => {}
         other => panic!("expected geometry rejection, got {other:?}"),
@@ -179,12 +189,12 @@ fn geometry_mismatch_is_rejected() {
 fn out_of_field_fingerprint_is_rejected() {
     let file = fed_file(SketchTask::Connectivity);
     let mut bytes = file.to_bytes();
-    // The last 8 bytes of a connectivity file are in the f lane of the
-    // last bank (its fingerprint list is empty, so the final content word
-    // before the trailing zero fingerprint count is an f value). Setting
-    // the top bits pushes it out of F_{2^61−1}.
-    let at = bytes.len() - 12; // last f word (before the u32 fp count)
+    // A connectivity file has no fingerprints, so the final content words
+    // before the u32 fingerprint count and u64 checksum are f-lane values.
+    // Setting the top bits pushes one out of F_{2^61−1}.
+    let at = bytes.len() - 8 - 4 - 8; // last f word (fp count, checksum follow)
     bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    reseal(&mut bytes);
     match SketchFile::from_bytes(&bytes) {
         Err(WireError::Corrupt(detail)) => {
             assert!(detail.contains("fingerprint"), "unexpected detail {detail}")
@@ -196,9 +206,23 @@ fn out_of_field_fingerprint_is_rejected() {
 #[test]
 fn trailing_bytes_are_rejected() {
     let file = fed_file(SketchTask::Bipartite);
-    let mut bytes = file.to_bytes();
-    bytes.extend_from_slice(b"junk");
-    match SketchFile::from_bytes(&bytes) {
+    // Appended junk lands after the checksum word: the checksum gate
+    // refuses (the declared sum is no longer the last 8 bytes).
+    let mut appended = file.to_bytes();
+    appended.extend_from_slice(b"junk");
+    match SketchFile::from_bytes(&appended) {
+        Err(WireError::Corrupt(detail)) => {
+            assert!(detail.contains("checksum"), "unexpected detail {detail}")
+        }
+        other => panic!("expected checksum rejection, got {other:?}"),
+    }
+    // Junk spliced *before* a re-sealed checksum reaches the structural
+    // trailing-byte check instead.
+    let mut spliced = file.to_bytes();
+    let at = spliced.len() - 8;
+    spliced.splice(at..at, b"junk".iter().copied());
+    reseal(&mut spliced);
+    match SketchFile::from_bytes(&spliced) {
         Err(WireError::Corrupt(detail)) => {
             assert!(detail.contains("trailing"), "unexpected detail {detail}")
         }
