@@ -1,0 +1,122 @@
+//! DecodeEngine micro-benchmark with a machine-readable artifact.
+//!
+//! Measures spanning-forest decoding of a 10k-vertex connectivity sketch
+//! along three paths:
+//!
+//! * **reference** — the pinned pre-kernel decoder
+//!   ([`ForestSketch::decode_reference`]): per-cell indexed adds into
+//!   freshly allocated lanes, a proxy detector built per group.
+//! * **kernel ×1** — the bank-level batched group query
+//!   ([`ForestSketch::decode_with`] at one thread): whole contiguous rows
+//!   lane-summed into reused scratch, decoded in place.
+//! * **kernel ×8** — the same kernel with the Boruvka group queries
+//!   fanned across 8 scoped threads.
+//!
+//! All three forests are asserted **bit-identical** before any number is
+//! reported — the DecodeEngine's determinism contract, not a statistical
+//! claim. Results go to `BENCH_decode.json` (override the path with
+//! `BENCH_DECODE_OUT`); CI uploads the file as an artifact alongside
+//! `BENCH_bank.json`.
+//!
+//! Method: per measurement, one warm-up run, then `RUNS` timed runs; the
+//! reported number is the minimum. Note the parallel row measures real
+//! thread fan-out — on a single-core runner it reports ≈ the ×1 number
+//! (plus spawn overhead) and the speedup comes from the kernel alone.
+
+use graph_sketches::ForestSketch;
+use gs_sketch::par::DecodePlan;
+use gs_sketch::EdgeUpdate;
+use std::hint::black_box;
+use std::time::Instant;
+
+const RUNS: usize = 3;
+
+/// Minimum wall time of `RUNS` runs of `f`, in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn churn(n: usize, len: usize) -> Vec<EdgeUpdate> {
+    (0..len)
+        .map(|i| {
+            let u = (i * 13) % n;
+            let v = (u + 1 + (i * 7) % (n - 1)) % n;
+            EdgeUpdate {
+                u,
+                v,
+                delta: if i % 5 == 0 { -1 } else { 1 },
+            }
+        })
+        .filter(|up| up.u != up.v)
+        .collect()
+}
+
+fn main() {
+    let n = 10_000;
+    let updates = churn(n, 30_000);
+    let seed = 0xDEC0;
+    let mut sketch = ForestSketch::new(n, seed);
+    sketch.absorb_batch(&updates);
+
+    // Determinism gate: the three paths must agree edge for edge before
+    // any of them is worth timing.
+    let reference = sketch.decode_reference();
+    let seq = sketch.decode_with(&DecodePlan::with_threads(1));
+    let par8 = sketch.decode_with(&DecodePlan::with_threads(8));
+    assert_eq!(
+        reference.edges, seq.edges,
+        "kernel decode drifted from the reference"
+    );
+    assert_eq!(seq.edges, par8.edges, "parallel decode drifted");
+
+    let reference_ns = time_ns(|| {
+        black_box(sketch.decode_reference());
+    });
+    let seq_ns = time_ns(|| {
+        black_box(sketch.decode_with(&DecodePlan::with_threads(1)));
+    });
+    let par8_ns = time_ns(|| {
+        black_box(sketch.decode_with(&DecodePlan::with_threads(8)));
+    });
+
+    let kernel_speedup = reference_ns / seq_ns;
+    let parallel_speedup = reference_ns / par8_ns;
+    let thread_speedup = seq_ns / par8_ns;
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"updates\": {},\n  \"forest_edges\": {},\n  \
+         \"cells\": {},\n  \"host_parallelism\": {},\n  \
+         \"decode\": {{\n    \"reference_ms\": {:.2},\n    \
+         \"kernel_1thread_ms\": {:.2},\n    \"kernel_8threads_ms\": {:.2},\n    \
+         \"kernel_speedup\": {kernel_speedup:.2},\n    \
+         \"thread_speedup\": {thread_speedup:.2},\n    \
+         \"total_speedup\": {parallel_speedup:.2},\n    \
+         \"bit_identical\": true\n  }}\n}}\n",
+        updates.len(),
+        reference.edges.len(),
+        sketch.cell_count(),
+        DecodePlan::auto().threads(),
+        reference_ns / 1e6,
+        seq_ns / 1e6,
+        par8_ns / 1e6,
+    );
+    let out = std::env::var("BENCH_DECODE_OUT").unwrap_or_else(|_| "BENCH_decode.json".into());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+
+    println!("== decode engine (10k-vertex connectivity sketch) ==");
+    println!(
+        "reference: {:>9.1} ms   kernel x1: {:>9.1} ms ({kernel_speedup:.2}x)   \
+         kernel x8: {:>9.1} ms ({parallel_speedup:.2}x total, {thread_speedup:.2}x from threads)",
+        reference_ns / 1e6,
+        seq_ns / 1e6,
+        par8_ns / 1e6,
+    );
+    println!("wrote {out}");
+}

@@ -6,7 +6,7 @@
 //! graph-sketch --spec '<json>' [options] < updates.txt
 //! graph-sketch sketch     (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin|delta] < updates.txt
 //! graph-sketch merge      <sketch-file>... [--out FILE] [--format json|bin]
-//! graph-sketch decode     <sketch-file> [--json]
+//! graph-sketch decode     <sketch-file> [--json] [--threads N]
 //! graph-sketch sync       --state FILE [--format json|bin] <delta-file>...
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
@@ -51,6 +51,10 @@
 //!                   takes `delta` (binary record of only the touched
 //!                   cells). Loads always auto-detect
 //!   --state <file>  sync: the coordinator's resident sketch file
+//!   --threads <int> decode fan-out: how many threads the DecodeEngine
+//!                   may use (queries, serve-demo snapshots, and the
+//!                   decode verb; default = available parallelism).
+//!                   Answers are bit-identical at every thread count
 //!   --json          emit the answer as one JSON object
 //!   --seed <int>    master sketch seed
 //!
@@ -67,6 +71,7 @@ mod parse;
 
 use graph_sketches::api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
 use graph_sketches::wire::{SketchDelta, SketchFile};
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch};
 use gs_stream::engine::{EngineConfig, EngineStats, SketchEngine};
 use parse::parse_line;
@@ -116,6 +121,17 @@ struct Options {
     every: Option<u64>,
     out: Option<String>,
     format: Option<FileFormat>,
+    threads: Option<usize>,
+}
+
+/// The decode plan a `--threads` flag selects: the machine's available
+/// parallelism unless the user pinned a count. Answers are bit-identical
+/// at every thread count, so the default is the fast one.
+fn decode_plan(threads: Option<usize>) -> DecodePlan {
+    match threads {
+        Some(t) => DecodePlan::with_threads(t),
+        None => DecodePlan::auto(),
+    }
 }
 
 fn usage() -> ExitCode {
@@ -123,11 +139,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: graph-sketch <{commands}> --n <vertices> \
          [--eps <f>] [--k <int>] [--max-weight <int>] [--seed <int>] \
-         [--sites <int>] [--chunk <int>] [--stats] [--json] < stream\n\
+         [--sites <int>] [--chunk <int>] [--threads <int>] [--stats] [--json] < stream\n\
          \x20      graph-sketch --spec '<json>' [options] < stream\n\
          \x20      graph-sketch sketch (<command> --n <v> | --spec '<json>') [--out FILE] [--format json|bin|delta] < stream\n\
          \x20      graph-sketch merge <sketch-file>... [--out FILE] [--format json|bin]\n\
-         \x20      graph-sketch decode <sketch-file> [--json]\n\
+         \x20      graph-sketch decode <sketch-file> [--json] [--threads <int>]\n\
          \x20      graph-sketch sync --state FILE [--format json|bin] <delta-file>...\n\
          \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream",
         commands = commands.join("|")
@@ -163,6 +179,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
     let mut every: Option<u64> = None;
     let mut out: Option<String> = None;
     let mut format: Option<FileFormat> = None;
+    let mut threads: Option<usize> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => {
@@ -190,6 +207,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
             "--every" => every = Some(val()?.parse().map_err(|e| format!("--every: {e}"))?),
             "--out" => out = Some(val()?),
             "--format" => format = Some(FileFormat::parse(&val()?)?),
+            "--threads" => threads = Some(val()?.parse().map_err(|e| format!("--threads: {e}"))?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -225,6 +243,11 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
     if spec.n < 2 {
         return Err("--n must be at least 2".into());
     }
+    // The full typed validation: degenerate spec fields (k = 0, eps out
+    // of range, zero max weight, …) are refused here with the offending
+    // field named, instead of panicking inside a sketch constructor once
+    // the engine builds its shards.
+    spec.validate().map_err(|e| e.to_string())?;
     if sites < 1 {
         return Err("--sites must be at least 1".into());
     }
@@ -233,6 +256,9 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
     }
     if every == Some(0) {
         return Err("--every must be at least 1".into());
+    }
+    if threads == Some(0) {
+        return Err("--threads must be at least 1".into());
     }
     Ok(Options {
         spec,
@@ -243,6 +269,7 @@ fn parse_spec_args(args: &[String]) -> Result<Options, String> {
         every,
         out,
         format,
+        threads,
     })
 }
 
@@ -303,6 +330,7 @@ impl IngestReport {
 /// (the serve-demo path).
 fn ingest_stdin(opts: &Options, snapshots: bool) -> Result<(AnySketch, IngestReport), String> {
     let spec = opts.spec;
+    let plan = decode_plan(opts.threads);
     let mut engine = SketchEngine::new(
         EngineConfig::new(opts.sites).with_seed(spec.seed ^ 0x517E5),
         || spec.build(),
@@ -330,23 +358,27 @@ fn ingest_stdin(opts: &Options, snapshots: bool) -> Result<(AnySketch, IngestRep
         chunk.push(up);
         total += 1;
         if chunk.len() >= opts.chunk {
-            engine.ingest(&chunk);
+            // Parse-time checks make this infallible in practice; the
+            // typed path is defense in depth (a refused batch names the
+            // offending update instead of killing a shard worker).
+            engine.try_ingest(&chunk).map_err(|e| e.to_string())?;
             chunk.clear();
         }
         if total >= next_snapshot {
             if !chunk.is_empty() {
-                engine.ingest(&chunk);
+                engine.try_ingest(&chunk).map_err(|e| e.to_string())?;
                 chunk.clear();
             }
-            // Merge-on-read: ingestion is not quiesced for the query.
-            let answer = engine.snapshot().decode();
+            // Merge-on-read: ingestion is not quiesced for the query,
+            // and the decode fans out over the plan's threads.
+            let answer = engine.answer(&plan);
             let headline = answer.render_lines().into_iter().next().unwrap_or_default();
             eprintln!("[snapshot @ {total} updates] {headline}");
             next_snapshot = total + every;
         }
     }
     if !chunk.is_empty() {
-        engine.ingest(&chunk);
+        engine.try_ingest(&chunk).map_err(|e| e.to_string())?;
     }
     engine.flush();
     let stats = engine.stats();
@@ -480,7 +512,7 @@ fn cmd_query(args: &[String], snapshots: bool) -> ExitCode {
     if opts.stats {
         report.print();
     }
-    let answer = sketch.decode();
+    let answer = sketch.decode_with(&decode_plan(opts.threads));
     let json_body = opts.json.then(|| {
         Value::Map(vec![
             ("spec".into(), opts.spec.to_value()),
@@ -508,6 +540,10 @@ fn cmd_sketch(args: &[String]) -> ExitCode {
     }
     if opts.every.is_some() {
         eprintln!("error: --every only applies to serve-demo");
+        return usage();
+    }
+    if opts.threads.is_some() {
+        eprintln!("error: --threads only applies to decoding verbs (sketch never decodes)");
         return usage();
     }
     let (sketch, report) = match ingest_stdin(&opts, false) {
@@ -747,9 +783,26 @@ fn cmd_sync(args: &[String]) -> ExitCode {
 fn cmd_decode(args: &[String]) -> ExitCode {
     let mut path: Option<String> = None;
     let mut json = false;
-    for arg in args {
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(t)) if t >= 1 => threads = Some(t),
+                Some(Ok(_)) => {
+                    eprintln!("error: --threads must be at least 1");
+                    return usage();
+                }
+                Some(Err(e)) => {
+                    eprintln!("error: --threads: {e}");
+                    return usage();
+                }
+                None => {
+                    eprintln!("error: missing value for --threads");
+                    return usage();
+                }
+            },
             "--format" => {
                 eprintln!(
                     "error: --format only applies to the sketch and merge verbs \
@@ -779,7 +832,7 @@ fn cmd_decode(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let answer = file.decode();
+    let answer = file.decode_with(&decode_plan(threads));
     let json_body = json.then(|| {
         Value::Map(vec![
             ("spec".into(), file.spec.to_value()),

@@ -292,6 +292,102 @@ fn line_errors_keep_their_line_numbers() {
 }
 
 #[test]
+fn invalid_stream_lines_are_typed_errors_not_worker_panics() {
+    // A self-loop or out-of-range endpoint must die as a line-numbered
+    // error on the ingesting side — never reach a sketch assert inside an
+    // engine shard worker (whose panic would surface as an unrelated
+    // "worker hung up" abort).
+    for (line, what) in [
+        ("+ 3 3", "self-loop"),
+        ("- 2 2", "self-loop"),
+        ("+ 0 99", "out of range"),
+        ("+ 17 1", "out of range"),
+    ] {
+        let stdin = format!("+ 0 1\n+ 1 2\n{line}\n");
+        for extra in [&["connectivity", "--n", "4"][..], &["mst", "--n", "4"][..]] {
+            let (out, err, code) = run(extra, &stdin);
+            assert_eq!(code, 1, "{line} under {extra:?}: {err}");
+            assert!(
+                err.contains("line 3") && err.contains(what),
+                "{line} under {extra:?}: {err}"
+            );
+            assert!(
+                !err.contains("panicked"),
+                "{line}: worker panic leaked: {err}"
+            );
+            assert!(out.is_empty(), "{line}: stdout not empty: {out}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_specs_are_refused_typed_not_panicking() {
+    // k = 0, eps = 0, and max_weight = 0 all used to reach a constructor
+    // assert (or an eps-saturated huge allocation) when the engine built
+    // its shards; they must be named field errors now.
+    let cases = [
+        (
+            r#"{"task":"KConnect","n":4,"eps":0.5,"k":0,"max_weight":1024,"seed":1}"#,
+            "k = 0",
+        ),
+        (
+            r#"{"task":"MinCut","n":4,"eps":0.0,"k":2,"max_weight":1024,"seed":1}"#,
+            "eps = 0",
+        ),
+        (
+            r#"{"task":"Mst","n":4,"eps":0.5,"k":2,"max_weight":0,"seed":1}"#,
+            "max_weight = 0",
+        ),
+        (
+            r#"{"task":"Subgraphs","n":4,"eps":0.5,"k":9,"max_weight":1024,"seed":1}"#,
+            "k = 9",
+        ),
+    ];
+    for (spec, what) in cases {
+        let (_, err, code) = run(&["--spec", spec], "+ 0 1\n");
+        assert_eq!(code, 2, "{spec}: expected a usage error, got {err}");
+        assert!(
+            err.contains("error: spec declares") && err.contains(what),
+            "{spec}: {err}"
+        );
+        assert!(!err.contains("panicked"), "{spec}: panic leaked: {err}");
+    }
+}
+
+#[test]
+fn decode_threads_flag_changes_nothing_but_wall_clock() {
+    let scratch = Scratch::new("threads");
+    let stream = demo_stream(10);
+    let sk = scratch.path("a.sketch");
+    let (_, _, code) = run(
+        &["sketch", "connectivity", "--n", "10", "--out", &sk],
+        &stream,
+    );
+    assert_eq!(code, 0);
+    let (seq_out, _, seq_code) = run(&["decode", &sk, "--threads", "1"], "");
+    let (par_out, _, par_code) = run(&["decode", &sk, "--threads", "8"], "");
+    let (default_out, _, default_code) = run(&["decode", &sk], "");
+    assert_eq!((seq_code, par_code, default_code), (0, 0, 0));
+    assert_eq!(seq_out, par_out, "decode output differs across --threads");
+    assert_eq!(seq_out, default_out, "default --threads differs");
+    // The in-process query path takes the flag too.
+    let (q_out, _, q_code) = run(&["connectivity", "--n", "10", "--threads", "2"], &stream);
+    assert_eq!(q_code, 0);
+    assert_eq!(q_out, seq_out);
+    // Degenerate values are refused.
+    let (_, err, code) = run(&["decode", &sk, "--threads", "0"], "");
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads"), "{err}");
+    // sketch never decodes, so it refuses the flag instead of ignoring it.
+    let (_, err, code) = run(
+        &["sketch", "connectivity", "--n", "10", "--threads", "2"],
+        &stream,
+    );
+    assert_eq!(code, 2);
+    assert!(err.contains("--threads"), "{err}");
+}
+
+#[test]
 fn binary_pipeline_matches_json_pipeline() {
     // The same three-site topology shipped through --format bin: site
     // sketches, coordinator merge, decode — the decoded answer must be
@@ -710,7 +806,10 @@ fn sync_bootstrap_refuses_a_hostile_delta_spec_without_panicking() {
         code, 1,
         "expected a clean typed failure, got exit {code}: {err}"
     );
-    assert!(err.contains("unconstructible"), "unhelpful error: {err}");
+    assert!(
+        err.contains("spec refused") && err.contains("n = 1"),
+        "unhelpful error: {err}"
+    );
     assert!(
         !std::path::Path::new(&state).exists(),
         "no state file may appear from a refused bootstrap"

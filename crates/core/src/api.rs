@@ -42,6 +42,7 @@ use crate::{
 use gs_field::M61;
 use gs_graph::subgraph::Pattern;
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
 use gs_stream::distributed::{sketch_central, sketch_distributed};
 use serde::{Deserialize, Serialize, Value};
@@ -171,7 +172,85 @@ impl SketchSpec {
         self
     }
 
+    /// Checks every field against the constructor invariants of the
+    /// spec's task — the typed boundary for untrusted specs (CLI `--spec`
+    /// arguments, wire-file headers). [`SketchSpec::build`] `assert!`s
+    /// the same invariants, so a degenerate spec that skips this check
+    /// panics (or, for `ε → 0`, saturates a derived size into an
+    /// allocation-exhausting huge number) instead of failing with an
+    /// error the caller can report.
+    ///
+    /// Beyond the hard constructor requirements, two plausibility floors
+    /// bound what a hostile spec can make the constructors allocate:
+    /// `ε ≥ 1e-3` (derived sparsities scale as `ε⁻²`) and
+    /// `k ≤ 4096` (a `k-EDGECONNECT` stack is `k` forest sketches).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n < 2 {
+            return Err(SpecError::TooFewVertices { n: self.n });
+        }
+        let uses_eps = matches!(
+            self.task,
+            SketchTask::MinCut
+                | SketchTask::SimpleSparsify
+                | SketchTask::Sparsify
+                | SketchTask::WeightedSparsify
+                | SketchTask::Subgraphs
+                | SketchTask::Mst
+        );
+        if uses_eps {
+            let hi = if self.task == SketchTask::Subgraphs {
+                // SubgraphParams::for_eps requires ε ≤ 1 (a fraction).
+                1.0
+            } else {
+                1e3
+            };
+            if !self.eps.is_finite() || self.eps < 1e-3 || self.eps > hi {
+                return Err(SpecError::BadEps {
+                    task: self.task,
+                    eps: self.eps,
+                    max: hi,
+                });
+            }
+        }
+        let k_ok = match self.task {
+            SketchTask::KConnect | SketchTask::KEdgeWitness => (1..=4096).contains(&self.k),
+            // Pattern order: the squash encoding supports 2..=6, and the
+            // graph must hold at least one order-k subset.
+            SketchTask::Subgraphs => (2..=6).contains(&self.k) && self.n >= self.k,
+            _ => true,
+        };
+        if !k_ok {
+            return Err(SpecError::BadK {
+                task: self.task,
+                k: self.k,
+                n: self.n,
+            });
+        }
+        if matches!(self.task, SketchTask::Mst | SketchTask::WeightedSparsify)
+            && !(1..=1 << 40).contains(&self.max_weight)
+        {
+            return Err(SpecError::BadMaxWeight {
+                task: self.task,
+                max_weight: self.max_weight,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates, then builds: the fallible counterpart of
+    /// [`SketchSpec::build`] for specs from untrusted sources. A
+    /// degenerate spec returns a typed [`SpecError`] naming the offending
+    /// field instead of panicking inside a constructor.
+    pub fn try_build(&self) -> Result<AnySketch, SpecError> {
+        self.validate()?;
+        Ok(self.build())
+    }
+
     /// Constructs the empty sketch this spec describes.
+    ///
+    /// # Panics
+    /// Panics if the spec is degenerate (the constructors assert their
+    /// invariants). Untrusted callers should use [`SketchSpec::try_build`].
     pub fn build(&self) -> AnySketch {
         match self.task {
             SketchTask::Connectivity => AnySketch::Forest(ForestSketch::new(self.n, self.seed)),
@@ -225,6 +304,81 @@ impl SketchSpec {
         SketchSpec::from_value(&Value::from_json(text)?)
     }
 }
+
+/// Why a [`SketchSpec`] was refused by [`SketchSpec::validate`]: the
+/// field that violates its task's constructor invariants (or the
+/// documented plausibility floors bounding what a hostile spec can make
+/// the constructors allocate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpecError {
+    /// Every task needs at least two vertices.
+    TooFewVertices {
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// The accuracy target is unusable: not finite, below the `1e-3`
+    /// floor (derived sparsities scale as `ε⁻²`), or above the task's
+    /// ceiling.
+    BadEps {
+        /// The task whose constructor would reject it.
+        task: SketchTask,
+        /// The declared ε.
+        eps: f64,
+        /// The task's ceiling (1 for subgraph fractions, 1e3 otherwise).
+        max: f64,
+    },
+    /// `k` violates the task's range: connectivity thresholds need
+    /// `1 ≤ k ≤ 4096`, pattern orders need `2 ≤ k ≤ 6` with `n ≥ k`.
+    BadK {
+        /// The task whose constructor would reject it.
+        task: SketchTask,
+        /// The declared `k`.
+        k: usize,
+        /// The declared vertex count (pattern orders must not exceed it).
+        n: usize,
+    },
+    /// The maximum weight is outside `[1, 2^40]` for a weighted task.
+    BadMaxWeight {
+        /// The task whose constructor would reject it.
+        task: SketchTask,
+        /// The declared maximum weight.
+        max_weight: u64,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::TooFewVertices { n } => {
+                write!(f, "spec declares n = {n}; every sketch needs n >= 2")
+            }
+            SpecError::BadEps { task, eps, max } => write!(
+                f,
+                "spec declares eps = {eps} for {task:?}; eps must be a finite value in \
+                 [0.001, {max}]"
+            ),
+            SpecError::BadK { task, k, n } => match task {
+                SketchTask::Subgraphs => write!(
+                    f,
+                    "spec declares pattern order k = {k} for {task:?} over n = {n}; the \
+                     squash encoding supports 2 <= k <= 6 with n >= k"
+                ),
+                _ => write!(
+                    f,
+                    "spec declares k = {k} for {task:?}; the connectivity threshold must \
+                     be in [1, 4096]"
+                ),
+            },
+            SpecError::BadMaxWeight { task, max_weight } => write!(
+                f,
+                "spec declares max_weight = {max_weight} for {task:?}; weights must be in \
+                 [1, 2^40]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Any sketch in the crate, behind one type: the runtime-dispatch
 /// counterpart of [`LinearSketch`]. Feed it, merge it (same-task,
@@ -426,9 +580,17 @@ impl LinearSketch for AnySketch {
     }
 
     fn decode(&self) -> SketchAnswer {
+        self.decode_with(&DecodePlan::sequential())
+    }
+
+    /// Planned decode — the same dispatch, with the [`DecodePlan`]
+    /// threaded into every task's decoder. Bit-identical to
+    /// [`LinearSketch::decode`] for every thread count (the decode-parity
+    /// suite pins it per task).
+    fn decode_with(&self, plan: &DecodePlan) -> SketchAnswer {
         match self {
             AnySketch::Forest(s) => {
-                let f = s.decode();
+                let f = s.decode_with(plan);
                 SketchAnswer::Connectivity {
                     components: f.component_count(),
                     connected: f.is_spanning_tree(),
@@ -436,9 +598,9 @@ impl LinearSketch for AnySketch {
                 }
             }
             AnySketch::Bipartite(s) => SketchAnswer::Bipartite {
-                bipartite: s.decode(),
+                bipartite: s.is_bipartite_with(plan),
             },
-            AnySketch::MinCut(s) => match s.decode() {
+            AnySketch::MinCut(s) => match s.decode_planned(plan) {
                 Some(est) => SketchAnswer::MinCut {
                     resolved: true,
                     value: est.value,
@@ -452,9 +614,9 @@ impl LinearSketch for AnySketch {
                     side: Vec::new(),
                 },
             },
-            AnySketch::SimpleSparsify(s) => Self::sparsifier_answer(s.decode()),
-            AnySketch::Sparsify(s) => Self::sparsifier_answer(s.decode()),
-            AnySketch::WeightedSparsify(s) => Self::sparsifier_answer(s.decode()),
+            AnySketch::SimpleSparsify(s) => Self::sparsifier_answer(s.decode_planned(plan)),
+            AnySketch::Sparsify(s) => Self::sparsifier_answer(s.decode_planned(plan)),
+            AnySketch::WeightedSparsify(s) => Self::sparsifier_answer(s.decode_planned(plan)),
             AnySketch::Subgraph(s) => {
                 // Built-in pattern tables exist for orders 3 and 4; other
                 // orders report raw samples only (render_lines says so).
@@ -469,7 +631,7 @@ impl LinearSketch for AnySketch {
                 };
                 // One sample draw serves the count and every pattern
                 // estimate (querying the samplers is the expensive part).
-                let samples = s.raw_samples();
+                let samples = s.raw_samples_with(plan);
                 let gammas = patterns
                     .iter()
                     .map(|(name, p)| {
@@ -490,7 +652,7 @@ impl LinearSketch for AnySketch {
                 }
             }
             AnySketch::Mst(s) => {
-                let f = LinearSketch::decode(s);
+                let f = s.decode_planned(plan);
                 SketchAnswer::Msf {
                     total_weight: f.total_weight(),
                     edges: f.edges().to_vec(),
@@ -498,10 +660,10 @@ impl LinearSketch for AnySketch {
             }
             AnySketch::KConnect(s) => SketchAnswer::KConnected {
                 k: s.k(),
-                connected: s.decode(),
+                connected: s.is_k_connected_with(plan),
             },
             AnySketch::KEdgeWitness(s) => {
-                let h = LinearSketch::decode(s);
+                let h = s.decode_witness_with(plan);
                 SketchAnswer::Witness {
                     edges: h.edges().to_vec(),
                 }
@@ -814,6 +976,98 @@ mod tests {
                 looped.update_edge(up.u, up.v, up.delta);
             }
             assert_eq!(batched, looped, "{task:?}: batched != looped");
+        }
+    }
+
+    #[test]
+    fn degenerate_n_is_refused_for_every_task() {
+        for task in SketchTask::ALL {
+            for n in [0, 1] {
+                let spec = SketchSpec::new(task, n);
+                assert_eq!(
+                    spec.try_build().err(),
+                    Some(SpecError::TooFewVertices { n }),
+                    "{task:?} accepted n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_refused_with_typed_errors() {
+        // k = 0 connectivity threshold (panicked pre-validation).
+        for task in [SketchTask::KConnect, SketchTask::KEdgeWitness] {
+            assert!(matches!(
+                SketchSpec::new(task, 8).with_k(0).try_build(),
+                Err(SpecError::BadK { .. })
+            ));
+            assert!(matches!(
+                SketchSpec::new(task, 8).with_k(1 << 20).try_build(),
+                Err(SpecError::BadK { .. })
+            ));
+        }
+        // Pattern orders outside the squash encoding, or above n.
+        for k in [0, 1, 7] {
+            assert!(matches!(
+                SketchSpec::new(SketchTask::Subgraphs, 8)
+                    .with_k(k)
+                    .try_build(),
+                Err(SpecError::BadK { .. })
+            ));
+        }
+        assert!(matches!(
+            SketchSpec::new(SketchTask::Subgraphs, 3)
+                .with_k(4)
+                .try_build(),
+            Err(SpecError::BadK { .. })
+        ));
+        // Degenerate eps: zero (saturated derived sizes to usize::MAX
+        // pre-validation), negative, NaN, and absurd extremes.
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY, 1e-9, 1e9] {
+            for task in [SketchTask::MinCut, SketchTask::Sparsify, SketchTask::Mst] {
+                assert!(
+                    matches!(
+                        SketchSpec::new(task, 8).with_eps(eps).try_build(),
+                        Err(SpecError::BadEps { .. })
+                    ),
+                    "{task:?} accepted eps = {eps}"
+                );
+            }
+        }
+        // Subgraph fractions additionally require eps <= 1.
+        assert!(matches!(
+            SketchSpec::new(SketchTask::Subgraphs, 8)
+                .with_eps(2.0)
+                .try_build(),
+            Err(SpecError::BadEps { .. })
+        ));
+        // Weighted tasks: zero max weight (panicked pre-validation) and
+        // weights past the 2^40 plausibility bound.
+        for task in [SketchTask::Mst, SketchTask::WeightedSparsify] {
+            for w in [0u64, 1 << 50] {
+                assert!(
+                    matches!(
+                        SketchSpec::new(task, 8).with_max_weight(w).try_build(),
+                        Err(SpecError::BadMaxWeight { .. })
+                    ),
+                    "{task:?} accepted max_weight = {w}"
+                );
+            }
+        }
+        // Errors render a human-readable field diagnosis.
+        let e = SketchSpec::new(SketchTask::Mst, 8)
+            .with_max_weight(0)
+            .validate()
+            .unwrap_err();
+        assert!(e.to_string().contains("max_weight"), "message: {e}");
+    }
+
+    #[test]
+    fn default_specs_validate_for_every_task() {
+        for task in SketchTask::ALL {
+            let spec = SketchSpec::new(task, 12);
+            assert_eq!(spec.validate(), Ok(()), "{task:?} default spec refused");
+            assert!(spec.try_build().is_ok());
         }
     }
 

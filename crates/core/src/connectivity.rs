@@ -18,8 +18,10 @@ use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::UnionFind;
 use gs_sketch::bank::{BankGeometry, CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{
-    level_count, EdgeUpdate, L0Detector, L0Result, LinearSketch, Mergeable, CELL_BYTES,
+    level_count, EdgeUpdate, L0Detector, L0Result, LinearSketch, Mergeable, OneSparseCell,
+    OneSparseState, CELL_BYTES,
 };
 use serde::{Deserialize, Error, Serialize, Value};
 
@@ -283,10 +285,71 @@ impl ForestSketch {
         )
     }
 
-    /// Queries Σ_{u∈group} sketch(x^u) for bank `bank`: lane-sums the
-    /// member rows into a proxy detector and decodes it. Equal to merging
-    /// the members' detectors in the pre-bank layout, cell for cell.
+    /// Queries Σ_{u∈group} sketch(x^u) for bank `bank` — the bank-level
+    /// batched group query. The decode scan visits cells in the same
+    /// rep-major order as [`L0Detector::query`], but the sum over the
+    /// group is computed **lazily, cell by cell, in scan order**: a query
+    /// that decodes at subsampling level `ℓ` (the overwhelmingly common
+    /// case — the surviving level of a support of size `d` is `≈ log₂ d`)
+    /// only ever sums `reps + ℓ` cells per member instead of the whole
+    /// `reps × levels` row, which is what takes the full-bank memory
+    /// sweep off every Boruvka round. Lazy summation cannot change the
+    /// answer: a cell the scan never reaches never influences the scan,
+    /// and the cells it does reach hold exactly the member sums the eager
+    /// query would hold ([`ForestSketch::group_query_reference`] keeps
+    /// the eager pre-bank path alive as the pinned baseline).
     fn group_query(&self, bank: usize, group: &[usize]) -> L0Result {
+        let levels = self.levels as usize;
+        let rowlen = self.row_len();
+        let reps = self.params.detector_reps;
+        let (w, s, f) = self.cells.lanes();
+        let domain = edge_domain(self.n);
+        let finger = &self.finger[bank];
+        let row0 = (bank * self.n) * rowlen;
+        // Sum of cell `j` of the row group over the members.
+        let gather = |j: usize| -> OneSparseCell {
+            let (mut gw, mut gs, mut gf) = (0i64, 0i128, M61::ZERO);
+            for &node in group {
+                let off = row0 + node * rowlen + j;
+                gw += w[off];
+                gs += s[off];
+                gf += f[off];
+            }
+            OneSparseCell::from_parts(gw, gs, gf)
+        };
+        // Empty iff the full-vector cell of every rep sums to zero.
+        let full: [OneSparseCell; MAX_DETECTOR_REPS] = std::array::from_fn(|r| {
+            if r < reps {
+                gather(r * levels)
+            } else {
+                OneSparseCell::new()
+            }
+        });
+        if full[..reps].iter().all(|c| c.is_zero()) {
+            return L0Result::Empty;
+        }
+        for (r, &full_cell) in full[..reps].iter().enumerate() {
+            for l in 0..levels {
+                let cell = if l == 0 {
+                    full_cell
+                } else {
+                    gather(r * levels + l)
+                };
+                if let OneSparseState::One(idx, v) = cell.decode(domain, finger) {
+                    return L0Result::Sample(idx, v);
+                }
+            }
+        }
+        L0Result::Fail
+    }
+
+    /// The pre-kernel group query, kept verbatim as the decode baseline:
+    /// per-cell indexed adds into freshly allocated lanes, overlaid onto
+    /// a freshly built proxy detector per group. `bench_decode` measures
+    /// the kernel against it and the parity tests pin bit-identity; it is
+    /// not on any production path.
+    #[doc(hidden)]
+    pub fn group_query_reference(&self, bank: usize, group: &[usize]) -> L0Result {
         let rowlen = self.row_len();
         let (w, s, f) = self.cells.lanes();
         let mut gw = vec![0i64; rowlen];
@@ -305,9 +368,18 @@ impl ForestSketch {
         acc.query()
     }
 
-    /// Decodes a spanning forest by Boruvka contraction.
+    /// Decodes a spanning forest by Boruvka contraction (sequentially —
+    /// [`ForestSketch::decode_with`] takes a thread plan).
     pub fn decode(&self) -> Forest {
-        self.decode_excluding(&mut UnionFind::new(self.n))
+        self.decode_with(&DecodePlan::sequential())
+    }
+
+    /// Decodes a spanning forest by Boruvka contraction under a
+    /// [`DecodePlan`]. Bit-identical to [`ForestSketch::decode`] at every
+    /// thread count — see [`ForestSketch::decode_excluding_with`] for the
+    /// determinism argument.
+    pub fn decode_with(&self, plan: &DecodePlan) -> Forest {
+        self.decode_excluding_with(&mut UnionFind::new(self.n), plan)
     }
 
     /// Boruvka decoding seeded with an existing partition: components
@@ -315,6 +387,57 @@ impl ForestSketch {
     /// `k-EDGECONNECT` follow-up forests and exposed for callers that
     /// combine sketches with known connectivity.
     pub fn decode_excluding(&self, uf: &mut UnionFind) -> Forest {
+        self.decode_excluding_with(uf, &DecodePlan::sequential())
+    }
+
+    /// [`ForestSketch::decode_excluding`] under a [`DecodePlan`]: the
+    /// group queries of one Boruvka round fan out across the plan's
+    /// threads.
+    ///
+    /// **Determinism.** The groups are fixed at round start (`uf` is not
+    /// touched until every query of the round returned), each group's
+    /// query reads only the immutable cell bank, and the per-group
+    /// results are reassembled in group order before the sequential
+    /// union pass consumes them. The parallel decode is therefore
+    /// **bit-identical** to the sequential one — same samples, same
+    /// union order, same forest — which the decode-parity suite pins for
+    /// every task at thread counts {1, 2, 8}.
+    pub fn decode_excluding_with(&self, uf: &mut UnionFind, plan: &DecodePlan) -> Forest {
+        let mut edges = Vec::new();
+        for round in 0..self.params.rounds {
+            let bank = if self.params.share_rounds { 0 } else { round };
+            let groups = uf.groups();
+            if groups.len() <= 1 {
+                break;
+            }
+            // Σ_{u∈A} sketch(x^u) sketches exactly the crossing edges.
+            // Groups are independent within the round: fan out, collect
+            // in group order.
+            let found = par_map(&groups, plan.threads(), |_, group| {
+                match self.group_query(bank, group) {
+                    L0Result::Sample(idx, val) => {
+                        let (u, v) = edge_unindex(idx);
+                        (u < self.n && v < self.n).then_some((u, v, val))
+                    }
+                    _ => None,
+                }
+            });
+            for (u, v, val) in found.into_iter().flatten() {
+                // A stale or colliding sample inside one component is
+                // discarded by the union check.
+                if uf.union(u, v) {
+                    edges.push((u, v, val));
+                }
+            }
+        }
+        Forest { n: self.n, edges }
+    }
+
+    /// The full pre-kernel decode path (reference group queries, inline
+    /// loop) — the baseline `bench_decode` compares against.
+    #[doc(hidden)]
+    pub fn decode_reference(&self) -> Forest {
+        let mut uf = UnionFind::new(self.n);
         let mut edges = Vec::new();
         for round in 0..self.params.rounds {
             let bank = if self.params.share_rounds { 0 } else { round };
@@ -324,8 +447,7 @@ impl ForestSketch {
             }
             let mut found: Vec<(usize, usize, i64)> = Vec::new();
             for group in &groups {
-                // Σ_{u∈A} sketch(x^u) sketches exactly the crossing edges.
-                if let L0Result::Sample(idx, val) = self.group_query(bank, group) {
+                if let L0Result::Sample(idx, val) = self.group_query_reference(bank, group) {
                     let (u, v) = edge_unindex(idx);
                     if u < self.n && v < self.n {
                         found.push((u, v, val));
@@ -333,8 +455,6 @@ impl ForestSketch {
                 }
             }
             for (u, v, val) in found {
-                // A stale or colliding sample inside one component is
-                // discarded by the union check.
                 if uf.union(u, v) {
                     edges.push((u, v, val));
                 }
@@ -483,6 +603,10 @@ impl LinearSketch for ForestSketch {
 
     fn decode(&self) -> Forest {
         ForestSketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Forest {
+        ForestSketch::decode_with(self, plan)
     }
 }
 
@@ -682,6 +806,32 @@ mod tests {
         s.update_edge(0, 1, -1);
         let f = s.decode();
         assert!(f.is_spanning_tree());
+    }
+
+    #[test]
+    fn planned_decode_is_bit_identical_to_sequential_and_reference() {
+        let g = gen::connected_gnp(40, 0.12, 71);
+        let s = sketch_of(&g, 73);
+        let seq = s.decode();
+        assert_eq!(
+            s.decode_reference().edges,
+            seq.edges,
+            "kernel decode drifted from the pre-kernel reference"
+        );
+        for threads in [2, 3, 8, 64] {
+            let par = s.decode_with(&DecodePlan::with_threads(threads));
+            assert_eq!(par.edges, seq.edges, "threads = {threads}");
+        }
+        // Seeded-partition decoding must agree thread for thread too.
+        let mut uf_seq = UnionFind::new(40);
+        let mut uf_par = UnionFind::new(40);
+        for v in 1..12 {
+            uf_seq.union(0, v);
+            uf_par.union(0, v);
+        }
+        let a = s.decode_excluding(&mut uf_seq);
+        let b = s.decode_excluding_with(&mut uf_par, &DecodePlan::with_threads(8));
+        assert_eq!(a.edges, b.edges);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::kedge::KEdgeConnectSketch;
 use gs_field::M61;
 use gs_graph::stoer_wagner;
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -91,8 +92,14 @@ impl BipartitenessSketch {
     /// cover has exactly twice as many components as the graph. An odd
     /// cycle merges its two cover copies into one component.
     pub fn is_bipartite(&self) -> bool {
-        let c = self.base.decode().component_count();
-        let cc = self.cover.decode().component_count();
+        self.is_bipartite_with(&DecodePlan::sequential())
+    }
+
+    /// [`BipartitenessSketch::is_bipartite`] under a [`DecodePlan`]: both
+    /// forest decodes fan their group queries across the plan's threads.
+    pub fn is_bipartite_with(&self, plan: &DecodePlan) -> bool {
+        let c = self.base.decode_with(plan).component_count();
+        let cc = self.cover.decode_with(plan).component_count();
         cc == 2 * c
     }
 }
@@ -150,6 +157,10 @@ impl LinearSketch for BipartitenessSketch {
     fn decode(&self) -> bool {
         self.is_bipartite()
     }
+
+    fn decode_with(&self, plan: &DecodePlan) -> bool {
+        self.is_bipartite_with(plan)
+    }
 }
 
 /// Single-pass k-edge-connectivity tester.
@@ -190,7 +201,13 @@ impl KConnectivitySketch {
 
     /// `true` iff every cut of the streamed graph has ≥ k edges (w.h.p.).
     pub fn is_k_connected(&self) -> bool {
-        let h = self.inner.decode_witness();
+        self.is_k_connected_with(&DecodePlan::sequential())
+    }
+
+    /// [`KConnectivitySketch::is_k_connected`] under a [`DecodePlan`]:
+    /// the witness decode fans out, the Stoer–Wagner audit stays inline.
+    pub fn is_k_connected_with(&self, plan: &DecodePlan) -> bool {
+        let h = self.inner.decode_witness_with(plan);
         if h.n() < 2 || h.m() == 0 {
             return false;
         }
@@ -245,6 +262,10 @@ impl LinearSketch for KConnectivitySketch {
     /// `true` iff the streamed graph is k-edge-connected (w.h.p.).
     fn decode(&self) -> bool {
         self.is_k_connected()
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> bool {
+        self.is_k_connected_with(plan)
     }
 }
 

@@ -19,6 +19,7 @@ use crate::connectivity::{ForestParams, ForestSketch};
 use gs_field::M61;
 use gs_graph::Graph;
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -123,9 +124,17 @@ impl KEdgeConnectSketch {
     /// (its sketched value is reported by
     /// [`KEdgeConnectSketch::decode_witness_edges`]).
     pub fn decode_witness(&self) -> Graph {
+        self.decode_witness_with(&DecodePlan::sequential())
+    }
+
+    /// [`KEdgeConnectSketch::decode_witness`] under a [`DecodePlan`]: the
+    /// forest layers peel strictly in sequence (layer `i` subtracts the
+    /// edges layers `1..i` used — a data dependency), but each layer's
+    /// Boruvka rounds fan their group queries across the plan's threads.
+    pub fn decode_witness_with(&self, plan: &DecodePlan) -> Graph {
         Graph::from_edges(
             self.n,
-            self.decode_witness_edges()
+            self.decode_witness_edges_with(plan)
                 .into_iter()
                 .map(|(u, v, _)| (u, v)),
         )
@@ -134,10 +143,16 @@ impl KEdgeConnectSketch {
     /// Decodes the witness as the list of `(u, v, removed_amount)` forest
     /// selections, in discovery order.
     pub fn decode_witness_edges(&self) -> Vec<(usize, usize, i64)> {
+        self.decode_witness_edges_with(&DecodePlan::sequential())
+    }
+
+    /// [`KEdgeConnectSketch::decode_witness_edges`] under a
+    /// [`DecodePlan`] (see [`KEdgeConnectSketch::decode_witness_with`]).
+    pub fn decode_witness_edges_with(&self, plan: &DecodePlan) -> Vec<(usize, usize, i64)> {
         let mut removed: Vec<(usize, usize, i64)> = Vec::new();
         for forest in &self.forests {
             let f = if removed.is_empty() {
-                forest.decode()
+                forest.decode_with(plan)
             } else {
                 // Linearity: subtract every previously used edge, yielding
                 // a sketch of G ∖ (F_1 ∪ … ∪ F_{i−1}).
@@ -145,7 +160,7 @@ impl KEdgeConnectSketch {
                 for &(u, v, amt) in &removed {
                     sk.update_edge(u, v, -amt);
                 }
-                sk.decode()
+                sk.decode_with(plan)
             };
             if f.edges.is_empty() {
                 break; // residual graph is empty; later layers add nothing
@@ -223,6 +238,10 @@ impl LinearSketch for KEdgeConnectSketch {
     /// Decodes the witness `H = F_1 ∪ … ∪ F_k`.
     fn decode(&self) -> Graph {
         self.decode_witness()
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Graph {
+        self.decode_witness_with(plan)
     }
 }
 

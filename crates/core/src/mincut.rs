@@ -22,6 +22,7 @@ use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::{stoer_wagner, Graph};
 use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::edge_index;
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -191,16 +192,38 @@ impl MinCutSketch {
     /// The per-level witnesses `H_0, H_1, …` (step 2b), exposed for the
     /// sparsifier of Fig. 2 which shares this machinery.
     pub fn decode_witnesses(&self) -> Vec<Graph> {
-        self.levels.iter().map(|l| l.decode_witness()).collect()
+        self.decode_witnesses_with(&DecodePlan::sequential())
+    }
+
+    /// [`MinCutSketch::decode_witnesses`] under a [`DecodePlan`]: the
+    /// subsampling levels are independent witness decodes, so they fan
+    /// out across the plan's threads, and any surplus budget (fewer
+    /// levels than threads) splits down into each level's own Boruvka
+    /// fan-out; results come back in level order, bit-identical to the
+    /// sequential loop.
+    pub fn decode_witnesses_with(&self, plan: &DecodePlan) -> Vec<Graph> {
+        let inner = plan.split(self.levels.len());
+        par_map(&self.levels, plan.threads(), |_, l| {
+            l.decode_witness_with(&inner)
+        })
     }
 
     /// Per-level detailed witnesses `(u, v, removed_amount)` — the
     /// value-carrying form used by the weighted wrapper (§3.5).
     pub fn decode_witness_edges_per_level(&self) -> Vec<Vec<(usize, usize, i64)>> {
-        self.levels
-            .iter()
-            .map(|l| l.decode_witness_edges())
-            .collect()
+        self.decode_witness_edges_per_level_with(&DecodePlan::sequential())
+    }
+
+    /// [`MinCutSketch::decode_witness_edges_per_level`] under a
+    /// [`DecodePlan`], one level per thread (level order preserved).
+    pub fn decode_witness_edges_per_level_with(
+        &self,
+        plan: &DecodePlan,
+    ) -> Vec<Vec<(usize, usize, i64)>> {
+        let inner = plan.split(self.levels.len());
+        par_map(&self.levels, plan.threads(), |_, l| {
+            l.decode_witness_edges_with(&inner)
+        })
     }
 
     /// Step 3: find `j = min{i : λ(H_i) < k}` and return `2^j λ(H_j)`.
@@ -209,8 +232,17 @@ impl MinCutSketch {
     /// parameterization makes this a w.h.p.-impossible event; it signals
     /// that `levels`/`k` were chosen too small for this input).
     pub fn decode(&self) -> Option<MinCutEstimate> {
+        self.decode_planned(&DecodePlan::sequential())
+    }
+
+    /// [`MinCutSketch::decode`] under a [`DecodePlan`]. The level scan
+    /// stays sequential (it early-exits at the first resolving level, so
+    /// decoding deeper levels would be wasted work), but each level's
+    /// witness decode fans its Boruvka group queries across the plan's
+    /// threads.
+    pub fn decode_planned(&self, plan: &DecodePlan) -> Option<MinCutEstimate> {
         for (i, level) in self.levels.iter().enumerate() {
-            let h = level.decode_witness();
+            let h = level.decode_witness_with(plan);
             let (lam, side) = if h.m() == 0 {
                 (0, {
                     let mut side = vec![false; self.n];
@@ -286,6 +318,10 @@ impl LinearSketch for MinCutSketch {
 
     fn decode(&self) -> Option<MinCutEstimate> {
         MinCutSketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Option<MinCutEstimate> {
+        self.decode_planned(plan)
     }
 }
 

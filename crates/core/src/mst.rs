@@ -27,6 +27,7 @@ use crate::connectivity::{ForestParams, ForestSketch};
 use gs_field::M61;
 use gs_graph::{Graph, UnionFind};
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -165,13 +166,22 @@ impl MstSketch {
     /// levels connect what they can before coarser, more expensive edges
     /// are considered).
     pub fn decode(&self) -> Graph {
+        self.decode_planned(&DecodePlan::sequential())
+    }
+
+    /// [`MstSketch::decode`] under a [`DecodePlan`]. The threshold levels
+    /// refine one shared partition (a data dependency — level `i+1` only
+    /// connects what levels `≤ i` left apart), so the level walk stays
+    /// sequential while each level's Boruvka group queries fan out across
+    /// the plan's threads. Bit-identical to the sequential decode.
+    pub fn decode_planned(&self, plan: &DecodePlan) -> Graph {
         let mut uf = UnionFind::new(self.n);
         let mut edges: Vec<(usize, usize, u64)> = Vec::new();
         for (i, level) in self.levels.iter().enumerate() {
             if uf.component_count() == 1 {
                 break;
             }
-            let f = level.decode_excluding(&mut uf);
+            let f = level.decode_excluding_with(&mut uf, plan);
             let t = self.thresholds[i];
             edges.extend(f.edges.iter().map(|&(u, v, _)| (u, v, t)));
         }
@@ -242,6 +252,10 @@ impl LinearSketch for MstSketch {
 
     fn decode(&self) -> Graph {
         MstSketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Graph {
+        self.decode_planned(plan)
     }
 }
 

@@ -18,6 +18,7 @@ use crate::mincut::{MinCutParams, MinCutSketch};
 use gs_field::{BackendKind, M61};
 use gs_graph::{GomoryHuTree, Graph};
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -102,8 +103,16 @@ impl SimpleSparsifySketch {
     /// at its freeze level `j` enters with weight `2^j` (times its
     /// multiplicity in `H_j` for multigraphs).
     pub fn decode(&self) -> Graph {
-        let witnesses = self.inner.decode_witnesses();
-        decode_from_witnesses(self.n(), self.k() as u64, &witnesses)
+        self.decode_planned(&DecodePlan::sequential())
+    }
+
+    /// [`SimpleSparsifySketch::decode`] under a [`DecodePlan`]: the
+    /// per-level witness decodes and their Gomory–Hu trees fan out across
+    /// the plan's threads (levels are independent); the freeze pass stays
+    /// sequential. Bit-identical to the sequential decode.
+    pub fn decode_planned(&self, plan: &DecodePlan) -> Graph {
+        let witnesses = self.inner.decode_witnesses_with(plan);
+        decode_from_witnesses_with(self.n(), self.k() as u64, &witnesses, plan)
     }
 
     /// The raw per-level witnesses (for diagnostics / the weighted
@@ -118,17 +127,24 @@ impl SimpleSparsifySketch {
     /// once — the factor-L slack of Lemma 3.6 absorbs the within-class
     /// spread), while the output weight is `w · 2^j`.
     pub fn decode_weighted(&self) -> Graph {
-        let detailed = self.inner.decode_witness_edges_per_level();
+        self.decode_weighted_planned(&DecodePlan::sequential())
+    }
+
+    /// [`SimpleSparsifySketch::decode_weighted`] under a [`DecodePlan`]
+    /// (levels and their Gomory–Hu trees in parallel, freeze pass
+    /// sequential).
+    pub fn decode_weighted_planned(&self, plan: &DecodePlan) -> Graph {
+        let detailed = self.inner.decode_witness_edges_per_level_with(plan);
         let n = self.n();
         let k = self.k() as u64;
         let unit_witnesses: Vec<Graph> = detailed
             .iter()
             .map(|edges| Graph::from_edges(n, edges.iter().map(|&(u, v, _)| (u, v))))
             .collect();
-        let trees: Vec<Option<gs_graph::GomoryHuTree>> = unit_witnesses
-            .iter()
-            .map(|h| (h.m() > 0).then(|| gs_graph::GomoryHuTree::build(h)))
-            .collect();
+        let trees: Vec<Option<gs_graph::GomoryHuTree>> =
+            par_map(&unit_witnesses, plan.threads(), |_, h| {
+                (h.m() > 0).then(|| gs_graph::GomoryHuTree::build(h))
+            });
         let mut out: Vec<(usize, usize, u64)> = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for edges in &detailed {
@@ -169,11 +185,22 @@ impl SimpleSparsifySketch {
 /// `j = min{i : λ_e(H_i) < k}` and keep it iff `e ∈ H_j`, with weight
 /// `2^j · multiplicity`.
 pub fn decode_from_witnesses(n: usize, k: u64, witnesses: &[Graph]) -> Graph {
+    decode_from_witnesses_with(n, k, witnesses, &DecodePlan::sequential())
+}
+
+/// [`decode_from_witnesses`] under a [`DecodePlan`]: the per-level
+/// Gomory–Hu trees build in parallel (they only read their own witness);
+/// the freeze pass over candidate edges stays sequential.
+pub fn decode_from_witnesses_with(
+    n: usize,
+    k: u64,
+    witnesses: &[Graph],
+    plan: &DecodePlan,
+) -> Graph {
     // Gomory–Hu tree per (non-trivial) level answers λ_e(H_i) for all e.
-    let trees: Vec<Option<GomoryHuTree>> = witnesses
-        .iter()
-        .map(|h| (h.m() > 0).then(|| GomoryHuTree::build(h)))
-        .collect();
+    let trees: Vec<Option<GomoryHuTree>> = par_map(witnesses, plan.threads(), |_, h| {
+        (h.m() > 0).then(|| GomoryHuTree::build(h))
+    });
     let mut out: Vec<(usize, usize, u64)> = Vec::new();
     // Candidate edges: anything appearing in any witness. An edge of G
     // absent from every witness is, in particular, absent from H at its
@@ -234,6 +261,10 @@ impl LinearSketch for SimpleSparsifySketch {
     /// Decodes the weighted ε-sparsifier (Fig. 2 step 3).
     fn decode(&self) -> Graph {
         SimpleSparsifySketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Graph {
+        self.decode_planned(plan)
     }
 }
 

@@ -24,6 +24,7 @@ use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::{GomoryHuTree, Graph};
 use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, RecoveryPlan, SparseRecovery, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -173,7 +174,17 @@ impl SparsifySketch {
 
     /// Step 4: decode the ε-sparsifier.
     pub fn decode(&self) -> Graph {
-        let rough = self.rough.decode();
+        self.decode_planned(&DecodePlan::sequential())
+    }
+
+    /// [`SparsifySketch::decode`] under a [`DecodePlan`]: each Gomory–Hu
+    /// tree edge induces an independent cut query (lane-sum the A-side's
+    /// recoveries with the bank kernel, peel, keep the step-4d survivors),
+    /// so the cuts fan out across the plan's threads and their kept edges
+    /// are concatenated in tree-edge order — bit-identical to the
+    /// sequential loop.
+    pub fn decode_planned(&self, plan: &DecodePlan) -> Graph {
+        let rough = self.rough.decode_planned(plan);
         if rough.m() == 0 {
             return Graph::new(self.n);
         }
@@ -181,36 +192,40 @@ impl SparsifySketch {
         let log2n = (usize::BITS - self.n.leading_zeros()) as f64;
         let eps2 = self.params.eps * self.params.eps;
 
-        let mut out: Vec<(usize, usize, u64)> = Vec::new();
-        for (ei, w_cut, side) in tree.induced_cuts() {
-            // Step 4b with the rough cut weight standing in for w(e).
-            let j_raw = ((w_cut as f64 * eps2 / log2n).max(1.0)).log2().floor() as usize;
-            let j = j_raw.min(self.params.levels - 1);
+        let cuts: Vec<(usize, u64, Vec<bool>)> = tree.induced_cuts().collect();
+        let per_cut: Vec<Vec<(usize, usize, u64)>> =
+            par_map(&cuts, plan.threads(), |_, (ei, w_cut, side)| {
+                // Step 4b with the rough cut weight standing in for w(e).
+                let j_raw = ((*w_cut as f64 * eps2 / log2n).max(1.0)).log2().floor() as usize;
+                let j = j_raw.min(self.params.levels - 1);
 
-            // Step 4c: linear composition over the A-side of the cut.
-            let base = j * self.n;
-            let members: Vec<usize> = (0..self.n).filter(|&v| side[v]).collect();
-            let mut acc = self.recoveries[base + members[0]].clone();
-            for &u in &members[1..] {
-                acc.merge(&self.recoveries[base + u]);
-            }
-            let Some(items) = acc.decode() else {
-                // Recovery failed: more than k edges of G_j cross this cut
-                // (w.h.p. impossible at the chosen j; skipping keeps the
-                // output sound, the audit measures the effect).
-                continue;
-            };
-            // Step 4d.
-            for (idx, val) in items {
-                let (u, v) = edge_unindex(idx);
-                if u >= self.n || v >= self.n || val == 0 {
-                    continue;
+                // Step 4c: linear composition over the A-side of the cut —
+                // the bank-kernel recovery sum, no per-cut clones.
+                let base = j * self.n;
+                let members = (0..self.n).filter(|&v| side[v]);
+                let Some(items) =
+                    SparseRecovery::decode_sum(members.map(|u| &self.recoveries[base + u]))
+                else {
+                    // Recovery failed: more than k edges of G_j cross this
+                    // cut (w.h.p. impossible at the chosen j; skipping
+                    // keeps the output sound, the audit measures the
+                    // effect).
+                    return Vec::new();
+                };
+                // Step 4d.
+                let mut kept = Vec::new();
+                for (idx, val) in items {
+                    let (u, v) = edge_unindex(idx);
+                    if u >= self.n || v >= self.n || val == 0 {
+                        continue;
+                    }
+                    if tree.path_min_edge(u, v) == *ei {
+                        kept.push((u, v, (val.unsigned_abs()) << j));
+                    }
                 }
-                if tree.path_min_edge(u, v) == ei {
-                    out.push((u, v, (val.unsigned_abs()) << j));
-                }
-            }
-        }
+                kept
+            });
+        let out: Vec<(usize, usize, u64)> = per_cut.into_iter().flatten().collect();
         Graph::from_weighted_edges(self.n, out)
     }
 }
@@ -282,6 +297,10 @@ impl LinearSketch for SparsifySketch {
     /// Decodes the ε-sparsifier (Fig. 3 step 4).
     fn decode(&self) -> Graph {
         SparsifySketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Graph {
+        self.decode_planned(plan)
     }
 }
 

@@ -25,6 +25,7 @@ use gs_field::{BackendKind, M61};
 use gs_graph::subgraph::Pattern;
 use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{pair_slot, subset_domain, subset_rank};
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{L0Result, L0Sampler, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -176,13 +177,21 @@ impl SubgraphSketch {
     /// Draws the available column samples: `(bitmask, sampler index)` per
     /// successful sampler. Failed samplers are skipped (Theorem 2.1's δ).
     pub fn raw_samples(&self) -> Vec<u64> {
-        self.samplers
-            .iter()
-            .filter_map(|s| match s.query() {
-                L0Result::Sample(_, val) if val > 0 => Some(val as u64),
-                _ => None,
-            })
-            .collect()
+        self.raw_samples_with(&DecodePlan::sequential())
+    }
+
+    /// [`SubgraphSketch::raw_samples`] under a [`DecodePlan`]: the
+    /// samplers are independent ℓ0 queries, so they fan out across the
+    /// plan's threads; successful samples come back in sampler order,
+    /// bit-identical to the sequential draw.
+    pub fn raw_samples_with(&self, plan: &DecodePlan) -> Vec<u64> {
+        par_map(&self.samplers, plan.threads(), |_, s| match s.query() {
+            L0Result::Sample(_, val) if val > 0 => Some(val as u64),
+            _ => None,
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Estimates `γ_H(G)` for a pattern of order `k`: the fraction of
@@ -288,6 +297,10 @@ impl LinearSketch for SubgraphSketch {
     /// [`SubgraphSketch::estimate_class_fraction`] for pattern fractions.
     fn decode(&self) -> Vec<u64> {
         self.raw_samples()
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Vec<u64> {
+        self.raw_samples_with(plan)
     }
 }
 

@@ -19,6 +19,7 @@ use crate::simple_sparsify::{SimpleSparsifyParams, SimpleSparsifySketch};
 use gs_field::{BackendKind, M61};
 use gs_graph::Graph;
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -152,9 +153,21 @@ impl WeightedSparsifySketch {
     /// Decodes the merged sparsifier: the union of the per-class
     /// sparsifiers (weights add where classes overlap on an edge).
     pub fn decode(&self) -> Graph {
+        self.decode_planned(&DecodePlan::sequential())
+    }
+
+    /// [`WeightedSparsifySketch::decode`] under a [`DecodePlan`]: the
+    /// weight classes are independent sparsifier decodes, so they fan out
+    /// one class per thread, with any surplus budget split down into each
+    /// class's own level fan-out; class outputs are concatenated in class
+    /// order, bit-identical to the sequential union.
+    pub fn decode_planned(&self, plan: &DecodePlan) -> Graph {
+        let inner = plan.split(self.classes.len());
+        let per_class: Vec<Graph> = par_map(&self.classes, plan.threads(), |_, class| {
+            class.decode_weighted_planned(&inner)
+        });
         let mut acc: Vec<(usize, usize, u64)> = Vec::new();
-        for class in &self.classes {
-            let g = class.decode_weighted();
+        for g in &per_class {
             acc.extend(g.edges().iter().copied());
         }
         Graph::from_weighted_edges(self.n, acc)
@@ -220,6 +233,10 @@ impl LinearSketch for WeightedSparsifySketch {
 
     fn decode(&self) -> Graph {
         WeightedSparsifySketch::decode(self)
+    }
+
+    fn decode_with(&self, plan: &DecodePlan) -> Graph {
+        self.decode_planned(plan)
     }
 }
 

@@ -74,9 +74,10 @@
 //!
 //! [FNV-1a]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
 
-use crate::api::{AnySketch, MergeError, SketchAnswer, SketchSpec};
+use crate::api::{AnySketch, MergeError, SketchAnswer, SketchSpec, SpecError};
 use gs_field::{m61, M61};
 use gs_sketch::bank::CellBanked;
+use gs_sketch::par::DecodePlan;
 use gs_sketch::{BankGeometry, LinearSketch, Mergeable};
 use serde::{Deserialize, Serialize, Value};
 
@@ -216,6 +217,14 @@ pub enum WireError {
     /// A binary file is structurally well-formed but carries impossible
     /// content (bad counts, out-of-field fingerprints, trailing bytes).
     Corrupt(String),
+    /// The declared spec violates its task's constructor invariants or
+    /// the documented plausibility floors of [`SketchSpec::validate`] (a
+    /// degenerate or hostile header, refused before anything is built).
+    /// The floors are deliberately part of the wire contract: an extreme
+    /// but technically-constructible spec (`ε` near zero, astronomically
+    /// large `k` or weights) is indistinguishable from an
+    /// allocation-exhaustion attack at load time.
+    Spec(SpecError),
     /// The embedded state does not match the embedded spec (task or `n`).
     StateMismatch,
     /// Two files with different specs refused to merge.
@@ -261,6 +270,12 @@ impl std::fmt::Display for WireError {
                 expected.slots
             ),
             WireError::Corrupt(detail) => write!(f, "corrupt binary sketch file: {detail}"),
+            WireError::Spec(e) => {
+                write!(
+                    f,
+                    "sketch file spec refused (outside this build's accepted ranges): {e}"
+                )
+            }
             WireError::StateMismatch => {
                 write!(f, "sketch state does not match the file's spec")
             }
@@ -279,6 +294,12 @@ impl std::error::Error for WireError {}
 impl From<MergeError> for WireError {
     fn from(e: MergeError) -> Self {
         WireError::Merge(e)
+    }
+}
+
+impl From<SpecError> for WireError {
+    fn from(e: SpecError) -> Self {
+        WireError::Spec(e)
     }
 }
 
@@ -365,6 +386,9 @@ impl SketchFile {
         }
         let spec = SketchSpec::from_value(v.get("spec").ok_or(WireError::Missing("spec"))?)
             .map_err(|e| WireError::Json(e.to_string()))?;
+        // Untrusted header: a degenerate spec is refused with a typed
+        // error before the probe merge builds anything from it.
+        spec.validate()?;
         let state = AnySketch::from_value(v.get("state").ok_or(WireError::Missing("state"))?)
             .map_err(|e| WireError::Json(e.to_string()))?;
         let file = SketchFile::new(spec, state)?;
@@ -428,8 +452,10 @@ impl SketchFile {
     /// per-bank geometry checks.
     pub fn from_bytes_v2(bytes: &[u8]) -> Result<Self, WireError> {
         let (spec, mut r) = parse_binary_header(bytes, V2_MAGIC)?;
-        // Untrusted header: the constructors assert on out-of-range spec
-        // values, so contain the build like the v1 probe.
+        // Untrusted header: refuse degenerate specs with a typed error,
+        // and contain the build (the constructors assert) for anything
+        // validation cannot express.
+        spec.validate()?;
         let mut state = contained(|| spec.build()).ok_or_else(|| {
             WireError::Corrupt("spec header describes an unconstructible sketch".into())
         })?;
@@ -455,16 +481,20 @@ impl SketchFile {
                     expected,
                 });
             }
+            // Capacity is capped by what the file can physically still
+            // carry (the delta reader's rule): a hostile or truncated
+            // header must not force an allocation the payload never
+            // backs — the reads below fail with `Truncated` first.
             let len = declared.len();
-            let mut w = Vec::with_capacity(len);
+            let mut w = Vec::with_capacity(len.min(r.remaining() / 8 + 1));
             for _ in 0..len {
                 w.push(i64::from_le_bytes(r.array::<8>()?));
             }
-            let mut s = Vec::with_capacity(len);
+            let mut s = Vec::with_capacity(len.min(r.remaining() / 16 + 1));
             for _ in 0..len {
                 s.push(i128::from_le_bytes(r.array::<16>()?));
             }
-            let mut f = Vec::with_capacity(len);
+            let mut f = Vec::with_capacity(len.min(r.remaining() / 8 + 1));
             for _ in 0..len {
                 f.push(read_m61(&mut r)?);
             }
@@ -664,6 +694,12 @@ impl SketchFile {
     pub fn decode(&self) -> SketchAnswer {
         self.state.decode()
     }
+
+    /// Decodes the carried sketch under a [`DecodePlan`] (bit-identical
+    /// to [`SketchFile::decode`] at every thread count).
+    pub fn decode_with(&self, plan: &DecodePlan) -> SketchAnswer {
+        self.state.decode_with(plan)
+    }
 }
 
 /// One bank's share of a parsed delta record: the declared geometry and
@@ -786,6 +822,7 @@ impl SketchDelta {
     /// parameters) is a typed error, never a panic.
     pub fn empty_file(&self) -> Result<SketchFile, WireError> {
         let spec = self.spec;
+        spec.validate()?;
         let state = contained(|| spec.build()).ok_or_else(|| {
             WireError::Corrupt("spec header describes an unconstructible sketch".into())
         })?;
@@ -958,10 +995,10 @@ mod tests {
         bytes[at..at + spec_len].copy_from_slice(bad.as_bytes());
         reseal(&mut bytes);
         match SketchFile::from_bytes(&bytes) {
-            Err(WireError::Corrupt(detail)) => {
-                assert!(detail.contains("unconstructible"), "detail: {detail}")
+            Err(WireError::Spec(e)) => {
+                assert_eq!(e, crate::api::SpecError::TooFewVertices { n: 1 })
             }
-            other => panic!("expected contained rejection, got {other:?}"),
+            other => panic!("expected typed spec rejection, got {other:?}"),
         }
     }
 
@@ -1088,10 +1125,10 @@ mod tests {
         reseal(&mut tampered);
         let delta = SketchDelta::from_bytes(&tampered).expect("parsing never builds the spec");
         match delta.empty_file() {
-            Err(WireError::Corrupt(detail)) => {
-                assert!(detail.contains("unconstructible"), "detail: {detail}")
+            Err(WireError::Spec(e)) => {
+                assert_eq!(e, crate::api::SpecError::TooFewVertices { n: 1 })
             }
-            other => panic!("expected contained rejection, got {other:?}"),
+            other => panic!("expected typed spec rejection, got {other:?}"),
         }
         // The untampered record bootstraps an empty receiver that the
         // delta then applies into cleanly.

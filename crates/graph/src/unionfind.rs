@@ -76,14 +76,28 @@ impl UnionFind {
     }
 
     /// Groups elements by representative (representatives sorted).
+    ///
+    /// One O(n) pass buckets elements through a flat root→slot table,
+    /// then the buckets are ordered by ascending representative — the
+    /// same output the earlier `BTreeMap`-based implementation produced,
+    /// without paying O(n log n) tree inserts on the hot Boruvka decode
+    /// path that calls this every round.
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        let mut slot = vec![usize::MAX; n];
+        let mut buckets: Vec<(usize, Vec<usize>)> = Vec::with_capacity(self.components);
         for x in 0..n {
             let r = self.find(x);
-            by_root.entry(r).or_default().push(x);
+            if slot[r] == usize::MAX {
+                slot[r] = buckets.len();
+                buckets.push((r, Vec::new()));
+            }
+            buckets[slot[r]].1.push(x);
         }
-        by_root.into_values().collect()
+        // First-seen order is by smallest member; the contract (and the
+        // decode paths pinned on it) is ascending representative.
+        buckets.sort_unstable_by_key(|&(r, _)| r);
+        buckets.into_iter().map(|(_, members)| members).collect()
     }
 }
 

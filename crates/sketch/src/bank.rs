@@ -299,6 +299,45 @@ impl CellBank {
         (&self.w, &self.s, &self.f)
     }
 
+    /// The batched group-query kernel: adds the cells of `range` into the
+    /// accumulator lanes, lane-wise (`aw[j] += w[range.start + j]`, and
+    /// likewise for `s` and `f`). Three contiguous slice-zip loops over
+    /// primitive lanes — the same auto-vectorizable shape as
+    /// [`CellBank::add`], but summing a *row* of this bank into external
+    /// accumulators instead of a whole bank into another. Decode paths
+    /// that sum many rows (Σ_{u∈A} sketch(x^u) in Boruvka rounds, the
+    /// per-cut recovery sums of Fig. 3) call this once per row instead of
+    /// walking cells with per-index bounds checks.
+    ///
+    /// # Panics
+    /// Panics if `range` exceeds the bank or the accumulators are not
+    /// exactly `range.len()` long.
+    #[inline]
+    pub fn accumulate(
+        &self,
+        range: Range<usize>,
+        aw: &mut [i64],
+        as_: &mut [i128],
+        af: &mut [M61],
+    ) {
+        let w = &self.w[range.clone()];
+        let s = &self.s[range.clone()];
+        let f = &self.f[range];
+        assert!(
+            aw.len() == w.len() && as_.len() == w.len() && af.len() == w.len(),
+            "accumulator lanes disagree with the row length"
+        );
+        for (a, b) in aw.iter_mut().zip(w) {
+            *a += *b;
+        }
+        for (a, b) in as_.iter_mut().zip(s) {
+            *a += *b;
+        }
+        for (a, b) in af.iter_mut().zip(f) {
+            *a += *b;
+        }
+    }
+
     /// Overwrites the measurement lanes with externally-provided data
     /// (wire import into a spec-built bank). The geometry descriptor is
     /// kept — the receiver's structure is the source of truth. The whole
@@ -509,6 +548,33 @@ mod tests {
         }
         assert!(bank.cell_is_zero(0) && bank.cell_is_zero(2));
         assert!(!bank.is_zero());
+    }
+
+    #[test]
+    fn accumulate_equals_indexed_cell_sum() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(1, 1, 16));
+        for (i, idx, d) in [(2usize, 5u64, 3i64), (3, 9, -1), (7, 5, 2), (10, 30, 4)] {
+            bank.update(i, idx, d, &h);
+        }
+        let range = 2..11;
+        let len = range.len();
+        let (mut aw, mut as_, mut af) = (vec![1i64; len], vec![2i128; len], vec![M61::ZERO; len]);
+        bank.accumulate(range.clone(), &mut aw, &mut as_, &mut af);
+        let (w, s, f) = bank.lanes();
+        for j in 0..len {
+            assert_eq!(aw[j], 1 + w[range.start + j]);
+            assert_eq!(as_[j], 2 + s[range.start + j]);
+            assert_eq!(af[j], f[range.start + j]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_rejects_mismatched_accumulators() {
+        let bank = CellBank::new(BankGeometry::new(1, 1, 8));
+        let (mut aw, mut as_, mut af) = (vec![0i64; 3], vec![0i128; 4], vec![M61::ZERO; 4]);
+        bank.accumulate(0..4, &mut aw, &mut as_, &mut af);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!   subgraph-fraction estimator of §4.
 
 use crate::bank::{BankGeometry, CellBank, CellBanked};
-use crate::one_sparse::OneSparseState;
+use crate::one_sparse::{OneSparseCell, OneSparseState};
 use crate::sparse_recovery::SparseRecovery;
 use crate::Mergeable;
 use gs_field::{BackendKind, HashBackend, Randomness, M61};
@@ -186,16 +186,42 @@ impl L0Detector {
 
     /// Returns some support element, `Empty`, or `Fail`.
     pub fn query(&self) -> L0Result {
-        if self.is_zero() {
+        let (w, s, f) = self.cells.lanes();
+        self.query_lanes(w, s, f)
+    }
+
+    /// [`L0Detector::query`] over externally-held measurement lanes — the
+    /// decode half of the bank-level batched group query. Callers that
+    /// sum whole detector rows with [`crate::bank::CellBank::accumulate`]
+    /// (Σ_{u∈A} sketch(x^u) in Boruvka decoding) hand the accumulators
+    /// straight to this method instead of copying them into a detector
+    /// clone first. Bit-identical to overlaying the lanes onto this
+    /// detector's bank and calling [`L0Detector::query`]: same cells,
+    /// same hashes, same scan order.
+    ///
+    /// The lanes must be `reps × levels` long, rep-major — the shape of
+    /// this detector's own bank.
+    pub fn query_lanes(&self, w: &[i64], s: &[i128], f: &[M61]) -> L0Result {
+        let levels = self.levels as usize;
+        debug_assert!(
+            w.len() == self.reps * levels && s.len() == w.len() && f.len() == w.len(),
+            "lanes disagree with the detector shape"
+        );
+        let zero = (0..self.reps).all(|r| {
+            let i = r * levels;
+            w[i] == 0 && s[i] == 0 && f[i].is_zero()
+        });
+        if zero {
             return L0Result::Empty;
         }
         for r in 0..self.reps {
-            let base = r * self.levels as usize;
-            for l in 0..self.levels as usize {
-                if let OneSparseState::One(i, v) =
-                    self.cells.decode_cell(base + l, self.domain, &self.finger)
+            let base = r * levels;
+            for l in 0..levels {
+                let i = base + l;
+                if let OneSparseState::One(idx, v) =
+                    OneSparseCell::from_parts(w[i], s[i], f[i]).decode(self.domain, &self.finger)
                 {
-                    return L0Result::Sample(i, v);
+                    return L0Result::Sample(idx, v);
                 }
             }
         }
@@ -455,6 +481,37 @@ mod tests {
         }
         assert_eq!(planned_a, direct_a);
         assert_eq!(planned_b, direct_b);
+    }
+
+    #[test]
+    fn query_lanes_matches_query_on_summed_rows() {
+        // The bank-level group query: summing two same-seed detectors'
+        // lanes and decoding via query_lanes must equal merging the
+        // detectors and querying — for empty, singleton, and dense sums.
+        for (fill_a, fill_b) in [(0u64, 0u64), (1, 0), (120, 80)] {
+            let mut a = L0Detector::new(1 << 14, 33);
+            let mut b = L0Detector::new(1 << 14, 33);
+            for i in 0..fill_a {
+                a.update(i * 37 % (1 << 14), 2);
+            }
+            for i in 0..fill_b {
+                b.update(i * 37 % (1 << 14), -2);
+            }
+            let len = a.cell_count();
+            let mut w = vec![0i64; len];
+            let mut s = vec![0i128; len];
+            let mut f = vec![M61::ZERO; len];
+            for d in [&a, &b] {
+                d.banks()[0].accumulate(0..len, &mut w, &mut s, &mut f);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(
+                a.query_lanes(&w, &s, &f),
+                merged.query(),
+                "fills ({fill_a},{fill_b})"
+            );
+        }
     }
 
     #[test]

@@ -35,12 +35,14 @@ pub mod domain;
 pub mod l0;
 pub mod linear;
 pub mod one_sparse;
+pub mod par;
 pub mod sparse_recovery;
 
 pub use bank::{BankGeometry, CellBank, CellBanked};
 pub use l0::{level_count, DetectorPlan, L0Detector, L0Result, L0Sampler};
-pub use linear::{EdgeUpdate, LinearSketch, CELL_BYTES};
+pub use linear::{EdgeUpdate, LinearSketch, UpdateError, CELL_BYTES};
 pub use one_sparse::{OneSparseCell, OneSparseState};
+pub use par::{par_map, par_map_with, DecodePlan};
 pub use sparse_recovery::{RecoveryPlan, SparseRecovery};
 
 /// Sketches of partial streams can be added to form the sketch of the whole

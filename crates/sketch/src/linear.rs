@@ -23,8 +23,10 @@
 //! exactly why one trait suffices. [`EdgeUpdate`] packages an update in
 //! this convention; [`LinearSketch::absorb`] ingests a batch of them.
 
+use crate::par::DecodePlan;
 use crate::Mergeable;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Bytes per 1-sparse cell (`w: i64`, `s: i128`, `f: u64`) — the unit in
 /// which sketch sizes are accounted by [`LinearSketch::space_bytes`].
@@ -80,7 +82,76 @@ impl EdgeUpdate {
     pub fn sign(&self) -> i64 {
         self.delta.signum()
     }
+
+    /// Checks the update against Definition 1 on vertex set `[0, n)`: no
+    /// self-loops, both endpoints in range, a non-zero delta. This is the
+    /// typed boundary for untrusted update sources — the sketches
+    /// themselves `assert!` the same invariants, so an update that skips
+    /// this check panics deep inside an ingest worker instead of failing
+    /// where the bad input can still be reported.
+    pub fn validate(&self, n: usize) -> Result<(), UpdateError> {
+        if self.u == self.v {
+            return Err(UpdateError::SelfLoop { u: self.u });
+        }
+        if self.u >= n || self.v >= n {
+            return Err(UpdateError::OutOfRange {
+                u: self.u,
+                v: self.v,
+                n,
+            });
+        }
+        if self.delta == 0 {
+            return Err(UpdateError::ZeroDelta {
+                u: self.u,
+                v: self.v,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Why an [`EdgeUpdate`] was refused by [`EdgeUpdate::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Both endpoints are the same vertex (Definition 1 excludes loops).
+    SelfLoop {
+        /// The repeated endpoint.
+        u: usize,
+    },
+    /// An endpoint is outside the sketch's vertex set `[0, n)`.
+    OutOfRange {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+        /// The sketch's vertex count.
+        n: usize,
+    },
+    /// The delta is zero (the value-carrying convention forbids it: a
+    /// zero-weight object is indistinguishable from no object).
+    ZeroDelta {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::SelfLoop { u } => write!(f, "self-loop ({u},{u}) not allowed"),
+            UpdateError::OutOfRange { u, v, n } => {
+                write!(f, "endpoint out of range: ({u},{v}) vs n = {n}")
+            }
+            UpdateError::ZeroDelta { u, v } => {
+                write!(f, "zero-delta update of edge ({u},{v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// A linear sketch of a dynamic graph stream on vertex set `[n]`.
 ///
@@ -117,6 +188,18 @@ pub trait LinearSketch: Mergeable {
     /// Decodes the sketch into its answer. Decoding is read-only: the
     /// sketch can keep ingesting afterwards.
     fn decode(&self) -> Self::Output;
+
+    /// Decodes under a [`DecodePlan`]. The answer is **bit-identical**
+    /// to [`LinearSketch::decode`] for every thread count — decode loops
+    /// fan independent work (groups within a Boruvka round, subsampling
+    /// levels, Gomory–Hu cuts) over scoped threads and consume the
+    /// results in the sequential order (see [`crate::par`]). The default
+    /// implementation ignores the plan and decodes sequentially;
+    /// sketches with parallel decode paths override it.
+    fn decode_with(&self, plan: &DecodePlan) -> Self::Output {
+        let _ = plan;
+        self.decode()
+    }
 }
 
 #[cfg(test)]

@@ -112,11 +112,29 @@ impl OneSparseCell {
         if self.w == 0 {
             return OneSparseState::Many;
         }
-        let w = self.w as i128;
-        if self.s % w != 0 {
-            return OneSparseState::Many;
-        }
-        let idx = self.s / w;
+        // One division instead of a `%` + `/` pair, in i64 whenever `s`
+        // fits (every edge-domain workload; i128 division is a libcall
+        // and this runs once per scanned cell on the decode hot path).
+        // `q·w = s − s%w` never exceeds `|s|`, so the product is safe.
+        // The one i64 quotient that overflows — `i64::MIN / −1`, which a
+        // hostile wire lane can place here — takes the i128 branch.
+        let idx: i128 = match i64::try_from(self.s) {
+            Ok(s64) if !(self.w == -1 && s64 == i64::MIN) => {
+                let q = s64 / self.w;
+                if q * self.w != s64 {
+                    return OneSparseState::Many;
+                }
+                q as i128
+            }
+            _ => {
+                let w = self.w as i128;
+                let q = self.s / w;
+                if q * w != self.s {
+                    return OneSparseState::Many;
+                }
+                q
+            }
+        };
         if idx < 0 || idx >= domain as i128 {
             return OneSparseState::Many;
         }
@@ -149,6 +167,24 @@ mod tests {
 
     fn h() -> OracleHash {
         OracleHash::new(0xfeed, 1)
+    }
+
+    #[test]
+    fn hostile_extreme_measurements_decode_many_without_panicking() {
+        // w = −1 with s = i64::MIN is the one operand pair whose i64
+        // quotient overflows (i64::MIN / −1); a wire lane is raw bytes,
+        // so a hostile file can place exactly these values in a cell.
+        // Decode must answer Many (the fingerprint can't certify it),
+        // never panic — regression for the fast-path division.
+        let hostile = OneSparseCell::from_parts(-1, i128::from(i64::MIN), M61::new(7));
+        assert_eq!(hostile.decode(1 << 20, &h()), OneSparseState::Many);
+        // Same pair one step away stays on the fast path and is Many too.
+        let near = OneSparseCell::from_parts(-1, i128::from(i64::MIN + 1), M61::new(7));
+        assert_eq!(near.decode(1 << 20, &h()), OneSparseState::Many);
+        // And an honest negative singleton still decodes on both paths.
+        let mut cell = OneSparseCell::new();
+        cell.update(42, -3, &h());
+        assert_eq!(cell.decode(1 << 20, &h()), OneSparseState::One(42, -3));
     }
 
     #[test]

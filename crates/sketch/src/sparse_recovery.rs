@@ -19,7 +19,7 @@
 //! `RECURSECONNECT` spanner (§5.1, step 2).
 
 use crate::bank::{BankGeometry, CellBank, CellBanked};
-use crate::one_sparse::OneSparseState;
+use crate::one_sparse::{OneSparseCell, OneSparseState};
 use crate::Mergeable;
 use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use serde::{Deserialize, Serialize};
@@ -183,19 +183,40 @@ impl SparseRecovery {
     /// index) if the summarized vector is `≤ k`-sparse — in fact peeling
     /// often succeeds somewhat beyond `k` — or `None` (`FAIL`) otherwise.
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
-        let mut cells = self.cells.clone();
-        let mut fp = self.fp;
+        let (w, s, f) = self.cells.lanes();
+        self.peel_lanes(w.to_vec(), s.to_vec(), f.to_vec(), self.fp)
+    }
+
+    /// The peeling decoder over bare measurement lanes — the decode half
+    /// of the bank-level batched group query. Callers sum whole recovery
+    /// banks with [`CellBank::accumulate`] and peel the accumulators
+    /// directly, instead of cloning and merging whole `SparseRecovery`
+    /// structures per query. Bit-identical to overlaying the lanes onto a
+    /// same-seed recovery and calling [`SparseRecovery::decode`].
+    fn peel_lanes(
+        &self,
+        mut w: Vec<i64>,
+        mut s: Vec<i128>,
+        mut f: Vec<M61>,
+        mut fp: M61,
+    ) -> Option<Vec<(u64, i64)>> {
+        debug_assert!(w.len() == self.cells.len() && s.len() == w.len() && f.len() == w.len());
         let mut out: Vec<(u64, i64)> = Vec::new();
         // Each successful peel strictly reduces the support; cap defensively.
         let max_iters = 2 * self.buckets + 8;
         for _ in 0..max_iters {
-            if fp.is_zero() && cells.is_zero() {
+            let residual_zero = fp.is_zero()
+                && w.iter().all(|&x| x == 0)
+                && s.iter().all(|&x| x == 0)
+                && f.iter().all(|x| x.is_zero());
+            if residual_zero {
                 out.sort_unstable_by_key(|&(i, _)| i);
                 return Some(out);
             }
             let mut progress = false;
-            'scan: for idx in 0..cells.len() {
-                if let OneSparseState::One(i, v) = cells.decode_cell(idx, self.domain, &self.finger)
+            'scan: for idx in 0..w.len() {
+                if let OneSparseState::One(i, v) = OneSparseCell::from_parts(w[idx], s[idx], f[idx])
+                    .decode(self.domain, &self.finger)
                 {
                     // Subtract the recovered entry from every row and from
                     // the verification fingerprint, hashing `i` once.
@@ -203,7 +224,10 @@ impl SparseRecovery {
                     let (dw, ds, df) = CellBank::deltas(i, -v, self.finger.hash_m61(i));
                     for r in 0..self.rows {
                         let b = self.row_hash[r].hash_range(i, self.buckets as u64) as usize;
-                        cells.apply(r * self.buckets + b, dw, ds, df);
+                        let cell = r * self.buckets + b;
+                        w[cell] += dw;
+                        s[cell] += ds;
+                        f[cell] += df;
                     }
                     out.push((i, v));
                     progress = true;
@@ -220,16 +244,41 @@ impl SparseRecovery {
     /// Decodes the *sum* of several compatible sketches without mutating
     /// them — the linear-composition step of Fig. 3:
     /// `Σ_{u∈A} k-RECOVERY(x^u) = k-RECOVERY(Σ_{u∈A} x^u)`.
+    ///
+    /// The lanes are summed with the [`CellBank::accumulate`] kernel and
+    /// peeled in place — no whole-structure clones or merges per query,
+    /// which is what keeps the per-cut recovery sums of Fig. 3 step 4c
+    /// cheap enough to fan out across decode threads.
+    ///
+    /// # Panics
+    /// Panics if the sketches were built with different seeds, backends,
+    /// domains, or sparsity (they would not sum to a measurement of one
+    /// projection).
     pub fn decode_sum<'a>(
         sketches: impl IntoIterator<Item = &'a SparseRecovery>,
     ) -> Option<Vec<(u64, i64)>> {
         let mut iter = sketches.into_iter();
         let first = iter.next()?;
-        let mut acc = first.clone();
-        for s in iter {
-            acc.merge(s);
+        let len = first.cells.len();
+        let mut w = vec![0i64; len];
+        let mut s = vec![0i128; len];
+        let mut f = vec![M61::ZERO; len];
+        let mut fp = M61::ZERO;
+        for sk in std::iter::once(first).chain(iter) {
+            assert_eq!(first.seed, sk.seed, "summing sketches with different seeds");
+            assert_eq!(
+                first.kind, sk.kind,
+                "summing sketches with different backends"
+            );
+            assert_eq!(
+                first.domain, sk.domain,
+                "summing sketches with different domains"
+            );
+            assert_eq!(first.k, sk.k, "summing sketches with different sparsity");
+            sk.cells.accumulate(0..len, &mut w, &mut s, &mut f);
+            fp += sk.fp;
         }
-        acc.decode()
+        first.peel_lanes(w, s, f, fp)
     }
 }
 

@@ -54,7 +54,8 @@
 //! the sketch of exactly the updates applied so far.
 
 use gs_field::SplitMix64;
-use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_sketch::par::DecodePlan;
+use gs_sketch::{EdgeUpdate, LinearSketch, UpdateError};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -159,6 +160,26 @@ pub struct EngineStats {
     pub bytes_resident: usize,
 }
 
+/// Why a batch was refused by [`SketchEngine::try_ingest`]: the first
+/// invalid update's position in the batch and what is wrong with it.
+/// Nothing from the refused batch was enqueued — the engine state is
+/// exactly what it was before the call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestError {
+    /// Index of the offending update within the submitted batch.
+    pub at: usize,
+    /// What [`EdgeUpdate::validate`] rejected.
+    pub cause: UpdateError,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update {} of batch: {}", self.at, self.cause)
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// Counters shared between the ingest side and the workers.
 struct Counters {
     /// Updates enqueued but not yet applied.
@@ -179,6 +200,9 @@ pub struct SketchEngine<S: LinearSketch + Send + 'static> {
     /// cloned into a shard's slot when [`SketchEngine::delta_snapshot`]
     /// drains it, and the fallback read of an all-idle engine.
     zero: S,
+    /// The sketches' vertex count, read once from the zero sketch — the
+    /// bound [`SketchEngine::try_ingest`] validates updates against.
+    n: usize,
     /// One bounded sender per worker; dropping them shuts the workers down.
     senders: Vec<SyncSender<Batch>>,
     /// Worker join handles.
@@ -230,6 +254,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             .map(|_| Arc::new(Mutex::new(make())))
             .collect();
         let zero = make();
+        let n = zero.n();
         let counters = Arc::new(Counters {
             pending: AtomicU64::new(0),
             depths: (0..workers_n).map(|_| AtomicUsize::new(0)).collect(),
@@ -250,6 +275,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
         SketchEngine {
             shards,
             zero,
+            n,
             senders,
             workers: handles,
             router,
@@ -269,11 +295,30 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
     /// application is asynchronous (see [`SketchEngine::flush`]).
     ///
     /// # Panics
-    /// Panics if the router returns an out-of-range shard or a worker has
-    /// died.
+    /// Panics if any update fails [`EdgeUpdate::validate`] (self-loop,
+    /// out-of-range endpoint, zero delta), if the router returns an
+    /// out-of-range shard, or a worker has died. The validation panic
+    /// happens **here, on the calling thread, before anything is
+    /// enqueued** — a bad update used to reach the sketch's own `assert!`
+    /// inside a shard worker, killing the worker and surfacing later as
+    /// an unrelated "worker hung up" panic. Untrusted sources should use
+    /// [`SketchEngine::try_ingest`] and get a typed error instead.
     pub fn ingest(&mut self, updates: &[EdgeUpdate]) {
+        self.try_ingest(updates)
+            .unwrap_or_else(|e| panic!("invalid engine ingest: {e}"));
+    }
+
+    /// The fallible twin of [`SketchEngine::ingest`] for untrusted update
+    /// sources: every update is validated against the sketches' vertex
+    /// set **before anything is enqueued**, so a refused batch leaves the
+    /// engine exactly as it was (all-or-nothing, like a routed share).
+    pub fn try_ingest(&mut self, updates: &[EdgeUpdate]) -> Result<(), IngestError> {
         if updates.is_empty() {
-            return;
+            return Ok(());
+        }
+        for (at, up) in updates.iter().enumerate() {
+            up.validate(self.n)
+                .map_err(|cause| IngestError { at, cause })?;
         }
         let nshards = self.shards.len();
         for &up in updates {
@@ -308,6 +353,7 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             self.counters.depths[w].fetch_add(1, Ordering::SeqCst);
             self.senders[w].send(batch).expect("engine worker hung up");
         }
+        Ok(())
     }
 
     /// Blocks until every enqueued update has been applied to its shard.
@@ -415,6 +461,15 @@ impl<S: LinearSketch + Send + Clone + 'static> SketchEngine<S> {
             .map(|(slot, _)| slot.lock().expect("shard mutex poisoned").clone())
             .collect();
         merge_tree(active, default_workers()).unwrap_or_else(|| self.zero.clone())
+    }
+
+    /// The serving read path: a [`SketchEngine::snapshot`] decoded under
+    /// the given [`DecodePlan`] — merge-on-read, then a planned decode,
+    /// without stopping ingestion. The answer is bit-identical to
+    /// `snapshot().decode()` for every thread count
+    /// ([`gs_sketch::LinearSketch::decode_with`]'s contract).
+    pub fn answer(&self, plan: &DecodePlan) -> S::Output {
+        self.snapshot().decode_with(plan)
     }
 
     /// Drains the engine's pending delta: flushes the queues, then swaps
@@ -836,6 +891,73 @@ mod tests {
         }
         assert_eq!(sum, central(n, &updates));
         assert_eq!(engine.seal(), TallySketch::new(n));
+    }
+
+    #[test]
+    fn invalid_updates_are_refused_typed_before_any_worker_sees_them() {
+        // Pre-validation, a self-loop or out-of-range endpoint reached the
+        // sketch's own assert inside a shard worker: the worker died and
+        // the failure surfaced later as an unrelated engine panic. Now the
+        // whole batch is refused up front with a typed error and the
+        // engine keeps working.
+        let n = 8;
+        let good = churn(n, 60, 91);
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(4).with_seed(7), || TallySketch::new(n));
+        engine.ingest(&good[..30]);
+        let bad_batches: Vec<(Vec<EdgeUpdate>, UpdateError)> = vec![
+            (
+                vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(3, 3)],
+                UpdateError::SelfLoop { u: 3 },
+            ),
+            (
+                vec![EdgeUpdate::insert(2, n + 5)],
+                UpdateError::OutOfRange { u: 2, v: n + 5, n },
+            ),
+            (
+                vec![EdgeUpdate {
+                    u: 0,
+                    v: 1,
+                    delta: 0,
+                }],
+                UpdateError::ZeroDelta { u: 0, v: 1 },
+            ),
+        ];
+        for (batch, want) in bad_batches {
+            let at = batch.len() - 1;
+            let err = engine.try_ingest(&batch).unwrap_err();
+            assert_eq!(err, IngestError { at, cause: want });
+            assert!(!err.to_string().is_empty());
+        }
+        // All-or-nothing: the valid prefix of a refused batch was NOT
+        // enqueued, so the final state covers exactly the good updates.
+        engine.ingest(&good[30..]);
+        assert_eq!(engine.seal(), central(n, &good));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid engine ingest")]
+    fn infallible_ingest_panics_on_the_calling_thread_with_context() {
+        let mut engine = SketchEngine::new(EngineConfig::new(2), || TallySketch::new(4));
+        engine.ingest(&[EdgeUpdate::insert(1, 1)]);
+    }
+
+    #[test]
+    fn answer_is_a_planned_snapshot_decode() {
+        let n = 12;
+        let updates = churn(n, 200, 93);
+        let mut engine =
+            SketchEngine::new(EngineConfig::new(3).with_seed(5), || TallySketch::new(n));
+        engine.ingest(&updates);
+        engine.flush();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                engine.answer(&DecodePlan::with_threads(threads)),
+                central(n, &updates).decode(),
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(engine.seal(), central(n, &updates));
     }
 
     #[test]

@@ -110,6 +110,81 @@ fn every_single_byte_splice_is_refused() {
     }
 }
 
+/// Rewrites the trailing checksum after a deliberate edit, so a test
+/// exercises the structural validation *behind* the checksum gate (a
+/// tamperer who re-seals is exactly who that layer is for).
+fn reseal(bytes: &mut [u8]) {
+    let split = bytes.len() - 8;
+    let sum = graph_sketches::wire::v2_checksum(&bytes[..split]);
+    bytes[split..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Byte offset of the first bank's geometry words in a v2 payload:
+/// magic(8) + version(4) + spec_len(4) + spec + bank_count(4).
+fn first_geometry_at(bytes: &[u8]) -> usize {
+    let spec_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    16 + spec_len + 4
+}
+
+#[test]
+fn hostile_geometry_header_is_refused_resealed() {
+    // A checksum-valid file whose bank header declares an absurd
+    // geometry: the reader must refuse with a typed Geometry error — the
+    // declared axes gate *before* any lane is read, and the capped lane
+    // capacities mean even a lying header cannot force an allocation the
+    // payload does not back.
+    let bytes = fixture().to_bytes();
+    let at = first_geometry_at(&bytes);
+    for (axis, value) in [(0usize, 0x4000_0000u32), (1, u32::MAX), (2, 0x00FF_FFFF)] {
+        let mut hostile = bytes.clone();
+        hostile[at + 4 * axis..at + 4 * axis + 4].copy_from_slice(&value.to_le_bytes());
+        reseal(&mut hostile);
+        match SketchFile::from_bytes(&hostile) {
+            Err(WireError::Geometry { bank: 0, .. }) => {}
+            other => panic!("hostile axis {axis} = {value:#x}: got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn resealed_truncation_is_refused_without_unbacked_allocation() {
+    // Cut the payload right after the first bank's (valid) geometry and
+    // re-seal: the checksum passes, the header promises a full bank of
+    // lanes, and the file carries none of them. The lane reader's
+    // capacity cap (`len.min(remaining/width + 1)`) means the declared
+    // geometry cannot pre-allocate what the payload never backs; the
+    // read fails with a typed Truncated error.
+    let bytes = fixture().to_bytes();
+    let cut = first_geometry_at(&bytes) + 12;
+    let mut short = bytes[..cut].to_vec();
+    short.extend_from_slice(&[0u8; 8]); // room for the checksum word
+    reseal(&mut short);
+    match SketchFile::from_bytes(&short) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("expected typed truncation, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_spec_header_is_refused_typed_resealed() {
+    // A checksum-valid file whose spec header declares a degenerate
+    // sketch (n = 1): refused with a typed Spec error before anything is
+    // built from it (same-length JSON edit keeps the length prefix
+    // honest).
+    let bytes = fixture().to_bytes();
+    let spec_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let header = String::from_utf8(bytes[16..16 + spec_len].to_vec()).unwrap();
+    let bad = header.replacen("\"n\":4", "\"n\":1", 1);
+    assert_eq!(bad.len(), spec_len);
+    let mut hostile = bytes.clone();
+    hostile[16..16 + spec_len].copy_from_slice(bad.as_bytes());
+    reseal(&mut hostile);
+    match SketchFile::from_bytes(&hostile) {
+        Err(WireError::Spec(_)) => {}
+        other => panic!("expected typed spec rejection, got {other:?}"),
+    }
+}
+
 #[test]
 fn block_splices_and_cross_format_grafts_are_refused() {
     let (full, delta) = {
