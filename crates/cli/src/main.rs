@@ -8,6 +8,8 @@
 //! graph-sketch merge      <sketch-file>... [--out FILE] [--format json|bin]
 //! graph-sketch decode     <sketch-file> [--json] [--threads N]
 //! graph-sketch sync       --state FILE [--format json|bin] <delta-file>...
+//! graph-sketch serve      --state-dir DIR (--tcp ADDR | --unix PATH) [options]
+//! graph-sketch client     (--tcp ADDR | --unix PATH) <action> ...
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
 //! commands:
@@ -33,8 +35,20 @@
 //!                         delta's spec if absent); workers re-sketch only
 //!                         their round's updates instead of re-shipping
 //!                         whole sketches
-//!   serve-demo            resident engine: ingest stdin, decode periodic
-//!                         quiesce-free snapshots on stderr while streaming
+//!   serve                 the production path: a resident multi-tenant
+//!                         daemon (TCP / Unix socket, length-prefixed
+//!                         binary frames) that keeps named sketches hot,
+//!                         ingests deltas and update batches as they
+//!                         arrive, answers queries in place, and
+//!                         checkpoints dirty tenants for crash recovery
+//!   client                script one protocol frame against a running
+//!                         server: ping | create | ingest | query |
+//!                         snapshot | drop | stats | checkpoint
+//!   serve-demo            single-process demo of the resident idea: one
+//!                         in-process engine, stdin ingest, periodic
+//!                         snapshot decodes on stderr. No sockets, no
+//!                         tenants, no durability — use `serve` for a
+//!                         real deployment
 //!
 //! options:
 //!   --sites <int>   shard the resident engine <int> ways (worker threads
@@ -68,6 +82,7 @@
 //! sketch and the chunk, never with the stream.
 
 mod parse;
+mod serve_cmd;
 
 use graph_sketches::api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
 use graph_sketches::wire::{SketchDelta, SketchFile};
@@ -145,7 +160,9 @@ fn usage() -> ExitCode {
          \x20      graph-sketch merge <sketch-file>... [--out FILE] [--format json|bin]\n\
          \x20      graph-sketch decode <sketch-file> [--json] [--threads <int>]\n\
          \x20      graph-sketch sync --state FILE [--format json|bin] <delta-file>...\n\
-         \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream",
+         \x20      graph-sketch serve --state-dir DIR (--tcp ADDR | --unix PATH) [--workers <int>] [--checkpoint-secs <f>] [--max-connections <int>] [--quiet]\n\
+         \x20      graph-sketch client (--tcp ADDR | --unix PATH) (ping | create <tenant> <spec> | ingest <tenant> [--delta FILE]... | query <tenant> [--threads <int>] [--json] | snapshot <tenant> --out FILE | drop <tenant> | stats [tenant] | checkpoint [tenant])\n\
+         \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream  (single-process demo; `serve` is the production path)",
         commands = commands.join("|")
     );
     ExitCode::from(2)
@@ -849,6 +866,8 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("decode") => cmd_decode(&args[1..]),
         Some("sync") => cmd_sync(&args[1..]),
+        Some("serve") => serve_cmd::cmd_serve(&args[1..]),
+        Some("client") => serve_cmd::cmd_client(&args[1..]),
         Some("serve-demo") => cmd_query(&args[1..], true),
         _ => cmd_query(&args, false),
     }

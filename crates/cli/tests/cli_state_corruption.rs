@@ -1,0 +1,182 @@
+//! `sync --state` against damaged resident state files: corruption or
+//! truncation must yield a typed error and a nonzero exit, with the
+//! damaged file left byte-identical on disk — never a panic, never a
+//! silent re-bootstrap that would discard the coordinator's history.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_graph-sketch")
+}
+
+/// Runs the binary with `args`, feeding `stdin`; returns
+/// `(stdout, stderr, exit code)`.
+fn run(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn graph-sketch");
+    match child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("write stdin: {e}"),
+    }
+    let out = child.wait_with_output().expect("wait for graph-sketch");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// A scratch directory cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gs-cli-corrupt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn stream(lines: &[&str]) -> String {
+    let mut s = String::new();
+    for l in lines {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+/// Builds a healthy resident state plus a fresh delta round, returning
+/// `(state_path, delta_path)`.
+fn seeded_state(scratch: &Scratch) -> (String, String) {
+    let delta1 = scratch.path("round1.delta");
+    let (_, _, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "12",
+            "--seed",
+            "9",
+            "--format",
+            "delta",
+            "--out",
+            &delta1,
+        ],
+        &stream(&["+ 0 1", "+ 1 2", "+ 2 3"]),
+    );
+    assert_eq!(code, 0, "seed delta emits");
+    let state = scratch.path("resident.state");
+    let (_, _, code) = run(&["sync", "--state", &state, &delta1], "");
+    assert_eq!(code, 0, "first sync bootstraps the state");
+    let delta2 = scratch.path("round2.delta");
+    let (_, _, code) = run(
+        &[
+            "sketch",
+            "connectivity",
+            "--n",
+            "12",
+            "--seed",
+            "9",
+            "--format",
+            "delta",
+            "--out",
+            &delta2,
+        ],
+        &stream(&["+ 3 4", "+ 4 5"]),
+    );
+    assert_eq!(code, 0, "second delta emits");
+    (state, delta2)
+}
+
+/// Asserts one damaged state file is refused: typed error on stderr,
+/// nonzero exit, and the bytes on disk untouched.
+fn assert_refused(state: &str, delta: &str, tag: &str) {
+    let damaged = std::fs::read(state).expect("read damaged state");
+    let (stdout, stderr, code) = run(&["sync", "--state", state, delta], "");
+    assert_ne!(code, 0, "{tag}: damaged state must fail the sync");
+    assert!(
+        stdout.is_empty(),
+        "{tag}: no data on stdout, got {stdout:?}"
+    );
+    assert!(
+        stderr.starts_with("error:"),
+        "{tag}: a typed error line, got {stderr:?}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{tag}: a typed refusal, not a panic: {stderr:?}"
+    );
+    assert_eq!(
+        std::fs::read(state).expect("re-read state"),
+        damaged,
+        "{tag}: the damaged file must be left exactly as found"
+    );
+}
+
+#[test]
+fn corrupt_resident_state_is_a_typed_error_not_a_panic() {
+    let scratch = Scratch::new("flip");
+    let (state, delta) = seeded_state(&scratch);
+    // Flip one byte in the middle of the cell payload: the trailing
+    // checksum catches it before any parsing trusts the bytes.
+    let mut bytes = std::fs::read(&state).expect("read state");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&state, &bytes).expect("write corrupt state");
+    assert_refused(&state, &delta, "bitflip");
+}
+
+#[test]
+fn truncated_resident_state_is_a_typed_error_not_a_panic() {
+    let scratch = Scratch::new("trunc");
+    let (state, delta) = seeded_state(&scratch);
+    let bytes = std::fs::read(&state).expect("read state");
+    for keep in [bytes.len() / 2, 16, 7, 1] {
+        std::fs::write(&state, &bytes[..keep]).expect("write truncated state");
+        assert_refused(&state, &delta, &format!("truncate-to-{keep}"));
+    }
+}
+
+#[test]
+fn healthy_state_still_syncs_after_the_refusals() {
+    // Control: the refusal paths above must not be the only thing this
+    // binary does — an undamaged state accepts the same delta.
+    let scratch = Scratch::new("control");
+    let (state, delta) = seeded_state(&scratch);
+    let (_, stderr, code) = run(&["sync", "--state", &state, &delta], "");
+    assert_eq!(code, 0, "healthy state syncs: {stderr}");
+    let (stdout, _, code) = run(&["decode", &state], "");
+    assert_eq!(code, 0, "synced state decodes");
+    assert!(
+        stdout.contains("components:"),
+        "decode renders an answer, got {stdout:?}"
+    );
+}

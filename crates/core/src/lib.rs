@@ -63,6 +63,7 @@
 pub mod api;
 pub mod connectivity;
 pub mod extras;
+pub mod frame;
 pub mod incidence;
 pub mod kedge;
 pub mod mincut;

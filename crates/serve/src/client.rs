@@ -1,0 +1,277 @@
+//! A blocking client for the frame protocol: one request/response pair
+//! per call, over TCP or a Unix socket.
+//!
+//! The client is deliberately dumb — it owns the correlation-id counter
+//! and the frame plumbing, and surfaces every server refusal as a typed
+//! [`ClientError`]. `BUSY` backpressure is *not* an error: it is its own
+//! [`Outcome`] variant so callers choose their own retry policy, with
+//! [`Client::ingest_retry`] as the obvious default (sleep the server's
+//! suggested delay, bounded by a deadline).
+
+use graph_sketches::frame::{self, ErrCode, FrameError, Opcode, Request, Response};
+use gs_sketch::EdgeUpdate;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write).
+    Io(String),
+    /// A response frame did not parse.
+    Frame(FrameError),
+    /// The server closed the connection mid-conversation.
+    Closed,
+    /// The server answered a different correlation id than asked.
+    Correlation {
+        /// The id sent.
+        sent: u64,
+        /// The id received.
+        got: u64,
+    },
+    /// The server refused the request with a typed error.
+    Server {
+        /// The protocol error code.
+        code: ErrCode,
+        /// The server's human-readable detail.
+        msg: String,
+    },
+    /// The server kept answering `BUSY` past the caller's deadline.
+    Saturated {
+        /// How long the caller retried before giving up.
+        waited_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Correlation { sent, got } => {
+                write!(f, "correlation mismatch: sent {sent}, got {got}")
+            }
+            ClientError::Server { code, msg } => write!(f, "server refused ({code}): {msg}"),
+            ClientError::Saturated { waited_ms } => {
+                write!(f, "server still busy after {waited_ms} ms of retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// What one request came back as, for verbs where `BUSY` is an expected
+/// flow-control answer rather than a failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `OK` with the verb's payload.
+    Ok(Vec<u8>),
+    /// Protocol-level backpressure: retry after the given delay.
+    Busy {
+        /// The server's suggested retry delay, milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// One connection to a `gs-serve` server.
+pub struct Client {
+    stream: Box<dyn Stream>,
+    next_corr: u64,
+    max_frame: usize,
+}
+
+/// The two stream families the client speaks.
+trait Stream: Read + Write + Send {}
+impl Stream for TcpStream {}
+#[cfg(unix)]
+impl Stream for UnixStream {}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client::over(Box::new(stream)))
+    }
+
+    /// Connects over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path).map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client::over(Box::new(stream)))
+    }
+
+    fn over(stream: Box<dyn Stream>) -> Client {
+        Client {
+            stream,
+            next_corr: 1,
+            max_frame: frame::MAX_FRAME,
+        }
+    }
+
+    /// Sends one request and reads its response, checking version and
+    /// correlation. `ERR` and `BUSY` are returned as [`Response`]
+    /// variants, not errors — the typed wrappers below interpret them.
+    pub fn request(
+        &mut self,
+        op: Opcode,
+        tenant: &str,
+        payload: Vec<u8>,
+    ) -> Result<Response, ClientError> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let req = Request {
+            corr,
+            op,
+            tenant: tenant.to_string(),
+            payload,
+        };
+        frame::write_frame(&mut self.stream, &req.encode(), self.max_frame)?;
+        let body =
+            frame::read_frame(&mut self.stream, self.max_frame)?.ok_or(ClientError::Closed)?;
+        let resp = Response::decode(&body)?;
+        if resp.corr() != corr {
+            return Err(ClientError::Correlation {
+                sent: corr,
+                got: resp.corr(),
+            });
+        }
+        Ok(resp)
+    }
+
+    /// Sends one request, treating both `ERR` and `BUSY` as failures.
+    fn expect_ok(
+        &mut self,
+        op: Opcode,
+        tenant: &str,
+        payload: Vec<u8>,
+    ) -> Result<Vec<u8>, ClientError> {
+        match self.outcome(op, tenant, payload)? {
+            Outcome::Ok(payload) => Ok(payload),
+            Outcome::Busy { retry_after_ms } => Err(ClientError::Server {
+                code: ErrCode::Internal,
+                msg: format!("unexpected BUSY (retry after {retry_after_ms} ms) for {op:?}"),
+            }),
+        }
+    }
+
+    /// Sends one request, keeping `BUSY` as an expected outcome.
+    fn outcome(
+        &mut self,
+        op: Opcode,
+        tenant: &str,
+        payload: Vec<u8>,
+    ) -> Result<Outcome, ClientError> {
+        match self.request(op, tenant, payload)? {
+            Response::Ok { payload, .. } => Ok(Outcome::Ok(payload)),
+            Response::Busy { retry_after_ms, .. } => Ok(Outcome::Busy { retry_after_ms }),
+            Response::Err { code, msg, .. } => Err(ClientError::Server { code, msg }),
+        }
+    }
+
+    /// `PING`: round-trips an opaque payload.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.expect_ok(Opcode::Ping, "", payload.to_vec())
+    }
+
+    /// `CREATE`: registers a tenant from a spec-JSON document.
+    pub fn create(&mut self, tenant: &str, spec_json: &str) -> Result<(), ClientError> {
+        self.expect_ok(Opcode::Create, tenant, spec_json.as_bytes().to_vec())
+            .map(|_| ())
+    }
+
+    /// `INGEST` of pre-encoded bytes (a delta record or an encoded
+    /// update batch); `BUSY` surfaces as an [`Outcome`].
+    pub fn ingest_bytes(&mut self, tenant: &str, bytes: Vec<u8>) -> Result<Outcome, ClientError> {
+        self.outcome(Opcode::Ingest, tenant, bytes)
+    }
+
+    /// `INGEST` of a raw update batch with the default retry policy:
+    /// sleep the server's suggested delay on each `BUSY`, give up after
+    /// `deadline` of accumulated waiting.
+    pub fn ingest_retry(
+        &mut self,
+        tenant: &str,
+        updates: &[EdgeUpdate],
+        deadline: Duration,
+    ) -> Result<(), ClientError> {
+        let bytes = frame::encode_updates(updates);
+        let start = Instant::now();
+        loop {
+            match self.ingest_bytes(tenant, bytes.clone())? {
+                Outcome::Ok(_) => return Ok(()),
+                Outcome::Busy { retry_after_ms } => {
+                    if start.elapsed() >= deadline {
+                        return Err(ClientError::Saturated {
+                            waited_ms: start.elapsed().as_millis() as u64,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1000) as u64));
+                }
+            }
+        }
+    }
+
+    /// `QUERY`: decodes the tenant's sketch server-side; returns the
+    /// answer as [`graph_sketches::SketchAnswer`] JSON. `threads = 0`
+    /// asks for the server's sequential default.
+    pub fn query(&mut self, tenant: &str, threads: u32) -> Result<String, ClientError> {
+        let payload = self.expect_ok(Opcode::Query, tenant, frame::encode_query(threads))?;
+        String::from_utf8(payload).map_err(|_| {
+            ClientError::Frame(FrameError::Malformed(
+                "query answer is not UTF-8 JSON".into(),
+            ))
+        })
+    }
+
+    /// `SNAPSHOT`: the tenant's full current state as a wire-v2 blob.
+    pub fn snapshot(&mut self, tenant: &str) -> Result<Vec<u8>, ClientError> {
+        self.expect_ok(Opcode::Snapshot, tenant, Vec::new())
+    }
+
+    /// `DROP`: unregisters a tenant and deletes its checkpoint.
+    pub fn drop_tenant(&mut self, tenant: &str) -> Result<(), ClientError> {
+        self.expect_ok(Opcode::Drop, tenant, Vec::new()).map(|_| ())
+    }
+
+    /// `STATS`: service-wide (`tenant = ""`) or one tenant's counters,
+    /// as [`graph_sketches::frame::ServiceStats`] JSON.
+    pub fn stats(&mut self, tenant: &str) -> Result<String, ClientError> {
+        let payload = self.expect_ok(Opcode::Stats, tenant, Vec::new())?;
+        String::from_utf8(payload).map_err(|_| {
+            ClientError::Frame(FrameError::Malformed(
+                "stats payload is not UTF-8 JSON".into(),
+            ))
+        })
+    }
+
+    /// `CHECKPOINT`: forces a durable checkpoint of one tenant, or of
+    /// every dirty tenant (`tenant = ""`). Returns the server's count
+    /// of tenants persisted.
+    pub fn checkpoint(&mut self, tenant: &str) -> Result<u64, ClientError> {
+        let payload = self.expect_ok(Opcode::Checkpoint, tenant, Vec::new())?;
+        std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ClientError::Frame(FrameError::Malformed(
+                "checkpoint payload is not a count".into(),
+            )))
+    }
+}

@@ -1,0 +1,33 @@
+//! # gs-serve
+//!
+//! The resident multi-tenant sketch service: a daemon that keeps many
+//! named AGM sketches hot and speaks the length-prefixed frame protocol
+//! of [`graph_sketches::frame`] over TCP and Unix-domain sockets.
+//!
+//! The one-shot CLI pipeline (`sketch | merge | sync | decode`) pays
+//! process startup, file I/O, and a full state reload for every round.
+//! This crate turns the same building blocks — the sharded
+//! [`gs_stream::SketchEngine`], wire-v2 checksummed snapshots and delta
+//! records, parallel [`gs_sketch::par::DecodePlan`] decodes — into a
+//! server that ingests continuously and answers queries in place:
+//!
+//! - **[`server`]** — [`Server`](server::Server): listeners, the tenant
+//!   registry, the checkpoint thread, and crash recovery. std-only,
+//!   thread-per-connection with a bounded accept pool; no async runtime.
+//! - **[`client`]** — [`Client`](client::Client): a blocking one-frame-
+//!   at-a-time client used by the CLI `client` verb, the tests, and the
+//!   benches.
+//!
+//! Because every sketch is *linear*, the server's concurrency story is
+//! simple: raw update batches flow through each tenant's engine shards
+//! (order irrelevant), delta records fold into the tenant's checkpoint
+//! base, and a query merges base + engine into one state whose decode is
+//! bit-identical to a single-process run over the same update multiset.
+//! The protocol grammar, error taxonomy, and crash-recovery invariants
+//! are specified in DESIGN.md §1.9.
+
+pub mod client;
+pub mod server;
+
+pub use client::{Client, ClientError, Outcome};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,878 @@
+//! The resident server: listeners, tenant registry, checkpointing, and
+//! crash recovery.
+//!
+//! ## Threads
+//!
+//! One accept thread per listener (TCP, Unix socket) hands each accepted
+//! connection to its own handler thread, bounded by
+//! [`ServeConfig::max_connections`] — a connection over the cap is
+//! answered with a typed `BUSY` frame and closed, never queued without
+//! bound. Handler threads block on frame reads with a short timeout so
+//! they notice shutdown within one idle tick. A periodic checkpoint
+//! thread persists dirty tenants; [`Server::shutdown`] performs a final
+//! checkpoint, [`Server::abort`] (and `Drop`) deliberately does not —
+//! that is what the crash-recovery tests use to simulate a SIGKILL.
+//!
+//! ## Consistency model
+//!
+//! Each tenant owns a checkpoint *base* ([`SketchFile`]) plus a sharded
+//! [`SketchEngine`]. Delta records fold directly into the base; raw
+//! update batches flow through the engine. Sketch linearity makes the
+//! split sound: a query flushes the engine, merges base + engine shards,
+//! and decodes — bit-identical to a single-process decode of the same
+//! update multiset, in any arrival order. A checkpoint drains the engine
+//! (`delta_snapshot`) into the base and writes it with the wire-v2
+//! write-then-rename discipline, so an interrupted checkpoint leaves the
+//! previous file intact and a recovered server replays exactly the state
+//! of the last completed checkpoint.
+
+use graph_sketches::api::SketchSpec;
+use graph_sketches::frame::{
+    self, ErrCode, FrameError, Opcode, Request, Response, ServiceStats, TenantStats,
+};
+use graph_sketches::wire::{SketchDelta, WireError};
+use graph_sketches::AnySketch;
+use graph_sketches::SketchFile;
+use gs_sketch::par::DecodePlan;
+use gs_sketch::LinearSketch;
+use gs_stream::engine::{BudgetClaim, EngineConfig, OfferError, SketchEngine, WorkerBudget};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is stood up.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Directory of tenant checkpoint files (`<tenant>.state`); created
+    /// if absent, scanned for recovery at startup.
+    pub state_dir: PathBuf,
+    /// TCP bind address (e.g. `127.0.0.1:0`); `None` = no TCP listener.
+    pub tcp: Option<String>,
+    /// Unix-socket path; `None` = no Unix listener. A stale socket file
+    /// left by a killed server is detected (nothing accepts on it) and
+    /// replaced.
+    pub unix: Option<PathBuf>,
+    /// Process-wide engine worker budget shared by all tenants
+    /// (0 = [`gs_stream::engine::default_workers`]).
+    pub worker_budget: usize,
+    /// Cap on simultaneous client connections across all listeners.
+    pub max_connections: usize,
+    /// Checkpoint period. [`Duration::ZERO`] disables the periodic
+    /// thread — tenants then persist only on `CREATE`, explicit
+    /// `CHECKPOINT` frames, and graceful shutdown (how the recovery
+    /// tests control durability points exactly).
+    pub checkpoint_every: Duration,
+    /// The retry delay suggested by `BUSY` responses, milliseconds.
+    pub retry_after_ms: u32,
+    /// Frame body cap for this server (see [`frame::MAX_FRAME`]).
+    pub max_frame: usize,
+    /// Suppress stderr logging (tests, benches).
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            state_dir: PathBuf::from("gs-state"),
+            tcp: None,
+            unix: None,
+            worker_budget: 0,
+            max_connections: 64,
+            checkpoint_every: Duration::from_secs(2),
+            retry_after_ms: 25,
+            max_frame: frame::MAX_FRAME,
+            quiet: false,
+        }
+    }
+}
+
+/// One resident tenant: the durable base, the hot engine, and counters.
+struct Tenant {
+    name: String,
+    /// Checkpoint base: the spec plus every update already drained out
+    /// of the engine or applied from delta records.
+    base: SketchFile,
+    /// Hot path for raw update batches.
+    engine: SketchEngine<AnySketch>,
+    /// The engine's workers, claimed from the process-wide budget;
+    /// holding the claim for the tenant's lifetime is what returns the
+    /// workers to the pool when the tenant drops.
+    _claim: BudgetClaim,
+    /// `true` iff state has changed since the last completed checkpoint.
+    dirty: bool,
+    updates_ingested: u64,
+    deltas_applied: u64,
+    busy_rejections: u64,
+}
+
+impl Tenant {
+    /// Drains the engine into the base so `base` alone carries the full
+    /// state. Engine shards share the base's geometry by construction,
+    /// so a merge refusal is an internal invariant violation.
+    fn drain_into_base(&mut self) -> Result<(), String> {
+        self.engine.flush();
+        for shard in self.engine.delta_snapshot() {
+            self.base
+                .state
+                .try_merge(&shard)
+                .map_err(|e| format!("engine shard refused to merge into base: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// The merged current state (base + engine), without draining.
+    fn merged_state(&mut self) -> Result<AnySketch, String> {
+        self.engine.flush();
+        let mut merged = self.base.state.clone();
+        merged
+            .try_merge(&self.engine.snapshot())
+            .map_err(|e| format!("engine snapshot refused to merge into base: {e}"))?;
+        Ok(merged)
+    }
+
+    fn stats(&self) -> TenantStats {
+        let e = self.engine.stats();
+        TenantStats {
+            name: self.name.clone(),
+            task: self.base.spec.task.command().to_string(),
+            n: self.base.spec.n as u64,
+            updates_ingested: self.updates_ingested,
+            deltas_applied: self.deltas_applied,
+            busy_rejections: self.busy_rejections,
+            workers: e.workers as u64,
+            bytes_resident: (e.bytes_resident + self.base.state.space_bytes()) as u64,
+            dirty: self.dirty,
+        }
+    }
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    tenants: RwLock<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+    budget: Arc<WorkerBudget>,
+    state_dir: PathBuf,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    frames_served: AtomicU64,
+    retry_after_ms: u32,
+    max_frame: usize,
+    quiet: bool,
+}
+
+impl Shared {
+    fn log(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("gs-serve: {msg}");
+        }
+    }
+}
+
+/// The running server. Bind with [`Server::start`], stop with
+/// [`Server::shutdown`] (graceful: final checkpoint) or
+/// [`Server::abort`] (simulated crash: no checkpoint). Dropping without
+/// either behaves like `abort`.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Creates the state directory, recovers the tenant set from it
+    /// (checksum-verified; corrupt files are quarantined with a logged
+    /// typed error, never a crash), binds the configured listeners, and
+    /// spawns the accept + checkpoint threads.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let budget_size = if config.worker_budget == 0 {
+            gs_stream::engine::default_workers()
+        } else {
+            config.worker_budget
+        };
+        let shared = Arc::new(Shared {
+            tenants: RwLock::new(BTreeMap::new()),
+            budget: WorkerBudget::new(budget_size),
+            state_dir: config.state_dir.clone(),
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            frames_served: AtomicU64::new(0),
+            retry_after_ms: config.retry_after_ms,
+            max_frame: config.max_frame,
+            quiet: config.quiet,
+        });
+        recover_tenants(&shared);
+
+        let max_conns = config.max_connections.max(1);
+        let mut threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("gs-serve-accept-tcp".into())
+                    .spawn(move || accept_loop(listener_tcp(listener), shared, max_conns))?,
+            );
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &config.unix {
+            let listener = bind_unix(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("gs-serve-accept-unix".into())
+                    .spawn(move || accept_loop(listener_unix(listener), shared, max_conns))?,
+            );
+        }
+        #[cfg(not(unix))]
+        if config.unix.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix-socket listeners need a unix platform",
+            ));
+        }
+
+        if config.checkpoint_every > Duration::ZERO {
+            let shared = Arc::clone(&shared);
+            let every = config.checkpoint_every;
+            threads.push(
+                thread::Builder::new()
+                    .name("gs-serve-checkpoint".into())
+                    .spawn(move || checkpoint_loop(shared, every))?,
+            );
+        }
+
+        shared.log(format_args!(
+            "serving {} tenant(s), worker budget {budget_size}, state dir {}",
+            shared.tenants.read().expect("registry lock").len(),
+            config.state_dir.display(),
+        ));
+        Ok(Server {
+            shared,
+            threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address (with the OS-chosen port when the config
+    /// asked for port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Checkpoints every dirty tenant now; returns how many were
+    /// persisted. (What the `CHECKPOINT` frame with an empty tenant
+    /// name does.)
+    pub fn checkpoint_now(&self) -> usize {
+        checkpoint_all(&self.shared)
+    }
+
+    /// Graceful stop: refuse new work, drain connections (bounded
+    /// wait), take a final checkpoint of every dirty tenant, then
+    /// release sockets and threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+        checkpoint_all(&self.shared);
+        self.cleanup_paths();
+    }
+
+    /// Hard stop *without* the final checkpoint: everything since the
+    /// last completed checkpoint is lost, exactly as under SIGKILL.
+    /// The recovery tests restart a server over the same state dir
+    /// after this and assert the checkpointed answers come back.
+    pub fn abort(mut self) {
+        self.stop_threads();
+        self.cleanup_paths();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Handler threads are detached; give in-flight frames one idle
+        // tick to finish so the final checkpoint sees their effects.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn cleanup_paths(&mut self) {
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.stop.load(Ordering::SeqCst) {
+            self.stop_threads();
+            self.cleanup_paths();
+        }
+    }
+}
+
+/// Binds a Unix listener, replacing a stale socket file (one nothing
+/// accepts on) but refusing to steal a live server's path.
+#[cfg(unix)]
+fn bind_unix(path: &Path) -> std::io::Result<UnixListener> {
+    if path.exists() {
+        if UnixStream::connect(path).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("{} already has a live server", path.display()),
+            ));
+        }
+        std::fs::remove_file(path)?;
+    }
+    UnixListener::bind(path)
+}
+
+/// One accepted connection, abstracted over the two socket families.
+trait Conn: Read + Write + Send {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(ms)))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout_ms(&self, ms: u64) -> std::io::Result<()> {
+        self.set_read_timeout(Some(Duration::from_millis(ms)))
+    }
+}
+
+/// A polling accept source: `Ok(None)` = nothing pending right now.
+type AcceptFn = Box<dyn FnMut() -> std::io::Result<Option<Box<dyn Conn>>> + Send>;
+
+fn listener_tcp(listener: TcpListener) -> AcceptFn {
+    Box::new(move || match listener.accept() {
+        Ok((stream, _)) => {
+            // Frames are request/response turns; leaving Nagle on costs
+            // a delayed-ACK round (~40 ms) per frame on loopback.
+            let _ = stream.set_nodelay(true);
+            Ok(Some(Box::new(stream)))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    })
+}
+
+#[cfg(unix)]
+fn listener_unix(listener: UnixListener) -> AcceptFn {
+    Box::new(move || match listener.accept() {
+        Ok((stream, _)) => Ok(Some(Box::new(stream))),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    })
+}
+
+/// Polls one listener until shutdown, spawning a handler thread per
+/// accepted connection. A connection over the cap is told `BUSY` and
+/// closed immediately instead of being queued.
+fn accept_loop(mut accept: AcceptFn, shared: Arc<Shared>, max_conns: usize) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(Some(mut conn)) => {
+                let live = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+                if live as usize > max_conns {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    let busy = Response::Busy {
+                        corr: 0,
+                        retry_after_ms: shared.retry_after_ms,
+                    };
+                    let _ = frame::write_frame(&mut conn, &busy.encode(), shared.max_frame);
+                    continue;
+                }
+                let for_conn = Arc::clone(&shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("gs-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(conn, &for_conn);
+                            for_conn.connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(5)),
+            Err(e) => {
+                shared.log(format_args!("accept failed: {e}"));
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, the transport dies, or
+/// the server stops. Body-level damage (a frame that does not parse as a
+/// request) is answered with a typed error on the still-healthy
+/// connection; loss of the length framing itself closes it.
+fn handle_connection(mut conn: Box<dyn Conn>, shared: &Shared) {
+    if conn.set_read_timeout_ms(100).is_err() {
+        return;
+    }
+    loop {
+        let body = match frame::read_frame(&mut conn, shared.max_frame) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(FrameError::Idle) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::TooLarge { declared, max }) => {
+                // The body bytes were never read: the framing is lost.
+                // Best-effort typed refusal, then close.
+                let resp = Response::Err {
+                    corr: 0,
+                    code: ErrCode::Malformed,
+                    msg: format!("frame declares {declared} bytes, the cap is {max}"),
+                };
+                let _ = frame::write_frame(&mut conn, &resp.encode(), shared.max_frame);
+                return;
+            }
+            Err(_) => return,
+        };
+        let resp = match Request::decode(&body) {
+            Ok(req) => dispatch(shared, req),
+            Err(e) => Response::Err {
+                corr: 0,
+                code: ErrCode::Malformed,
+                msg: e.to_string(),
+            },
+        };
+        shared.frames_served.fetch_add(1, Ordering::SeqCst);
+        if frame::write_frame(&mut conn, &resp.encode(), shared.max_frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one request to its verb handler; every refusal is a typed
+/// error frame, never a panic or a dropped connection.
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    let corr = req.corr;
+    if shared.stop.load(Ordering::SeqCst) {
+        return err(corr, ErrCode::Shutdown, "server is shutting down");
+    }
+    let needs_tenant = !matches!(req.op, Opcode::Ping | Opcode::Stats | Opcode::Checkpoint);
+    if needs_tenant && !frame::valid_tenant(&req.tenant) {
+        return err(
+            corr,
+            ErrCode::BadTenantName,
+            format!(
+                "tenant {:?} is not [A-Za-z0-9][A-Za-z0-9_-]{{0,63}}",
+                req.tenant
+            ),
+        );
+    }
+    if !req.tenant.is_empty()
+        && matches!(req.op, Opcode::Stats | Opcode::Checkpoint)
+        && !frame::valid_tenant(&req.tenant)
+    {
+        return err(corr, ErrCode::BadTenantName, "bad tenant name");
+    }
+    match req.op {
+        Opcode::Ping => Response::Ok {
+            corr,
+            payload: req.payload,
+        },
+        Opcode::Create => handle_create(shared, corr, &req.tenant, &req.payload),
+        Opcode::Ingest => handle_ingest(shared, corr, &req.tenant, &req.payload),
+        Opcode::Query => handle_query(shared, corr, &req.tenant, &req.payload),
+        Opcode::Snapshot => handle_snapshot(shared, corr, &req.tenant),
+        Opcode::Drop => handle_drop(shared, corr, &req.tenant),
+        Opcode::Stats => handle_stats(shared, corr, &req.tenant),
+        Opcode::Checkpoint => handle_checkpoint(shared, corr, &req.tenant),
+    }
+}
+
+fn err(corr: u64, code: ErrCode, msg: impl Into<String>) -> Response {
+    Response::Err {
+        corr,
+        code,
+        msg: msg.into(),
+    }
+}
+
+/// Looks a tenant up under the registry read lock.
+fn lookup(shared: &Shared, name: &str) -> Option<Arc<Mutex<Tenant>>> {
+    shared
+        .tenants
+        .read()
+        .expect("registry lock")
+        .get(name)
+        .cloned()
+}
+
+fn handle_create(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Response {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => return err(corr, ErrCode::Malformed, "spec payload is not UTF-8 JSON"),
+    };
+    let spec = match SketchSpec::from_json(text) {
+        Ok(s) => s,
+        Err(e) => return err(corr, ErrCode::Malformed, format!("spec JSON: {e}")),
+    };
+    let state = match spec.try_build() {
+        Ok(s) => s,
+        Err(e) => return err(corr, ErrCode::Spec, e.to_string()),
+    };
+    let base = match SketchFile::new(spec, state) {
+        Ok(f) => f,
+        Err(e) => return err(corr, ErrCode::from_wire(&e), e.to_string()),
+    };
+    let mut registry = shared.tenants.write().expect("registry lock");
+    if registry.contains_key(name) {
+        return err(
+            corr,
+            ErrCode::TenantExists,
+            format!("tenant {name:?} already exists"),
+        );
+    }
+    let tenant = build_tenant(shared, registry.len(), name.to_string(), base);
+    let tenant = Arc::new(Mutex::new(tenant));
+    // Persist immediately so a freshly created tenant survives a crash
+    // that happens before the first periodic checkpoint.
+    if let Err(e) = checkpoint_tenant(&mut tenant.lock().expect("tenant lock"), &shared.state_dir) {
+        return err(corr, ErrCode::Internal, e);
+    }
+    registry.insert(name.to_string(), tenant);
+    shared.log(format_args!(
+        "created tenant {name} ({}, n={})",
+        spec.task.command(),
+        spec.n
+    ));
+    Response::Ok {
+        corr,
+        payload: Vec::new(),
+    }
+}
+
+/// Assembles a tenant around a base file, claiming engine workers from
+/// the shared budget: an even share of the budget among all tenants
+/// including this one (`ntenants` = tenants registered so far — passed
+/// in, not read from the registry, because `handle_create` calls this
+/// while holding the registry write lock), never below the 1-worker
+/// floor.
+fn build_tenant(shared: &Shared, ntenants: usize, name: String, base: SketchFile) -> Tenant {
+    let want = (shared.budget.total() / (ntenants + 1)).max(1);
+    let claim = shared.budget.claim(want);
+    let workers = claim.workers();
+    let spec = base.spec;
+    let config = EngineConfig::new((workers * 2).max(2))
+        .with_workers(workers)
+        .with_seed(spec.seed);
+    let engine = SketchEngine::new(config, || spec.build());
+    Tenant {
+        name,
+        base,
+        engine,
+        _claim: claim,
+        dirty: true,
+        updates_ingested: 0,
+        deltas_applied: 0,
+        busy_rejections: 0,
+    }
+}
+
+fn handle_ingest(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Response {
+    let Some(tenant) = lookup(shared, name) else {
+        return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
+    };
+    let mut t = tenant.lock().expect("tenant lock");
+    if payload.starts_with(graph_sketches::wire::DELTA_MAGIC) {
+        let delta = match SketchDelta::from_bytes(payload) {
+            Ok(d) => d,
+            Err(e) => return err(corr, ErrCode::from_wire(&e), e.to_string()),
+        };
+        if let Err(e) = t.base.apply_delta_parsed(&delta) {
+            return err(corr, ErrCode::from_wire(&e), e.to_string());
+        }
+        t.deltas_applied += 1;
+        t.dirty = true;
+        return Response::Ok {
+            corr,
+            payload: Vec::new(),
+        };
+    }
+    if payload.starts_with(frame::UPDATES_MAGIC) {
+        let updates = match frame::decode_updates(payload) {
+            Ok(u) => u,
+            Err(e) => return err(corr, ErrCode::Malformed, e.to_string()),
+        };
+        return match t.engine.offer(&updates) {
+            Ok(()) => {
+                t.updates_ingested += updates.len() as u64;
+                t.dirty = true;
+                Response::Ok {
+                    corr,
+                    payload: Vec::new(),
+                }
+            }
+            Err(OfferError::Busy { .. }) => {
+                t.busy_rejections += 1;
+                Response::Busy {
+                    corr,
+                    retry_after_ms: shared.retry_after_ms,
+                }
+            }
+            Err(OfferError::Invalid(e)) => err(corr, ErrCode::Update, e.to_string()),
+        };
+    }
+    err(
+        corr,
+        ErrCode::Malformed,
+        "ingest payload is neither a delta record (AGMSKD2) nor an update batch (AGMSKU1)",
+    )
+}
+
+fn handle_query(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Response {
+    let threads = match frame::decode_query(payload) {
+        Ok(t) => t,
+        Err(e) => return err(corr, ErrCode::Malformed, e.to_string()),
+    };
+    let Some(tenant) = lookup(shared, name) else {
+        return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
+    };
+    let mut t = tenant.lock().expect("tenant lock");
+    let merged = match t.merged_state() {
+        Ok(m) => m,
+        Err(e) => return err(corr, ErrCode::Internal, e),
+    };
+    let plan = match threads {
+        0 => DecodePlan::sequential(),
+        n => DecodePlan::with_threads(n as usize),
+    };
+    let answer = merged.decode_with(&plan);
+    Response::Ok {
+        corr,
+        payload: answer.to_json().into_bytes(),
+    }
+}
+
+fn handle_snapshot(shared: &Shared, corr: u64, name: &str) -> Response {
+    let Some(tenant) = lookup(shared, name) else {
+        return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
+    };
+    let mut t = tenant.lock().expect("tenant lock");
+    let merged = match t.merged_state() {
+        Ok(m) => m,
+        Err(e) => return err(corr, ErrCode::Internal, e),
+    };
+    let file = match SketchFile::new(t.base.spec, merged) {
+        Ok(f) => f,
+        Err(e) => return err(corr, ErrCode::Internal, e.to_string()),
+    };
+    Response::Ok {
+        corr,
+        payload: file.to_bytes(),
+    }
+}
+
+fn handle_drop(shared: &Shared, corr: u64, name: &str) -> Response {
+    let removed = shared.tenants.write().expect("registry lock").remove(name);
+    match removed {
+        Some(_) => {
+            let _ = std::fs::remove_file(state_path(&shared.state_dir, name));
+            shared.log(format_args!("dropped tenant {name}"));
+            Response::Ok {
+                corr,
+                payload: Vec::new(),
+            }
+        }
+        None => err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}")),
+    }
+}
+
+fn handle_stats(shared: &Shared, corr: u64, name: &str) -> Response {
+    let registry = shared.tenants.read().expect("registry lock");
+    let mut per_tenant = Vec::new();
+    for (tname, tenant) in registry.iter() {
+        if !name.is_empty() && tname != name {
+            continue;
+        }
+        per_tenant.push(tenant.lock().expect("tenant lock").stats());
+    }
+    if !name.is_empty() && per_tenant.is_empty() {
+        return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
+    }
+    let stats = ServiceStats {
+        tenants: registry.len() as u64,
+        connections: shared.connections.load(Ordering::SeqCst),
+        frames_served: shared.frames_served.load(Ordering::SeqCst),
+        worker_budget: shared.budget.total() as u64,
+        workers_claimed: shared.budget.claimed() as u64,
+        per_tenant,
+    };
+    Response::Ok {
+        corr,
+        payload: stats.to_value().to_json().into_bytes(),
+    }
+}
+
+fn handle_checkpoint(shared: &Shared, corr: u64, name: &str) -> Response {
+    if name.is_empty() {
+        let n = checkpoint_all(shared);
+        return Response::Ok {
+            corr,
+            payload: format!("{n}").into_bytes(),
+        };
+    }
+    let Some(tenant) = lookup(shared, name) else {
+        return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
+    };
+    let mut t = tenant.lock().expect("tenant lock");
+    match checkpoint_tenant(&mut t, &shared.state_dir) {
+        Ok(persisted) => Response::Ok {
+            corr,
+            payload: format!("{}", persisted as u8).into_bytes(),
+        },
+        Err(e) => err(corr, ErrCode::Internal, e),
+    }
+}
+
+fn state_path(dir: &Path, tenant: &str) -> PathBuf {
+    dir.join(format!("{tenant}.state"))
+}
+
+/// Persists one tenant if dirty (write-then-rename, wire-v2 bytes).
+/// Returns whether a write happened.
+fn checkpoint_tenant(t: &mut Tenant, dir: &Path) -> Result<bool, String> {
+    if !t.dirty {
+        return Ok(false);
+    }
+    t.drain_into_base()?;
+    let bytes = t.base.to_bytes();
+    let tmp = dir.join(format!("{}.state.tmp.{}", t.name, std::process::id()));
+    let path = state_path(dir, &t.name);
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("checkpoint write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| format!("checkpoint rename {}: {e}", path.display()))?;
+    t.dirty = false;
+    Ok(true)
+}
+
+/// Checkpoints every dirty tenant; returns how many were persisted.
+fn checkpoint_all(shared: &Shared) -> usize {
+    let tenants: Vec<_> = shared
+        .tenants
+        .read()
+        .expect("registry lock")
+        .values()
+        .cloned()
+        .collect();
+    let mut persisted = 0;
+    for tenant in tenants {
+        let mut t = tenant.lock().expect("tenant lock");
+        match checkpoint_tenant(&mut t, &shared.state_dir) {
+            Ok(true) => persisted += 1,
+            Ok(false) => {}
+            Err(e) => shared.log(format_args!("checkpoint of {} failed: {e}", t.name)),
+        }
+    }
+    persisted
+}
+
+fn checkpoint_loop(shared: Arc<Shared>, every: Duration) {
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(20));
+        if last.elapsed() >= every {
+            checkpoint_all(&shared);
+            last = Instant::now();
+        }
+    }
+}
+
+/// Startup recovery: every `<name>.state` in the state dir whose name is
+/// a legal tenant name and whose bytes verify becomes a resident tenant;
+/// damaged files are renamed to `<name>.state.quarantined` with a logged
+/// typed error so an operator can inspect them — a corrupt checkpoint
+/// must cost one tenant's last increments, never the whole service.
+fn recover_tenants(shared: &Shared) {
+    let entries = match std::fs::read_dir(&shared.state_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            shared.log(format_args!(
+                "state dir {} is unreadable: {e}",
+                shared.state_dir.display()
+            ));
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(fname) = path.file_name().and_then(|f| f.to_str()) else {
+            continue;
+        };
+        let Some(name) = fname.strip_suffix(".state") else {
+            // Leftover `.state.tmp.<pid>` staging files from an
+            // interrupted checkpoint are dead weight; remove them.
+            if fname.contains(".state.tmp.") {
+                let _ = std::fs::remove_file(&path);
+            }
+            continue;
+        };
+        if !frame::valid_tenant(name) {
+            shared.log(format_args!(
+                "ignoring state file with illegal name {fname:?}"
+            ));
+            continue;
+        }
+        let loaded = std::fs::read(&path)
+            .map_err(|e| WireError::Json(format!("unreadable: {e}")))
+            .and_then(|bytes| SketchFile::from_bytes(&bytes));
+        match loaded {
+            Ok(base) => {
+                let recovered_so_far = shared.tenants.read().expect("registry lock").len();
+                let mut tenant = build_tenant(shared, recovered_so_far, name.to_string(), base);
+                // `build_tenant` marks fresh tenants dirty; a recovered
+                // tenant is byte-identical to its file until new ingest.
+                tenant.dirty = false;
+                shared
+                    .tenants
+                    .write()
+                    .expect("registry lock")
+                    .insert(name.to_string(), Arc::new(Mutex::new(tenant)));
+                shared.log(format_args!("recovered tenant {name}"));
+            }
+            Err(e) => {
+                let quarantine = path.with_extension("state.quarantined");
+                let _ = std::fs::rename(&path, &quarantine);
+                shared.log(format_args!(
+                    "quarantined corrupt state file {fname:?}: {e}"
+                ));
+            }
+        }
+    }
+}

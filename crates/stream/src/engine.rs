@@ -79,6 +79,89 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// A process-wide worker-thread budget shared by many engines — the
+/// multi-tenant serving shape, where every tenant owns a
+/// [`SketchEngine`] but the process owns one machine. Each engine
+/// [`WorkerBudget::claim`]s a share when it is built and releases it when
+/// the returned [`BudgetClaim`] drops (tenant teardown), so the fleet's
+/// total worker count tracks the live tenant set instead of growing
+/// per-tenant without bound.
+///
+/// The budget is advisory-fair rather than strict: a claim is capped by
+/// the unclaimed remainder but never goes below one worker, so a tenant
+/// created on a fully-subscribed machine still makes progress (bounded
+/// oversubscription, at most one thread per such tenant).
+#[derive(Debug)]
+pub struct WorkerBudget {
+    total: usize,
+    claimed: AtomicUsize,
+}
+
+impl WorkerBudget {
+    /// A budget of `total` worker threads (clamped to at least 1),
+    /// shareable across engines.
+    pub fn new(total: usize) -> Arc<Self> {
+        Arc::new(WorkerBudget {
+            total: total.max(1),
+            claimed: AtomicUsize::new(0),
+        })
+    }
+
+    /// The budget's size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Workers currently claimed across all live claims (may exceed
+    /// [`WorkerBudget::total`] by the one-worker floor — see the type
+    /// docs).
+    pub fn claimed(&self) -> usize {
+        self.claimed.load(Ordering::SeqCst)
+    }
+
+    /// Claims up to `want` workers: the grant is
+    /// `min(want, unclaimed remainder)` but at least 1. The claim is
+    /// released when the returned [`BudgetClaim`] drops.
+    pub fn claim(self: &Arc<Self>, want: usize) -> BudgetClaim {
+        let want = want.max(1);
+        let mut granted = 1;
+        self.claimed
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |claimed| {
+                granted = want.min(self.total.saturating_sub(claimed)).max(1);
+                Some(claimed + granted)
+            })
+            .expect("fetch_update closure always returns Some");
+        BudgetClaim {
+            budget: Arc::clone(self),
+            workers: granted,
+        }
+    }
+}
+
+/// A live share of a [`WorkerBudget`]: how many worker threads the
+/// holder's engine may run. Dropping the claim returns the share to the
+/// budget.
+#[derive(Debug)]
+pub struct BudgetClaim {
+    budget: Arc<WorkerBudget>,
+    workers: usize,
+}
+
+impl BudgetClaim {
+    /// The granted worker count (at least 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for BudgetClaim {
+    fn drop(&mut self) {
+        self.budget
+            .claimed
+            .fetch_sub(self.workers, Ordering::SeqCst);
+    }
+}
+
 /// Shape of a [`SketchEngine`]: how many shard sketches, how many worker
 /// threads apply them, how deep each worker's queue is, and the routing
 /// seed.
@@ -153,8 +236,15 @@ pub struct EngineStats {
     pub batches_enqueued: u64,
     /// Delta drains performed so far ([`SketchEngine::delta_snapshot`]).
     pub deltas_drained: u64,
+    /// Batches refused by [`SketchEngine::offer`] because a worker queue
+    /// was full (the caller was told to retry instead of blocking).
+    pub offers_refused: u64,
     /// Per-worker queue depth, in batches.
     pub queue_depths: Vec<usize>,
+    /// The bounded per-worker queue capacity, in batches
+    /// ([`EngineConfig::queue_batches`]): a queue whose depth has reached
+    /// this value blocks `ingest` and refuses `offer`.
+    pub queue_capacity: usize,
     /// Total resident shard-sketch size in bytes
     /// ([`LinearSketch::space_bytes`] summed over shards).
     pub bytes_resident: usize,
@@ -179,6 +269,39 @@ impl std::fmt::Display for IngestError {
 }
 
 impl std::error::Error for IngestError {}
+
+/// Why a batch was refused by [`SketchEngine::offer`] — the non-blocking
+/// ingest path. Either way, nothing from the batch was enqueued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OfferError {
+    /// An update failed validation (same as [`SketchEngine::try_ingest`]).
+    Invalid(IngestError),
+    /// A worker queue the batch would land on is full. Blocking here is
+    /// what [`SketchEngine::ingest`] does; `offer` instead hands the
+    /// decision back to the caller, which is what lets a server surface
+    /// backpressure as protocol-level flow control (a `BUSY` response)
+    /// instead of stalling the connection.
+    Busy {
+        /// The saturated worker.
+        worker: usize,
+        /// Its queue depth (== the queue capacity).
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for OfferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OfferError::Invalid(e) => write!(f, "{e}"),
+            OfferError::Busy { worker, depth } => write!(
+                f,
+                "worker {worker} queue is full ({depth} batches pending); retry later"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OfferError {}
 
 /// Counters shared between the ingest side and the workers.
 struct Counters {
@@ -217,9 +340,12 @@ pub struct SketchEngine<S: LinearSketch + Send + 'static> {
     route_scratch: Vec<Vec<EdgeUpdate>>,
     /// Shards touched by the current `ingest` call (reused scratch).
     touched: Vec<usize>,
+    /// The bounded per-worker queue capacity, in batches.
+    queue_capacity: usize,
     updates_routed: u64,
     batches_enqueued: u64,
     deltas_drained: u64,
+    offers_refused: u64,
 }
 
 impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
@@ -283,9 +409,11 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             routed_per_shard: vec![0; config.shards],
             route_scratch: vec![Vec::new(); config.shards],
             touched: Vec::new(),
+            queue_capacity: config.queue_batches.max(1),
             updates_routed: 0,
             batches_enqueued: 0,
             deltas_drained: 0,
+            offers_refused: 0,
         }
     }
 
@@ -320,6 +448,57 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             up.validate(self.n)
                 .map_err(|cause| IngestError { at, cause })?;
         }
+        self.route(updates);
+        self.dispatch();
+        Ok(())
+    }
+
+    /// The non-blocking twin of [`SketchEngine::try_ingest`]: if any
+    /// worker queue the routed batch would land on is already full, the
+    /// **whole** batch is refused with [`OfferError::Busy`] instead of
+    /// blocking — nothing is enqueued, the engine is exactly as it was
+    /// (same all-or-nothing contract as a refused invalid batch). This is
+    /// the serving-layer ingest path: a resident server converts the
+    /// refusal into protocol-level flow control (`BUSY(retry-after)`)
+    /// rather than letting one firehose tenant stall the connection
+    /// thread.
+    ///
+    /// The full-queue check is sound, not just heuristic: this engine is
+    /// the queues' only sender (`&mut self`), and workers only *shrink*
+    /// the depths concurrently, so a queue observed below capacity cannot
+    /// block the send that follows (one `offer` enqueues at most one
+    /// batch per worker).
+    pub fn offer(&mut self, updates: &[EdgeUpdate]) -> Result<(), OfferError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        for (at, up) in updates.iter().enumerate() {
+            up.validate(self.n)
+                .map_err(|cause| OfferError::Invalid(IngestError { at, cause }))?;
+        }
+        self.route(updates);
+        let nworkers = self.senders.len();
+        for &s in &self.touched {
+            let w = s % nworkers;
+            let depth = self.counters.depths[w].load(Ordering::SeqCst);
+            if depth >= self.queue_capacity {
+                // Refuse the whole batch: clear the routing scratch so
+                // nothing of it survives into a later call.
+                for s in self.touched.drain(..) {
+                    self.route_scratch[s].clear();
+                }
+                self.offers_refused += 1;
+                return Err(OfferError::Busy { worker: w, depth });
+            }
+        }
+        self.dispatch();
+        Ok(())
+    }
+
+    /// Routes validated updates into the per-shard scratch buffers and
+    /// records the touched shards. Callers must follow with
+    /// [`SketchEngine::dispatch`] (or clear the scratch on refusal).
+    fn route(&mut self, updates: &[EdgeUpdate]) {
         let nshards = self.shards.len();
         for &up in updates {
             let s = (self.router)(&up);
@@ -335,6 +514,11 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
         // Visit touched shards in shard order so per-worker messages are
         // deterministic for a given routing.
         self.touched.sort_unstable();
+    }
+
+    /// Drains the routed shares onto the worker queues (blocking when a
+    /// queue is full) and updates every ingest-side counter.
+    fn dispatch(&mut self) {
         let nworkers = self.senders.len();
         let mut per_worker: Vec<Batch> = vec![Vec::new(); nworkers];
         for s in self.touched.drain(..) {
@@ -353,7 +537,6 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             self.counters.depths[w].fetch_add(1, Ordering::SeqCst);
             self.senders[w].send(batch).expect("engine worker hung up");
         }
-        Ok(())
     }
 
     /// Blocks until every enqueued update has been applied to its shard.
@@ -386,12 +569,14 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
             updates_pending: self.counters.pending.load(Ordering::SeqCst),
             batches_enqueued: self.batches_enqueued,
             deltas_drained: self.deltas_drained,
+            offers_refused: self.offers_refused,
             queue_depths: self
                 .counters
                 .depths
                 .iter()
                 .map(|d| d.load(Ordering::SeqCst))
                 .collect(),
+            queue_capacity: self.queue_capacity,
             bytes_resident,
         }
     }
@@ -958,6 +1143,126 @@ mod tests {
             );
         }
         assert_eq!(engine.seal(), central(n, &updates));
+    }
+
+    /// A tally sketch whose updates block on a shared gate — lets a test
+    /// hold a worker mid-absorb deterministically.
+    #[derive(Clone)]
+    struct GatedSketch {
+        gate: Arc<Mutex<()>>,
+        inner: TallySketch,
+    }
+
+    impl Mergeable for GatedSketch {
+        fn merge(&mut self, other: &Self) {
+            self.inner.merge(&other.inner);
+        }
+    }
+
+    impl LinearSketch for GatedSketch {
+        type Output = Vec<i64>;
+
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+
+        fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
+            let _held = self.gate.lock().expect("gate poisoned");
+            self.inner.update_edge(u, v, delta);
+        }
+
+        fn space_bytes(&self) -> usize {
+            self.inner.space_bytes()
+        }
+
+        fn decode(&self) -> Vec<i64> {
+            self.inner.decode()
+        }
+    }
+
+    #[test]
+    fn offer_refuses_whole_batch_when_a_queue_is_full() {
+        let n = 8;
+        let gate = Arc::new(Mutex::new(()));
+        let cfg = EngineConfig::new(1).with_workers(1).with_queue_batches(1);
+        let mut engine = {
+            let gate = Arc::clone(&gate);
+            SketchEngine::new(cfg, move || GatedSketch {
+                gate: Arc::clone(&gate),
+                inner: TallySketch::new(n),
+            })
+        };
+        let b1 = vec![EdgeUpdate::insert(0, 1)];
+        let b2 = vec![EdgeUpdate::insert(2, 3)]; // must NOT survive the refusal
+        let b3 = vec![EdgeUpdate::insert(4, 5)];
+        let held = gate.lock().expect("gate poisoned");
+        engine.offer(&b1).expect("empty queue accepts the batch");
+        // The worker is blocked on the gate, so the enqueued batch cannot
+        // finish: the depth counter (set before the send, cleared only
+        // after the batch is fully absorbed) stays at capacity and the
+        // second offer must refuse deterministically.
+        let err = engine
+            .offer(&b2)
+            .expect_err("offer accepted a batch with a full queue");
+        assert!(matches!(err, OfferError::Busy { worker: 0, .. }));
+        assert!(!err.to_string().is_empty());
+        drop(held);
+        engine.flush();
+        // After the drain the engine accepts again (depth decrement can
+        // trail the pending counter briefly — retry).
+        loop {
+            match engine.offer(&b3) {
+                Ok(()) => break,
+                Err(OfferError::Busy { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(engine.stats().offers_refused, 1);
+        // The refused b2 left no residue: the final state is b1 + b3 only.
+        let accepted: Vec<EdgeUpdate> = b1.into_iter().chain(b3).collect();
+        assert_eq!(engine.seal().inner, central(n, &accepted));
+    }
+
+    #[test]
+    fn offer_validates_before_checking_queues() {
+        let mut engine = SketchEngine::new(EngineConfig::new(2), || TallySketch::new(4));
+        let err = engine.offer(&[EdgeUpdate::insert(1, 1)]).unwrap_err();
+        assert!(matches!(err, OfferError::Invalid(_)));
+        assert_eq!(engine.stats().offers_refused, 0);
+        assert_eq!(engine.seal(), TallySketch::new(4));
+    }
+
+    #[test]
+    fn stats_expose_queue_capacity() {
+        let engine = SketchEngine::new(EngineConfig::new(2).with_queue_batches(3), || {
+            TallySketch::new(4)
+        });
+        assert_eq!(engine.stats().queue_capacity, 3);
+        assert_eq!(engine.stats().offers_refused, 0);
+    }
+
+    #[test]
+    fn worker_budget_grants_fair_shares_with_a_floor() {
+        let budget = WorkerBudget::new(4);
+        assert_eq!(budget.total(), 4);
+        let a = budget.claim(3);
+        assert_eq!(a.workers(), 3);
+        let b = budget.claim(3);
+        assert_eq!(b.workers(), 1, "only the remainder is granted");
+        // Fully subscribed: the floor still grants one worker.
+        let c = budget.claim(5);
+        assert_eq!(c.workers(), 1);
+        assert_eq!(budget.claimed(), 5);
+        drop(a);
+        assert_eq!(budget.claimed(), 2);
+        let d = budget.claim(9);
+        assert_eq!(d.workers(), 2, "released workers are claimable again");
+        drop((b, c, d));
+        assert_eq!(budget.claimed(), 0);
+        // A zero-sized budget still runs one worker per claim.
+        let tiny = WorkerBudget::new(0);
+        assert_eq!(tiny.total(), 1);
+        assert_eq!(tiny.claim(8).workers(), 1);
     }
 
     #[test]

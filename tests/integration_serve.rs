@@ -1,0 +1,401 @@
+//! The resident service, end to end: answers served by `gs-serve` after
+//! multi-client ingest must be **bit identical** to the offline
+//! single-process decode of the same update multiset; a SIGKILL-style
+//! restart must reproduce exactly the answers of the last completed
+//! checkpoint; and hostile frames must be refused with typed errors on a
+//! server that keeps serving.
+
+use graph_sketches::api::{SketchAnswer, SketchSpec, SketchTask};
+use graph_sketches::frame::{self, ErrCode, Opcode, Request, Response};
+use graph_sketches::wire::SketchFile;
+use gs_graph::gen;
+use gs_serve::{Client, Outcome, ServeConfig, Server};
+use gs_sketch::par::DecodePlan;
+use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_stream::distributed::split_updates;
+use gs_stream::GraphStream;
+use serde::{Deserialize, Value};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A scratch state directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "gs-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A loopback server with checkpointing disabled (tests drive
+/// durability points explicitly through `CHECKPOINT` frames).
+fn start_server(state_dir: &std::path::Path) -> Server {
+    Server::start(ServeConfig {
+        state_dir: state_dir.to_path_buf(),
+        tcp: Some("127.0.0.1:0".into()),
+        checkpoint_every: Duration::ZERO,
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("server start")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect_tcp(&server.tcp_addr().expect("tcp listener").to_string()).expect("connect")
+}
+
+fn churn_updates(n: usize, seed: u64) -> Vec<EdgeUpdate> {
+    let g = gen::gnp(n, 0.3, seed);
+    GraphStream::with_churn(&g, 150, seed ^ 0xD1).edge_updates()
+}
+
+fn answer_of(json: &str) -> SketchAnswer {
+    let value = Value::from_json(json).expect("answer JSON parses");
+    SketchAnswer::from_value(&value).expect("answer JSON is a SketchAnswer")
+}
+
+/// The acceptance-criteria parity matrix: for three integer-answer tasks
+/// (connectivity, MST, k-connectivity — no float fields to survive a
+/// JSON round trip), two clients split the stream — one ships raw update
+/// batches, the other sketches its share offline and ships the delta
+/// record — and the served answer must equal the offline single-process
+/// decode of the full stream, bit for bit.
+#[test]
+fn served_answers_match_offline_decode_after_multi_client_ingest() {
+    let tasks = [
+        SketchTask::Connectivity,
+        SketchTask::Mst,
+        SketchTask::KConnect,
+    ];
+    let scratch = Scratch::new("parity");
+    let server = start_server(scratch.path());
+    for (i, task) in tasks.into_iter().enumerate() {
+        let spec = SketchSpec::new(task, 14)
+            .with_eps(0.9)
+            .with_k(2)
+            .with_max_weight(8)
+            .with_seed(0x5EED + i as u64);
+        let tenant = format!("parity-{}", spec.task.command());
+        let updates = churn_updates(14, 23 + i as u64);
+        let shares = split_updates(&updates, 2, 0xCAFE);
+
+        let mut creator = connect(&server);
+        creator.create(&tenant, &spec.to_json()).expect("create");
+
+        // Client A: raw update batches through the engine path.
+        let mut client_a = connect(&server);
+        for batch in shares[0].chunks(16) {
+            client_a
+                .ingest_retry(&tenant, batch, Duration::from_secs(10))
+                .expect("raw ingest");
+        }
+        // Client B: its share sketched offline, shipped as a delta record.
+        let mut worker = SketchFile::new(spec, spec.build()).unwrap();
+        worker.state.absorb(&shares[1]);
+        let delta = worker.delta_bytes();
+        let mut client_b = connect(&server);
+        match client_b.ingest_bytes(&tenant, delta).expect("delta ingest") {
+            Outcome::Ok(_) => {}
+            Outcome::Busy { .. } => panic!("delta ingest answered BUSY"),
+        }
+
+        let served = answer_of(&client_a.query(&tenant, 3).expect("query"));
+
+        let mut offline = spec.build();
+        offline.absorb(&updates);
+        let expected = offline.decode_with(&DecodePlan::with_threads(3));
+        assert_eq!(served, expected, "{task:?}: served != offline decode");
+
+        // The SNAPSHOT blob must decode to the same answer client-side.
+        let blob = client_b.snapshot(&tenant).expect("snapshot");
+        let file = SketchFile::from_bytes(&blob).expect("snapshot blob verifies");
+        assert_eq!(
+            file.decode_with(&DecodePlan::with_threads(3)),
+            expected,
+            "{task:?}: snapshot decode != offline decode"
+        );
+    }
+    server.shutdown();
+}
+
+/// Crash recovery: everything up to the last completed checkpoint
+/// survives a kill, everything after it is lost — and the recovered
+/// answers are bit-identical to the pre-kill checkpointed ones.
+#[test]
+fn restart_after_abort_reproduces_checkpointed_answers() {
+    let scratch = Scratch::new("recovery");
+    let spec = SketchSpec::new(SketchTask::Connectivity, 12).with_seed(0xFEED);
+    let updates = churn_updates(12, 7);
+    let (first, second) = updates.split_at(updates.len() / 2);
+
+    let server = start_server(scratch.path());
+    let mut client = connect(&server);
+    client.create("durable", &spec.to_json()).expect("create");
+    client
+        .ingest_retry("durable", first, Duration::from_secs(10))
+        .expect("ingest first half");
+    assert_eq!(client.checkpoint("").expect("checkpoint"), 1);
+    let checkpointed = answer_of(&client.query("durable", 2).expect("query"));
+    // Post-checkpoint ingest that the crash must lose.
+    client
+        .ingest_retry("durable", second, Duration::from_secs(10))
+        .expect("ingest second half");
+    let with_tail = answer_of(&client.query("durable", 2).expect("query"));
+    drop(client);
+    server.abort(); // SIGKILL semantics: no final checkpoint.
+
+    let server = start_server(scratch.path());
+    let mut client = connect(&server);
+    let recovered = answer_of(&client.query("durable", 2).expect("query after restart"));
+    assert_eq!(
+        recovered, checkpointed,
+        "recovery must reproduce the checkpointed answer exactly"
+    );
+    // The lost tail really was lost (the two halves differ), so equality
+    // above is meaningful.
+    let mut full = spec.build();
+    full.absorb(&updates);
+    assert_eq!(
+        with_tail,
+        full.decode(),
+        "pre-kill state covered the full stream"
+    );
+    server.shutdown();
+
+    // Graceful shutdown DID checkpoint: a third boot serves the
+    // checkpointed (first-half) state — nothing further was ingested
+    // after the restart.
+    let server = start_server(scratch.path());
+    let mut client = connect(&server);
+    assert_eq!(
+        answer_of(&client.query("durable", 2).expect("query")),
+        checkpointed
+    );
+    server.shutdown();
+}
+
+/// A corrupt checkpoint costs one tenant (quarantined, typed log), never
+/// the service: healthy tenants recover next to it.
+#[test]
+fn corrupt_state_files_are_quarantined_not_fatal() {
+    let scratch = Scratch::new("quarantine");
+    let spec = SketchSpec::new(SketchTask::Connectivity, 10).with_seed(1);
+    {
+        let server = start_server(scratch.path());
+        let mut client = connect(&server);
+        client.create("good", &spec.to_json()).expect("create");
+        server.shutdown();
+    }
+    // A damaged sibling: right name shape, garbage bytes.
+    std::fs::write(scratch.path().join("evil.state"), b"AGMSKB2\n****corrupt").unwrap();
+
+    let server = start_server(scratch.path());
+    let mut client = connect(&server);
+    let stats = client.stats("").expect("stats");
+    let value = Value::from_json(&stats).expect("stats JSON");
+    let stats = frame::ServiceStats::from_value(&value).expect("stats schema");
+    assert_eq!(stats.tenants, 1, "only the healthy tenant recovered");
+    assert_eq!(stats.per_tenant[0].name, "good");
+    assert!(
+        scratch.path().join("evil.state.quarantined").exists(),
+        "corrupt file is renamed aside for inspection"
+    );
+    assert!(!scratch.path().join("evil.state").exists());
+    server.shutdown();
+}
+
+/// Raw-socket hostility: oversized length prefixes, garbage bodies,
+/// unknown opcodes, truncated frames, and corrupt wire payloads must all
+/// come back as typed refusals (or a closed connection where the framing
+/// itself is lost) — and the server must keep serving afterwards.
+#[test]
+fn hostile_frames_get_typed_errors_and_never_kill_the_server() {
+    let scratch = Scratch::new("hostile");
+    let server = start_server(scratch.path());
+    let addr = server.tcp_addr().unwrap().to_string();
+
+    // 1. A frame declaring more than the cap: best-effort typed refusal,
+    //    then the connection closes (the framing is lost).
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        use std::io::Write;
+        raw.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let resp = frame::read_frame(&mut raw, frame::MAX_FRAME)
+            .expect("server answers before closing")
+            .expect("a refusal frame");
+        match Response::decode(&resp).unwrap() {
+            Response::Err { code, .. } => assert_eq!(code, ErrCode::Malformed),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        assert!(
+            matches!(frame::read_frame(&mut raw, frame::MAX_FRAME), Ok(None)),
+            "connection closes after an oversized frame"
+        );
+    }
+    // 2. A well-framed garbage body: typed error, connection survives
+    //    and answers a PING next.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        frame::write_frame(&mut raw, b"\xFF\xFF total garbage", frame::MAX_FRAME).unwrap();
+        let resp = frame::read_frame(&mut raw, frame::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&resp).unwrap() {
+            Response::Err { code, corr, .. } => {
+                assert_eq!(code, ErrCode::Malformed);
+                assert_eq!(corr, 0, "unparseable request: correlation unknown");
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        let ping = Request {
+            corr: 42,
+            op: Opcode::Ping,
+            tenant: String::new(),
+            payload: b"still-alive".to_vec(),
+        };
+        frame::write_frame(&mut raw, &ping.encode(), frame::MAX_FRAME).unwrap();
+        let resp = frame::read_frame(&mut raw, frame::MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        match Response::decode(&resp).unwrap() {
+            Response::Ok { corr, payload } => {
+                assert_eq!(corr, 42);
+                assert_eq!(payload, b"still-alive");
+            }
+            other => panic!("expected OK, got {other:?}"),
+        }
+    }
+    // 3. A truncated frame followed by a hangup: the server just drops
+    //    the connection; the listener keeps accepting.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        use std::io::Write;
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(b"only a few bytes").unwrap();
+        drop(raw);
+    }
+    // 4. Typed tenant/payload errors through the real client.
+    {
+        let spec = SketchSpec::new(SketchTask::Connectivity, 8).with_seed(2);
+        let mut client = connect(&server);
+        let refused = |e: gs_serve::ClientError, want: ErrCode| match e {
+            gs_serve::ClientError::Server { code, .. } => assert_eq!(code, want),
+            other => panic!("expected a typed server refusal, got {other}"),
+        };
+        refused(client.query("ghost", 1).unwrap_err(), ErrCode::NoSuchTenant);
+        refused(
+            client.create("../evil", &spec.to_json()).unwrap_err(),
+            ErrCode::BadTenantName,
+        );
+        client.create("t", &spec.to_json()).expect("create");
+        refused(
+            client.create("t", &spec.to_json()).unwrap_err(),
+            ErrCode::TenantExists,
+        );
+        refused(
+            client.create("t2", "{\"not\": \"a spec\"}").unwrap_err(),
+            ErrCode::Malformed,
+        );
+        // A corrupt delta record: the wire taxonomy surfaces remotely.
+        let mut worker = SketchFile::new(spec, spec.build()).unwrap();
+        worker.state.absorb(&[EdgeUpdate::insert(0, 1)]);
+        let mut delta = worker.delta_bytes();
+        let at = delta.len() - 9;
+        delta[at] ^= 0xFF;
+        refused(client.ingest_bytes("t", delta).unwrap_err(), ErrCode::Wire);
+    }
+    server.shutdown();
+}
+
+/// The connection cap answers excess connections with a protocol-level
+/// `BUSY` frame instead of queueing them without bound.
+#[test]
+fn connection_cap_answers_busy() {
+    let scratch = Scratch::new("conncap");
+    let server = Server::start(ServeConfig {
+        state_dir: scratch.path().to_path_buf(),
+        tcp: Some("127.0.0.1:0".into()),
+        checkpoint_every: Duration::ZERO,
+        max_connections: 1,
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = server.tcp_addr().unwrap().to_string();
+
+    // Occupy the only slot with a live conversation.
+    let mut holder = Client::connect_tcp(&addr).unwrap();
+    holder.ping(b"hold").expect("holder is served");
+
+    // The next connection is told BUSY (corr 0: no request was read).
+    let mut refused = TcpStream::connect(&addr).unwrap();
+    let resp = frame::read_frame(&mut refused, frame::MAX_FRAME)
+        .expect("busy frame")
+        .expect("busy frame body");
+    match Response::decode(&resp).unwrap() {
+        Response::Busy {
+            corr,
+            retry_after_ms,
+        } => {
+            assert_eq!(corr, 0);
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    drop(holder);
+    // Once the slot frees, new connections are served again.
+    let served = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        Client::connect_tcp(&addr)
+            .and_then(|mut c| c.ping(b"again"))
+            .is_ok()
+    });
+    assert!(served, "the freed slot accepts again");
+    server.shutdown();
+}
+
+/// An ingest refusal from a corrupt delta leaves the tenant exactly as
+/// it was: the typed error is all-or-nothing at the protocol layer too.
+#[test]
+fn refused_ingest_leaves_served_answers_unchanged() {
+    let scratch = Scratch::new("atomic");
+    let server = start_server(scratch.path());
+    let spec = SketchSpec::new(SketchTask::Connectivity, 10).with_seed(9);
+    let updates = churn_updates(10, 31);
+    let mut client = connect(&server);
+    client.create("t", &spec.to_json()).expect("create");
+    client
+        .ingest_retry("t", &updates, Duration::from_secs(10))
+        .expect("ingest");
+    let before = answer_of(&client.query("t", 1).expect("query"));
+
+    let mut worker = SketchFile::new(spec, spec.build()).unwrap();
+    worker.state.absorb(&updates);
+    let mut delta = worker.delta_bytes();
+    let last = delta.len() - 1;
+    delta[last] ^= 0x5A; // breaks the trailing checksum
+    assert!(client.ingest_bytes("t", delta).is_err());
+
+    let after = answer_of(&client.query("t", 1).expect("query"));
+    assert_eq!(after, before, "refused delta must leave no residue");
+    server.shutdown();
+}
