@@ -1,37 +1,45 @@
-//! Bank-kernel micro-benchmarks with a machine-readable artifact.
+//! Bank-kernel micro-benchmarks with an append-only perf trajectory.
 //!
-//! Measures the two hot paths the `CellBank` refactor targets —
-//! **absorb** (batched edge ingest into a forest sketch) and **merge**
-//! (adding one sketch's cells into another) — against the preserved
-//! pre-refactor AoS baseline (`gs_bench::aos`), and writes the numbers to
-//! `BENCH_bank.json` (override the path with `BENCH_BANK_OUT`). CI
-//! uploads the file as an artifact, so the perf trajectory of the storage
-//! layer is recorded per commit instead of living in scrollback.
+//! Measures the hot bank kernels — **absorb** (batched edge ingest),
+//! **merge** (lane slice-add of one sketch into another), and **fan**
+//! (broadcast one update triple across a cell row) — in four lane/path
+//! configurations:
+//!
+//! | config          | `s`-lane | inner loops                         |
+//! |-----------------|----------|-------------------------------------|
+//! | `wide-scalar`   | `i128`   | scalar (the pre-compaction kernels) |
+//! | `wide-simd`     | `i128`   | AVX2 where applicable               |
+//! | `narrow-scalar` | `i64`    | scalar                              |
+//! | `narrow-simd`   | `i64`    | AVX2 where applicable               |
+//!
+//! `wide-scalar` is the preserved baseline; `narrow-simd` is what a
+//! spec-built sketch runs today on an AVX2 host. Before anything is
+//! timed, all four configurations are asserted **bit-identical** on the
+//! exact workload being measured — a number from a kernel that diverges
+//! from the oracle is worthless.
+//!
+//! Results append one record per run to `BENCH_bank.json` (override the
+//! path with `BENCH_BANK_OUT`): git sha, UTC date, detected kernel
+//! variant, per-kernel nanoseconds, and GB/s where the byte count is
+//! exact. The file is a JSON array and is never truncated — CI uploads
+//! it as an artifact, so the perf trajectory of the storage layer is
+//! recorded per commit instead of living in scrollback.
 //!
 //! Method: per measurement, one warm-up run, then `RUNS` timed runs; the
 //! reported number is the minimum (least-noise estimator for a
 //! single-threaded CPU-bound kernel).
 
+use graph_sketches::connectivity::ForestParams;
 use graph_sketches::ForestSketch;
-use gs_bench::aos::AosForest;
+use gs_field::M61;
 use gs_sketch::bank::CellBanked;
-use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_sketch::lane::LaneWidth;
+use gs_sketch::{simd, BankGeometry, CellBank, EdgeUpdate, LinearSketch, Mergeable};
 use std::hint::black_box;
+use std::process::Command;
 use std::time::Instant;
 
-const RUNS: usize = 5;
-
-/// Minimum wall time of `RUNS` runs of `f`, in nanoseconds.
-fn time_ns(mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    (0..RUNS)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as f64
-        })
-        .fold(f64::INFINITY, f64::min)
-}
+const RUNS: usize = 7;
 
 fn churn(n: usize, len: usize) -> Vec<EdgeUpdate> {
     (0..len)
@@ -48,81 +56,300 @@ fn churn(n: usize, len: usize) -> Vec<EdgeUpdate> {
         .collect()
 }
 
+/// One lane/path configuration under measurement.
+#[derive(Clone, Copy)]
+struct Config {
+    name: &'static str,
+    narrow: bool,
+    simd: bool,
+}
+
+const CONFIGS: [Config; 4] = [
+    Config {
+        name: "wide-scalar",
+        narrow: false,
+        simd: false,
+    },
+    Config {
+        name: "wide-simd",
+        narrow: false,
+        simd: true,
+    },
+    Config {
+        name: "narrow-scalar",
+        narrow: true,
+        simd: false,
+    },
+    Config {
+        name: "narrow-simd",
+        narrow: true,
+        simd: true,
+    },
+];
+
+fn build_forest(cfg: Config, n: usize, seed: u64) -> ForestSketch {
+    if cfg.narrow {
+        // Unit-weight bound: what SketchSpec::build derives for this task.
+        ForestSketch::with_bounds(n, ForestParams::for_n(n), seed, 1)
+    } else {
+        ForestSketch::new(n, seed)
+    }
+}
+
+/// Runs `f` with the SIMD dispatch pinned to `cfg.simd`, restoring the
+/// runtime-detected default afterwards.
+fn with_path<T>(cfg: Config, f: impl FnOnce() -> T) -> T {
+    simd::force_scalar(!cfg.simd);
+    let out = f();
+    simd::force_scalar(false);
+    out
+}
+
+/// Asserts two sketches carry bit-identical measurement state, widening
+/// narrow `s`-lanes for the comparison.
+fn assert_same(label: &str, a: &ForestSketch, b: &ForestSketch) {
+    assert_eq!(a.banks().len(), b.banks().len(), "{label}: bank count");
+    for (ba, bb) in a.banks().iter().zip(b.banks()) {
+        assert_eq!(ba.w_lane(), bb.w_lane(), "{label}: w lane diverged");
+        assert_eq!(
+            ba.s_lane().to_wide_vec(),
+            bb.s_lane().to_wide_vec(),
+            "{label}: s lane diverged"
+        );
+        assert_eq!(ba.f_lane(), bb.f_lane(), "{label}: f lane diverged");
+    }
+}
+
+fn git_sha() -> String {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{sha}-dirty")
+    } else {
+        sha
+    }
+}
+
+fn utc_date() -> String {
+    Command::new("date")
+        .args(["-u", "+%Y-%m-%dT%H:%M:%SZ"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            format!("epoch:{secs}")
+        })
+}
+
+/// Appends `record` to the JSON array in `path`, creating the array if
+/// the file is missing or not in trajectory format. Existing records are
+/// never modified or dropped.
+fn append_record(path: &str, record: &str) {
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = prior.trim();
+    let json = if trimmed.starts_with('[') && trimmed.ends_with(']') {
+        let body = trimmed[1..trimmed.len() - 1].trim_end();
+        if body.is_empty() {
+            format!("[\n{record}\n]\n")
+        } else {
+            format!("[{body},\n{record}\n]\n")
+        }
+    } else {
+        format!("[\n{record}\n]\n")
+    };
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
 fn main() {
     let n = 128;
     let updates = churn(n, 20_000);
     let seed = 0xBE7C;
+    let simd_host = simd::simd_available();
 
-    // -------- absorb: AoS per-cell re-hashing vs banked hash-once kernel.
-    let aos_absorb_ns = time_ns(|| {
-        let mut s = AosForest::new(n, seed);
-        s.absorb(&updates);
-        black_box(&s);
-    });
-    let bank_absorb_ns = time_ns(|| {
-        let mut s = ForestSketch::new(n, seed);
-        s.absorb(&updates);
-        black_box(&s);
-    });
-    let absorb_aos_per_update = aos_absorb_ns / updates.len() as f64;
-    let absorb_bank_per_update = bank_absorb_ns / updates.len() as f64;
-    let absorb_speedup = aos_absorb_ns / bank_absorb_ns;
-
-    // -------- merge: per-cell struct adds vs contiguous lane adds.
-    let mut aos_a = AosForest::new(n, seed);
-    aos_a.absorb(&updates[..updates.len() / 2]);
-    let mut aos_b = AosForest::new(n, seed);
-    aos_b.absorb(&updates[updates.len() / 2..]);
-    let mut bank_a = ForestSketch::new(n, seed);
-    bank_a.absorb(&updates[..updates.len() / 2]);
-    let mut bank_b = ForestSketch::new(n, seed);
-    bank_b.absorb(&updates[updates.len() / 2..]);
-    let cells: usize = bank_a.banks().iter().map(|b| b.len()).sum();
-    let aos_merge_ns = time_ns(|| {
-        let mut acc = aos_a.clone();
-        acc.merge(&aos_b);
-        black_box(&acc);
-    });
-    let bank_merge_ns = time_ns(|| {
-        let mut acc = bank_a.clone();
-        use gs_sketch::Mergeable;
-        acc.merge(&bank_b);
-        black_box(&acc);
-    });
-    let merge_speedup = aos_merge_ns / bank_merge_ns;
-
-    // Sanity: the baseline measures the same projection (cheap spot
-    // check; the full lane comparison lives in gs_bench's lib tests).
-    let (w, _, _) = aos_a.lanes();
-    let bank_w: i64 = bank_a
-        .banks()
+    // ---- identity gauntlet: every configuration must agree bit-for-bit
+    // on the exact workload about to be timed, before any clock starts.
+    let absorbed: Vec<ForestSketch> = CONFIGS
         .iter()
-        .flat_map(|b| b.lanes().0.iter().copied())
-        .sum();
-    assert_eq!(w.iter().sum::<i64>(), bank_w, "baseline drifted from bank");
+        .map(|&cfg| {
+            with_path(cfg, || {
+                let mut s = build_forest(cfg, n, seed);
+                s.absorb(&updates);
+                s
+            })
+        })
+        .collect();
+    for (cfg, s) in CONFIGS[1..].iter().zip(&absorbed[1..]) {
+        assert_same(&format!("absorb {}", cfg.name), &absorbed[0], s);
+    }
+    let merged: Vec<ForestSketch> = CONFIGS
+        .iter()
+        .map(|&cfg| {
+            with_path(cfg, || {
+                let mut a = build_forest(cfg, n, seed);
+                a.absorb(&updates[..updates.len() / 2]);
+                let mut b = build_forest(cfg, n, seed);
+                b.absorb(&updates[updates.len() / 2..]);
+                a.merge(&b);
+                a
+            })
+        })
+        .collect();
+    for (cfg, s) in CONFIGS[1..].iter().zip(&merged[1..]) {
+        assert_same(&format!("merge {}", cfg.name), &merged[0], s);
+    }
+    let cells: usize = absorbed[0].banks().iter().map(|b| b.len()).sum();
 
-    let json = format!(
-        "{{\n  \"n\": {n},\n  \"updates\": {},\n  \"cells\": {cells},\n  \
-         \"absorb\": {{\n    \"aos_ns_per_update\": {absorb_aos_per_update:.1},\n    \
-         \"bank_ns_per_update\": {absorb_bank_per_update:.1},\n    \
-         \"speedup\": {absorb_speedup:.2}\n  }},\n  \
-         \"merge\": {{\n    \"aos_ns_total\": {aos_merge_ns:.0},\n    \
-         \"bank_ns_total\": {bank_merge_ns:.0},\n    \
-         \"speedup\": {merge_speedup:.2}\n  }}\n}}\n",
-        updates.len()
-    );
-    let out = std::env::var("BENCH_BANK_OUT").unwrap_or_else(|_| "BENCH_bank.json".into());
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    // ---- timings. Configurations are interleaved round-robin rather
+    // than measured back-to-back, so slow clock-frequency drift over the
+    // run biases every configuration equally; the reported number is the
+    // per-configuration minimum across rounds (least-noise estimator for
+    // a single-threaded CPU-bound kernel). Round 0 is an untimed warm-up.
+    const FAN_LEN: usize = 1 << 16;
+    let merge_operands: Vec<(ForestSketch, ForestSketch)> = CONFIGS
+        .iter()
+        .map(|&cfg| {
+            with_path(cfg, || {
+                let mut a = build_forest(cfg, n, seed);
+                a.absorb(&updates[..updates.len() / 2]);
+                let mut b = build_forest(cfg, n, seed);
+                b.absorb(&updates[updates.len() / 2..]);
+                (a, b)
+            })
+        })
+        .collect();
+    let mut fan_banks: Vec<CellBank> = CONFIGS
+        .iter()
+        .map(|&cfg| CellBank::with_width(BankGeometry::flat(FAN_LEN), cfg_width(cfg)))
+        .collect();
 
-    println!("== bank kernels (AoS baseline vs CellBank) ==");
-    println!(
-        "absorb: {absorb_aos_per_update:>8.1} ns/update (AoS)  {absorb_bank_per_update:>8.1} \
-         ns/update (bank)  {absorb_speedup:.2}x"
+    let mut mins = [[f64::INFINITY; 4]; 3]; // [kernel][config]
+    for round in 0..=RUNS {
+        for (ci, &cfg) in CONFIGS.iter().enumerate() {
+            let absorb_ns = with_path(cfg, || {
+                let t = Instant::now();
+                let mut s = build_forest(cfg, n, seed);
+                s.absorb(&updates);
+                black_box(&s);
+                t.elapsed().as_nanos() as f64
+            });
+            let (a, b) = &merge_operands[ci];
+            let merge_ns = with_path(cfg, || {
+                let t = Instant::now();
+                let mut acc = a.clone();
+                acc.merge(b);
+                black_box(&acc);
+                t.elapsed().as_nanos() as f64
+            });
+            let bank = &mut fan_banks[ci];
+            let fan_ns = with_path(cfg, || {
+                let t = Instant::now();
+                bank.fan(0..FAN_LEN, 1, 7, M61::new(13));
+                black_box(&bank);
+                t.elapsed().as_nanos() as f64
+            });
+            if round > 0 {
+                mins[0][ci] = mins[0][ci].min(absorb_ns);
+                mins[1][ci] = mins[1][ci].min(merge_ns);
+                mins[2][ci] = mins[2][ci].min(fan_ns);
+            }
+        }
+    }
+
+    let mut kernel_json = Vec::new();
+    let mut speedup = [f64::NAN; 3]; // absorb, merge, fan
+    let mut baseline = [f64::NAN; 3];
+    for (ki, kernel) in ["absorb", "merge", "fan"].iter().enumerate() {
+        for (ci, &cfg) in CONFIGS.iter().enumerate() {
+            let ns = mins[ki][ci];
+            let cell_bytes = 8 + cfg_width(cfg).s_bytes() + 8;
+            let (detail, gb_per_s) = match ki {
+                0 => (
+                    format!(", \"ns_per_update\": {:.1}", ns / updates.len() as f64),
+                    // Ingest is hash-bound, not bandwidth-bound; no
+                    // honest byte count exists, so no GB/s is reported.
+                    None,
+                ),
+                // Merge reads each cell's lanes from both operands and
+                // writes them back once; fan reads and writes each cell.
+                1 => (String::new(), Some(3.0 * (cells * cell_bytes) as f64 / ns)),
+                _ => (
+                    String::new(),
+                    Some(2.0 * (FAN_LEN * cell_bytes) as f64 / ns),
+                ),
+            };
+            if cfg.name == "wide-scalar" {
+                baseline[ki] = ns;
+            } else if cfg.name == "narrow-simd" {
+                speedup[ki] = baseline[ki] / ns;
+            }
+            let gb = gb_per_s
+                .map(|g| format!("{g:.2}"))
+                .unwrap_or_else(|| "null".into());
+            kernel_json.push(format!(
+                "      {{ \"kernel\": \"{kernel}\", \"config\": \"{}\", \
+                 \"ns\": {ns:.0}{detail}, \"gb_per_s\": {gb} }}",
+                cfg.name
+            ));
+            println!(
+                "{kernel:>6} {:>13}: {:>12.0} ns{}",
+                cfg.name,
+                ns,
+                gb_per_s
+                    .map(|g| format!("  ({g:.2} GB/s)"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+
+    let record = format!(
+        "  {{\n    \"sha\": \"{}\",\n    \"date\": \"{}\",\n    \
+         \"variant\": \"{}\",\n    \"n\": {n},\n    \"updates\": {},\n    \
+         \"cells\": {cells},\n    \"kernels\": [\n{}\n    ],\n    \
+         \"speedup_narrow_simd_vs_wide_scalar\": {{ \"absorb\": {:.2}, \
+         \"merge\": {:.2}, \"fan\": {:.2} }}\n  }}",
+        git_sha(),
+        utc_date(),
+        if simd_host { "avx2" } else { "scalar" },
+        updates.len(),
+        kernel_json.join(",\n"),
+        speedup[0],
+        speedup[1],
+        speedup[2],
     );
+    // cargo runs benches with the package (not workspace) root as cwd;
+    // anchor the default at the workspace root so the trajectory file is
+    // the committed one.
+    let out = std::env::var("BENCH_BANK_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bank.json").into());
+    append_record(&out, &record);
+
     println!(
-        "merge:  {:>8.1} ns/cell   (AoS)  {:>8.1} ns/cell   (bank)  {merge_speedup:.2}x",
-        aos_merge_ns / cells as f64,
-        bank_merge_ns / cells as f64,
+        "speedup narrow-simd vs wide-scalar: absorb {:.2}x  merge {:.2}x  fan {:.2}x",
+        speedup[0], speedup[1], speedup[2]
     );
-    println!("wrote {out}");
+    println!("appended record to {out}");
+}
+
+fn cfg_width(cfg: Config) -> LaneWidth {
+    if cfg.narrow {
+        LaneWidth::Narrow
+    } else {
+        LaneWidth::Wide
+    }
 }

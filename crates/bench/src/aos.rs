@@ -200,10 +200,9 @@ mod tests {
         let mut bs = Vec::new();
         let mut bf = Vec::new();
         for bank in banked.banks() {
-            let (lw, ls, lf) = bank.lanes();
-            bw.extend_from_slice(lw);
-            bs.extend_from_slice(ls);
-            bf.extend_from_slice(lf);
+            bw.extend_from_slice(bank.w_lane());
+            bs.extend(bank.s_lane().to_wide_vec());
+            bf.extend_from_slice(bank.f_lane());
         }
         assert_eq!(w, bw);
         assert_eq!(s, bs);

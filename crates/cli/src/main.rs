@@ -329,7 +329,7 @@ impl IngestReport {
         };
         eprintln!(
             "stats: {} updates in {:.3}s ({:.0} updates/s) via {} shard(s) on {} worker \
-             thread(s); {} batches enqueued; {} sketch bytes resident",
+             thread(s); {} batches enqueued; {} sketch bytes resident ({} lane bytes)",
             self.updates,
             self.elapsed_secs,
             rate,
@@ -337,7 +337,15 @@ impl IngestReport {
             self.stats.workers,
             self.stats.batches_enqueued,
             self.stats.bytes_resident,
+            self.stats.lane_bytes_resident,
         );
+        if self.stats.lane_overflows > 0 {
+            eprintln!(
+                "warning: {} shard(s) report lane overflow; answers from this sketch \
+                 must not be trusted",
+                self.stats.lane_overflows
+            );
+        }
     }
 }
 

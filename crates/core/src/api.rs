@@ -33,8 +33,15 @@
 //! }
 //! ```
 
+use crate::connectivity::ForestParams;
 use crate::extras::{BipartitenessSketch, KConnectivitySketch};
-use crate::mst::MstSketch;
+use crate::kedge::SubtractMode;
+use crate::mincut::MinCutParams;
+use crate::mst::{MstParams, MstSketch};
+use crate::simple_sparsify::SimpleSparsifyParams;
+use crate::sparsify::SparsifyParams;
+use crate::subgraphs::SubgraphParams;
+use crate::weighted::WeightedParams;
 use crate::{
     ForestSketch, KEdgeConnectSketch, MinCutSketch, SimpleSparsifySketch, SparsifySketch,
     SubgraphSketch, WeightedSparsifySketch,
@@ -42,6 +49,7 @@ use crate::{
 use gs_field::M61;
 use gs_graph::subgraph::Pattern;
 use gs_sketch::bank::{CellBank, CellBanked};
+use gs_sketch::lane::LaneOverflow;
 use gs_sketch::par::DecodePlan;
 use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable};
 use gs_stream::distributed::{sketch_central, sketch_distributed};
@@ -248,37 +256,93 @@ impl SketchSpec {
 
     /// Constructs the empty sketch this spec describes.
     ///
+    /// Each task is built through its bounded constructor, which derives
+    /// the bank `s`-lane width from the spec (`LaneWidth::for_bounds`):
+    /// Definition-1 tasks declare the unit insert/delete bound, the
+    /// weighted tasks their weight-class encodings, the subgraph task its
+    /// squash-encoding scale. The declared bound is a derivation hint
+    /// only — feeding larger deltas still computes correctly unless a
+    /// lane truly overflows at runtime, which poisons the bank and is
+    /// reported through [`LinearSketch::lane_overflow`] instead of
+    /// silently wrapping. Two sites with equal specs derive equal widths,
+    /// so mergeability and the wire formats are unaffected.
+    ///
     /// # Panics
     /// Panics if the spec is degenerate (the constructors assert their
     /// invariants). Untrusted callers should use [`SketchSpec::try_build`].
     pub fn build(&self) -> AnySketch {
+        // Definition 1 streams carry unit insert/delete updates.
+        const UNIT: u64 = 1;
         match self.task {
-            SketchTask::Connectivity => AnySketch::Forest(ForestSketch::new(self.n, self.seed)),
-            SketchTask::Bipartite => {
-                AnySketch::Bipartite(BipartitenessSketch::new(self.n, self.seed))
-            }
-            SketchTask::MinCut => AnySketch::MinCut(MinCutSketch::new(self.n, self.eps, self.seed)),
+            SketchTask::Connectivity => AnySketch::Forest(ForestSketch::with_bounds(
+                self.n,
+                ForestParams::for_n(self.n),
+                self.seed,
+                UNIT,
+            )),
+            SketchTask::Bipartite => AnySketch::Bipartite(BipartitenessSketch::with_bounds(
+                self.n,
+                ForestParams::for_n(2 * self.n),
+                self.seed,
+                UNIT,
+            )),
+            SketchTask::MinCut => AnySketch::MinCut(MinCutSketch::with_bounds(
+                self.n,
+                MinCutParams::scaled(self.n, self.eps),
+                self.seed,
+                UNIT,
+            )),
             SketchTask::SimpleSparsify => {
-                AnySketch::SimpleSparsify(SimpleSparsifySketch::new(self.n, self.eps, self.seed))
+                AnySketch::SimpleSparsify(SimpleSparsifySketch::with_bounds(
+                    self.n,
+                    SimpleSparsifyParams::scaled(self.n, self.eps),
+                    self.seed,
+                    UNIT,
+                ))
             }
-            SketchTask::Sparsify => {
-                AnySketch::Sparsify(SparsifySketch::new(self.n, self.eps, self.seed))
+            SketchTask::Sparsify => AnySketch::Sparsify(SparsifySketch::with_bounds(
+                self.n,
+                SparsifyParams::scaled(self.n, self.eps),
+                self.seed,
+                UNIT,
+            )),
+            SketchTask::WeightedSparsify => {
+                // Per-class bounds (class c carries ±w, w < 2^{c+1}) are
+                // derived inside the constructor.
+                AnySketch::WeightedSparsify(WeightedSparsifySketch::with_bounds(
+                    self.n,
+                    WeightedParams::scaled(self.n, self.eps, self.max_weight),
+                    self.seed,
+                ))
             }
-            SketchTask::WeightedSparsify => AnySketch::WeightedSparsify(
-                WeightedSparsifySketch::new(self.n, self.eps, self.max_weight, self.seed),
-            ),
-            SketchTask::Subgraphs => {
-                AnySketch::Subgraph(SubgraphSketch::new(self.n, self.k, self.eps, self.seed))
-            }
-            SketchTask::Mst => {
-                AnySketch::Mst(MstSketch::new(self.n, self.eps, self.max_weight, self.seed))
-            }
-            SketchTask::KConnect => {
-                AnySketch::KConnect(KConnectivitySketch::new(self.n, self.k, self.seed))
-            }
-            SketchTask::KEdgeWitness => {
-                AnySketch::KEdgeWitness(KEdgeConnectSketch::new(self.n, self.k, self.seed))
-            }
+            SketchTask::Subgraphs => AnySketch::Subgraph(SubgraphSketch::with_bounds(
+                self.n,
+                self.k,
+                SubgraphParams::for_eps(self.eps),
+                self.seed,
+                UNIT,
+            )),
+            SketchTask::Mst => AnySketch::Mst(MstSketch::with_bounds(
+                self.n,
+                MstParams {
+                    eps: self.eps,
+                    max_weight: self.max_weight,
+                    forest: ForestParams::for_n(self.n),
+                },
+                self.seed,
+                UNIT,
+            )),
+            SketchTask::KConnect => AnySketch::KConnect(KConnectivitySketch::with_bounds(
+                self.n, self.k, self.seed, UNIT,
+            )),
+            SketchTask::KEdgeWitness => AnySketch::KEdgeWitness(KEdgeConnectSketch::with_bounds(
+                self.n,
+                self.k,
+                ForestParams::for_n(self.n),
+                SubtractMode::Unit,
+                self.seed,
+                UNIT,
+            )),
         }
     }
 
@@ -383,6 +447,10 @@ impl std::error::Error for SpecError {}
 /// Any sketch in the crate, behind one type: the runtime-dispatch
 /// counterpart of [`LinearSketch`]. Feed it, merge it (same-task,
 /// same-spec sketches only), decode it into a [`SketchAnswer`].
+// Variant sizes differ (each holds its own banks/params inline), but
+// every instance is long-lived and heap dominates — boxing would just
+// add an indirection to every dispatch.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AnySketch {
     /// Spanning forest / connectivity.
@@ -562,6 +630,17 @@ impl LinearSketch for AnySketch {
             AnySketch::KConnect(s) => s.absorb(batch),
             AnySketch::KEdgeWitness(s) => s.absorb(batch),
         }
+    }
+
+    /// First poisoned bank across the whole sketch, if any (a lane truly
+    /// overflowed at runtime — the sketch's remaining content is
+    /// unspecified and its answers must not be trusted).
+    fn lane_overflow(&self) -> Option<LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

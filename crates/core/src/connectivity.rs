@@ -18,6 +18,7 @@ use gs_field::{BackendKind, HashBackend, Randomness, M61};
 use gs_graph::UnionFind;
 use gs_sketch::bank::{BankGeometry, CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
+use gs_sketch::lane::{LaneOverflow, LaneWidth};
 use gs_sketch::par::{par_map, DecodePlan};
 use gs_sketch::{
     level_count, EdgeUpdate, L0Detector, L0Result, LinearSketch, Mergeable, OneSparseCell,
@@ -129,12 +130,24 @@ impl ForestSketch {
         Self::with_params(n, ForestParams::for_n(n), seed)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (wide lanes — no delta bound declared).
     ///
     /// # Panics
     /// Panics if `n < 2` or `detector_reps` exceeds
     /// [`MAX_DETECTOR_REPS`].
     pub fn with_params(n: usize, params: ForestParams, seed: u64) -> Self {
+        Self::with_width(n, params, seed, LaneWidth::Wide)
+    }
+
+    /// As [`ForestSketch::with_params`], deriving the bank's `s`-lane
+    /// width from the caller's bound on `|delta|` per update (indices are
+    /// edge slots `< C(n,2)`; see `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: ForestParams, seed: u64, max_abs_delta: u64) -> Self {
+        let width = LaneWidth::for_bounds(edge_domain(n).saturating_sub(1), max_abs_delta);
+        Self::with_width(n, params, seed, width)
+    }
+
+    fn with_width(n: usize, params: ForestParams, seed: u64, width: LaneWidth) -> Self {
         assert!(n >= 2);
         assert!(
             (1..=MAX_DETECTOR_REPS).contains(&params.detector_reps),
@@ -161,7 +174,10 @@ impl ForestSketch {
             params,
             seed,
             levels,
-            cells: CellBank::new(BankGeometry::new(banks * n * reps, levels as usize, 1)),
+            cells: CellBank::with_width(
+                BankGeometry::new(banks * n * reps, levels as usize, 1),
+                width,
+            ),
             level_hash,
             finger,
         }
@@ -302,17 +318,20 @@ impl ForestSketch {
         let levels = self.levels as usize;
         let rowlen = self.row_len();
         let reps = self.params.detector_reps;
-        let (w, s, f) = self.cells.lanes();
+        let (w, f) = (self.cells.w_lane(), self.cells.f_lane());
+        let s = self.cells.s_lane();
         let domain = edge_domain(self.n);
         let finger = &self.finger[bank];
         let row0 = (bank * self.n) * rowlen;
-        // Sum of cell `j` of the row group over the members.
+        // Sum of cell `j` of the row group over the members. The group sum
+        // accumulates wide regardless of the bank's lane width: a sum over
+        // n members can exceed the narrow per-cell range.
         let gather = |j: usize| -> OneSparseCell {
             let (mut gw, mut gs, mut gf) = (0i64, 0i128, M61::ZERO);
             for &node in group {
                 let off = row0 + node * rowlen + j;
                 gw += w[off];
-                gs += s[off];
+                gs += s.get(off);
                 gf += f[off];
             }
             OneSparseCell::from_parts(gw, gs, gf)
@@ -351,7 +370,8 @@ impl ForestSketch {
     #[doc(hidden)]
     pub fn group_query_reference(&self, bank: usize, group: &[usize]) -> L0Result {
         let rowlen = self.row_len();
-        let (w, s, f) = self.cells.lanes();
+        let (w, f) = (self.cells.w_lane(), self.cells.f_lane());
+        let s = self.cells.s_lane();
         let mut gw = vec![0i64; rowlen];
         let mut gs = vec![0i128; rowlen];
         let mut gf = vec![M61::ZERO; rowlen];
@@ -359,7 +379,7 @@ impl ForestSketch {
             let off = (bank * self.n + node) * rowlen;
             for j in 0..rowlen {
                 gw[j] += w[off + j];
-                gs[j] += s[off + j];
+                gs[j] += s.get(off + j);
                 gf[j] += f[off + j];
             }
         }
@@ -502,7 +522,10 @@ impl CellBanked for ForestSketch {
 impl Serialize for ForestSketch {
     fn to_value(&self) -> Value {
         let rowlen = self.row_len();
-        let (w, s, f) = self.cells.lanes();
+        let (w, f) = (self.cells.w_lane(), self.cells.f_lane());
+        // Widen once for the dump: the proxies (and the JSON shape) are
+        // always wide.
+        let s = self.cells.s_lane().to_wide_vec();
         let mut detectors = Vec::with_capacity(self.bank_count() * self.n);
         for b in 0..self.bank_count() {
             for node in 0..self.n {
@@ -572,12 +595,16 @@ impl Deserialize for ForestSketch {
         let mut s = Vec::with_capacity(total);
         let mut f = Vec::with_capacity(total);
         for d in &detectors {
-            let (dw, ds, df) = d.banks()[0].lanes();
-            w.extend_from_slice(dw);
-            s.extend_from_slice(ds);
-            f.extend_from_slice(df);
+            let bank = d.banks()[0];
+            w.extend_from_slice(bank.w_lane());
+            s.extend(bank.s_lane().to_wide_vec());
+            f.extend_from_slice(bank.f_lane());
         }
-        sk.cells.overlay(w, s, f);
+        // Untrusted input: a narrow spec-built bank range-checks the
+        // incoming index-sums instead of truncating them.
+        sk.cells
+            .try_overlay(w, s, f)
+            .map_err(|e| Error::msg(format!("forest sketch import: {e}")))?;
         Ok(sk)
     }
 }
@@ -597,8 +624,16 @@ impl LinearSketch for ForestSketch {
         self.absorb_batch(batch);
     }
 
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
+    }
+
     fn space_bytes(&self) -> usize {
         self.cell_count() * CELL_BYTES
+    }
+
+    fn lane_overflow(&self) -> Option<LaneOverflow> {
+        CellBanked::lane_overflow(self)
     }
 
     fn decode(&self) -> Forest {

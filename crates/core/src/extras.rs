@@ -45,6 +45,17 @@ impl BipartitenessSketch {
         }
     }
 
+    /// As [`BipartitenessSketch::with_params`], deriving both forests'
+    /// `s`-lane widths from the caller's bound on `|delta|` per update
+    /// (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: ForestParams, seed: u64, max_abs_delta: u64) -> Self {
+        BipartitenessSketch {
+            n,
+            base: ForestSketch::with_bounds(n, params, seed ^ 0xB1_0001, max_abs_delta),
+            cover: ForestSketch::with_bounds(2 * n, params, seed ^ 0xB1_0002, max_abs_delta),
+        }
+    }
+
     /// Vertex count of the streamed graph (the cover works on `2n`).
     pub fn n(&self) -> usize {
         self.n
@@ -149,6 +160,14 @@ impl LinearSketch for BipartitenessSketch {
         self.absorb_batch(batch);
     }
 
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
+    }
+
     fn space_bytes(&self) -> usize {
         self.cell_count() * CELL_BYTES
     }
@@ -176,6 +195,23 @@ impl KConnectivitySketch {
         KConnectivitySketch {
             k,
             inner: KEdgeConnectSketch::new(n, k, seed),
+        }
+    }
+
+    /// As [`KConnectivitySketch::new`], deriving the witness stack's
+    /// `s`-lane widths from the caller's bound on `|delta|` per update
+    /// (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, k: usize, seed: u64, max_abs_delta: u64) -> Self {
+        KConnectivitySketch {
+            k,
+            inner: KEdgeConnectSketch::with_bounds(
+                n,
+                k,
+                ForestParams::for_n(n),
+                Default::default(),
+                seed,
+                max_abs_delta,
+            ),
         }
     }
 
@@ -253,6 +289,14 @@ impl LinearSketch for KConnectivitySketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.inner.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

@@ -651,8 +651,16 @@ pub struct TenantStats {
     pub busy_rejections: u64,
     /// Engine worker threads this tenant claimed from the budget.
     pub workers: u64,
-    /// Resident sketch bytes (engine shards + checkpoint base).
+    /// Resident sketch bytes (engine shards + checkpoint base), charged
+    /// at the format-frozen 32-byte wire cell.
     pub bytes_resident: u64,
+    /// Width-aware resident lane bytes (engine shards + checkpoint
+    /// base): what the process actually holds after `s`-lane compaction.
+    pub lane_bytes_resident: u64,
+    /// Engine shards (plus the base, counted as one) carrying a sticky
+    /// lane-overflow mark — true counter overflow was detected and those
+    /// measurements must not be trusted.
+    pub lane_overflows: u64,
     /// `true` iff the tenant has unpersisted state.
     pub dirty: bool,
 }
@@ -953,6 +961,8 @@ mod tests {
                 busy_rejections: 1,
                 workers: 2,
                 bytes_resident: 1 << 20,
+                lane_bytes_resident: 3 << 18,
+                lane_overflows: 0,
                 dirty: true,
             }],
         };

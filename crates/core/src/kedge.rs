@@ -68,14 +68,39 @@ impl KEdgeConnectSketch {
         subtract: SubtractMode,
         seed: u64,
     ) -> Self {
+        Self::build(n, k, params, subtract, seed, None)
+    }
+
+    /// As [`KEdgeConnectSketch::with_mode`], deriving every forest
+    /// layer's `s`-lane width from the caller's bound on `|delta|` per
+    /// update (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(
+        n: usize,
+        k: usize,
+        params: ForestParams,
+        subtract: SubtractMode,
+        seed: u64,
+        max_abs_delta: u64,
+    ) -> Self {
+        Self::build(n, k, params, subtract, seed, Some(max_abs_delta))
+    }
+
+    fn build(
+        n: usize,
+        k: usize,
+        params: ForestParams,
+        subtract: SubtractMode,
+        seed: u64,
+        bound: Option<u64>,
+    ) -> Self {
         assert!(k >= 1);
         let forests = (0..k)
             .map(|i| {
-                ForestSketch::with_params(
-                    n,
-                    params,
-                    seed ^ (0xEC_0000 + i as u64).wrapping_mul(0xD134_2543_DE82_EF95),
-                )
+                let lseed = seed ^ (0xEC_0000 + i as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+                match bound {
+                    Some(d) => ForestSketch::with_bounds(n, params, lseed, d),
+                    None => ForestSketch::with_params(n, params, lseed),
+                }
             })
             .collect();
         KEdgeConnectSketch {
@@ -229,6 +254,14 @@ impl LinearSketch for KEdgeConnectSketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

@@ -118,16 +118,38 @@ impl MinCutSketch {
 
     /// Full-control constructor.
     pub fn with_params(n: usize, params: MinCutParams, seed: u64) -> Self {
+        Self::build(n, params, seed, None)
+    }
+
+    /// As [`MinCutSketch::with_params`], deriving every level's `s`-lane
+    /// width from the caller's bound on `|delta|` per update (see
+    /// `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: MinCutParams, seed: u64, max_abs_delta: u64) -> Self {
+        Self::build(n, params, seed, Some(max_abs_delta))
+    }
+
+    fn build(n: usize, params: MinCutParams, seed: u64, bound: Option<u64>) -> Self {
         assert!(n >= 2 && params.levels >= 1 && params.k >= 1);
         let levels = (0..params.levels)
             .map(|i| {
-                KEdgeConnectSketch::with_mode(
-                    n,
-                    params.k,
-                    params.forest,
-                    params.subtract,
-                    seed ^ (0x3C_0000 + i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-                )
+                let lseed = seed ^ (0x3C_0000 + i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                match bound {
+                    Some(d) => KEdgeConnectSketch::with_bounds(
+                        n,
+                        params.k,
+                        params.forest,
+                        params.subtract,
+                        lseed,
+                        d,
+                    ),
+                    None => KEdgeConnectSketch::with_mode(
+                        n,
+                        params.k,
+                        params.forest,
+                        params.subtract,
+                        lseed,
+                    ),
+                }
             })
             .collect();
         MinCutSketch {
@@ -310,6 +332,14 @@ impl LinearSketch for MinCutSketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

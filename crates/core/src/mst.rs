@@ -71,6 +71,19 @@ impl MstSketch {
 
     /// Full-control constructor.
     pub fn with_params(n: usize, params: MstParams, seed: u64) -> Self {
+        Self::build(n, params, seed, None)
+    }
+
+    /// As [`MstSketch::with_params`], deriving every threshold level's
+    /// `s`-lane width from the caller's bound on `|delta|` per update
+    /// (the threshold subgraphs take unit membership updates, so the
+    /// bound is the stream's multiplicity bound; see
+    /// `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: MstParams, seed: u64, max_abs_delta: u64) -> Self {
+        Self::build(n, params, seed, Some(max_abs_delta))
+    }
+
+    fn build(n: usize, params: MstParams, seed: u64, bound: Option<u64>) -> Self {
         assert!(params.eps > 0.0, "eps must be positive");
         assert!(params.max_weight >= 1);
         let mut thresholds = Vec::new();
@@ -85,11 +98,11 @@ impl MstSketch {
         }
         let levels = (0..thresholds.len())
             .map(|i| {
-                ForestSketch::with_params(
-                    n,
-                    params.forest,
-                    seed ^ (0x4D_0000 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
+                let lseed = seed ^ (0x4D_0000 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                match bound {
+                    Some(d) => ForestSketch::with_bounds(n, params.forest, lseed, d),
+                    None => ForestSketch::with_params(n, params.forest, lseed),
+                }
             })
             .collect();
         MstSketch {
@@ -244,6 +257,14 @@ impl LinearSketch for MstSketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

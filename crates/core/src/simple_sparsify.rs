@@ -74,6 +74,20 @@ impl SimpleSparsifySketch {
         }
     }
 
+    /// As [`SimpleSparsifySketch::with_params`], deriving the level
+    /// machinery's `s`-lane width from the caller's bound on `|delta|`
+    /// per update (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(
+        n: usize,
+        params: SimpleSparsifyParams,
+        seed: u64,
+        max_abs_delta: u64,
+    ) -> Self {
+        SimpleSparsifySketch {
+            inner: MinCutSketch::with_bounds(n, params.0, seed, max_abs_delta),
+        }
+    }
+
     /// Vertex count.
     pub fn n(&self) -> usize {
         self.inner.n()
@@ -252,6 +266,14 @@ impl LinearSketch for SimpleSparsifySketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.inner.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

@@ -92,24 +92,46 @@ impl SparsifySketch {
 
     /// Full-control constructor.
     pub fn with_params(n: usize, params: SparsifyParams, seed: u64) -> Self {
+        Self::build(n, params, seed, None)
+    }
+
+    /// As [`SparsifySketch::with_params`], deriving the recovery and
+    /// rough-sparsifier `s`-lane widths from the caller's bound on
+    /// `|delta|` per update (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: SparsifyParams, seed: u64, max_abs_delta: u64) -> Self {
+        Self::build(n, params, seed, Some(max_abs_delta))
+    }
+
+    fn build(n: usize, params: SparsifyParams, seed: u64, bound: Option<u64>) -> Self {
         assert!(n >= 2 && params.levels >= 1);
         let domain = edge_domain(n);
         let recoveries = (0..params.levels * n)
             .map(|i| {
                 let level = i / n;
-                SparseRecovery::with_kind(
-                    domain,
-                    params.recovery_k,
-                    seed ^ (0x5A_0000 + level as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
-                    params.kind,
-                )
+                let lseed = seed ^ (0x5A_0000 + level as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                match bound {
+                    Some(d) => SparseRecovery::with_bounds(
+                        domain,
+                        params.recovery_k,
+                        lseed,
+                        params.kind,
+                        d,
+                    ),
+                    None => {
+                        SparseRecovery::with_kind(domain, params.recovery_k, lseed, params.kind)
+                    }
+                }
             })
             .collect();
+        let rough_seed = seed ^ 0x4F75_6768;
         SparsifySketch {
             n,
             params,
             seed,
-            rough: SimpleSparsifySketch::with_params(n, params.rough, seed ^ 0x4F75_6768),
+            rough: match bound {
+                Some(d) => SimpleSparsifySketch::with_bounds(n, params.rough, rough_seed, d),
+                None => SimpleSparsifySketch::with_params(n, params.rough, rough_seed),
+            },
             recoveries,
             level_hash: params.kind.backend(seed, 0x5A_FFFF),
         }
@@ -288,6 +310,14 @@ impl LinearSketch for SparsifySketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

@@ -83,18 +83,46 @@ impl SubgraphSketch {
 
     /// Full-control constructor.
     pub fn with_params(n: usize, k: usize, params: SubgraphParams, seed: u64) -> Self {
+        Self::build(n, k, params, seed, None)
+    }
+
+    /// As [`SubgraphSketch::with_params`], deriving the samplers' `s`-lane
+    /// width from the caller's bound on `|delta|` per stream update. The
+    /// squash encoding scales a stream delta by up to `2^{C(k,2)−1}` (one
+    /// bit per possible pattern edge), so the coordinate-level bound is
+    /// `max_abs_delta · 2^{C(k,2)−1}` (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(
+        n: usize,
+        k: usize,
+        params: SubgraphParams,
+        seed: u64,
+        max_abs_delta: u64,
+    ) -> Self {
+        let slots = (k * (k - 1) / 2) as u32;
+        let coord_bound = max_abs_delta.saturating_mul(1u64 << (slots - 1).min(62));
+        Self::build(n, k, params, seed, Some(coord_bound))
+    }
+
+    fn build(n: usize, k: usize, params: SubgraphParams, seed: u64, bound: Option<u64>) -> Self {
         assert!((2..=6).contains(&k), "pattern order {k} unsupported");
         assert!(n >= k, "graph smaller than pattern order");
         assert!(params.samples >= 1);
         let domain = subset_domain(n, k);
         let samplers = (0..params.samples)
             .map(|i| {
-                L0Sampler::with_params(
-                    domain,
-                    params.sampler_sparsity,
-                    seed ^ (0x4B_0000 + i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-                    params.kind,
-                )
+                let sseed = seed ^ (0x4B_0000 + i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                match bound {
+                    Some(d) => L0Sampler::with_bounds(
+                        domain,
+                        params.sampler_sparsity,
+                        sseed,
+                        params.kind,
+                        d,
+                    ),
+                    None => {
+                        L0Sampler::with_params(domain, params.sampler_sparsity, sseed, params.kind)
+                    }
+                }
             })
             .collect();
         SubgraphSketch {
@@ -286,6 +314,14 @@ impl LinearSketch for SubgraphSketch {
 
     fn update_edge(&mut self, u: usize, v: usize, delta: i64) {
         SubgraphSketch::update_edge(self, u, v, delta);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

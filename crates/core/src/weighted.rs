@@ -71,6 +71,18 @@ impl WeightedSparsifySketch {
 
     /// Full-control constructor.
     pub fn with_params(n: usize, params: WeightedParams, seed: u64) -> Self {
+        Self::build(n, params, seed, false)
+    }
+
+    /// As [`WeightedSparsifySketch::with_params`], compacting each weight
+    /// class's `s`-lanes to its derived per-class delta bound: class `c`
+    /// carries value-carrying updates `±w` with `w < 2^{c+1}`, so its
+    /// bound is `2^{c+1} − 1` (see `LaneWidth::for_bounds`).
+    pub fn with_bounds(n: usize, params: WeightedParams, seed: u64) -> Self {
+        Self::build(n, params, seed, true)
+    }
+
+    fn build(n: usize, params: WeightedParams, seed: u64, bounded: bool) -> Self {
         assert!(params.classes >= 1);
         assert_eq!(
             params.class_params.0.subtract,
@@ -79,11 +91,13 @@ impl WeightedSparsifySketch {
         );
         let classes = (0..params.classes)
             .map(|c| {
-                SimpleSparsifySketch::with_params(
-                    n,
-                    params.class_params,
-                    seed ^ (0x3E_0000 + c as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
-                )
+                let cseed = seed ^ (0x3E_0000 + c as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+                if bounded {
+                    let class_bound = (1u64 << (c + 1).min(63)) - 1;
+                    SimpleSparsifySketch::with_bounds(n, params.class_params, cseed, class_bound)
+                } else {
+                    SimpleSparsifySketch::with_params(n, params.class_params, cseed)
+                }
             })
             .collect();
         WeightedSparsifySketch {
@@ -225,6 +239,14 @@ impl LinearSketch for WeightedSparsifySketch {
 
     fn absorb(&mut self, batch: &[EdgeUpdate]) {
         self.absorb_batch(batch);
+    }
+
+    fn lane_overflow(&self) -> Option<gs_sketch::lane::LaneOverflow> {
+        CellBanked::lane_overflow(self)
+    }
+
+    fn resident_lane_bytes(&self) -> usize {
+        CellBanked::resident_bytes(self)
     }
 
     fn space_bytes(&self) -> usize {

@@ -236,6 +236,17 @@ pub enum WireError {
     },
     /// The states themselves refused to merge.
     Merge(MergeError),
+    /// A file or delta carries a cell value outside the receiving bank's
+    /// spec-derived lane range (the lane-compaction bound of
+    /// `LaneWidth::for_bounds`). The wire always ships `s` as 16-byte
+    /// words; a narrow bank range-checks them on import and refuses the
+    /// whole record rather than wrapping silently.
+    LaneRange {
+        /// Zero-based index of the offending bank.
+        bank: usize,
+        /// Flat cell index of the first out-of-range value, when known.
+        cell: Option<usize>,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -285,6 +296,18 @@ impl std::fmt::Display for WireError {
                  from identical specs measure the same projection"
             ),
             WireError::Merge(e) => write!(f, "{e}"),
+            WireError::LaneRange { bank, cell } => match cell {
+                Some(cell) => write!(
+                    f,
+                    "bank {bank} cell {cell} carries a value outside the receiving \
+                     sketch's compacted lane range"
+                ),
+                None => write!(
+                    f,
+                    "bank {bank} carries a value outside the receiving sketch's \
+                     compacted lane range"
+                ),
+            },
         }
     }
 }
@@ -396,6 +419,19 @@ impl SketchFile {
         // the file *declares* before any coordinator merges it, and keep
         // the spec-built rebuild (same measurements, structured geometry).
         let rebuilt = rebuild_from_spec(&file.spec, &file.state).ok_or(WireError::StateMismatch)?;
+        // The rebuild merges the declared values into the spec-built
+        // sketch; a value outside a compacted lane's range poisons the
+        // receiving bank there, which surfaces here as a typed refusal
+        // (the JSON format predates lane compaction, so this is the only
+        // place the legacy path can range-check).
+        if let Some((bank, e)) = rebuilt
+            .banks()
+            .iter()
+            .enumerate()
+            .find_map(|(i, b)| b.lane_overflow().map(|e| (i, e)))
+        {
+            return Err(WireError::LaneRange { bank, cell: e.cell });
+        }
         Ok(SketchFile {
             spec: file.spec,
             state: rebuilt,
@@ -426,14 +462,17 @@ impl SketchFile {
             write_u32(&mut out, geom.reps as u32);
             write_u32(&mut out, geom.levels as u32);
             write_u32(&mut out, geom.slots as u32);
-            let (w, s, f) = bank.lanes();
-            for &x in w {
+            for &x in bank.w_lane() {
                 out.extend_from_slice(&x.to_le_bytes());
             }
-            for &x in s {
-                out.extend_from_slice(&x.to_le_bytes());
+            // The wire always ships `s` as 16-byte words: a narrow
+            // (i64-lane) bank widens here, so compaction never leaks
+            // into the format and old readers stay byte-compatible.
+            let s = bank.s_lane();
+            for i in 0..bank.len() {
+                out.extend_from_slice(&s.get(i).to_le_bytes());
             }
-            for &x in f {
+            for &x in bank.f_lane() {
                 out.extend_from_slice(&x.value().to_le_bytes());
             }
         }
@@ -498,7 +537,16 @@ impl SketchFile {
             for _ in 0..len {
                 f.push(read_m61(&mut r)?);
             }
-            bank.overlay(w, s, f);
+            // A compacted (narrow-lane) bank range-checks the widened
+            // wire words before accepting any of them: a value outside
+            // the lane's derived bound means the file was produced for a
+            // different spec (or tampered with), so refuse with a typed
+            // error instead of wrapping silently.
+            bank.try_overlay(w, s, f)
+                .map_err(|e| WireError::LaneRange {
+                    bank: i,
+                    cell: e.cell,
+                })?;
         }
         let declared_fps = r.u32()? as usize;
         let mut fps = state.fingerprints_mut();
@@ -574,12 +622,15 @@ impl SketchFile {
             for &i in &touched {
                 write_u32(&mut out, i as u32);
             }
-            let (w, s, f) = bank.lanes();
+            let (w, f) = (bank.w_lane(), bank.f_lane());
+            let s = bank.s_lane();
             for &i in &touched {
                 out.extend_from_slice(&w[i].to_le_bytes());
             }
+            // Same rule as `to_bytes`: `s` rides as 16-byte words, so a
+            // narrow bank widens on the way out.
             for &i in &touched {
-                out.extend_from_slice(&s[i].to_le_bytes());
+                out.extend_from_slice(&s.get(i).to_le_bytes());
             }
             for &i in &touched {
                 out.extend_from_slice(&f[i].value().to_le_bytes());
@@ -640,6 +691,23 @@ impl SketchFile {
                     "delta carries {} fingerprints, the receiving sketch has {fp_count}",
                     delta.fingerprints.len()
                 )));
+            }
+        }
+        // First pass: dry-run every touched cell against the receiving
+        // bank's lane width. Delta indices are strictly ascending per
+        // bank, so each cell is touched exactly once and the dry-run is
+        // exact — the record is accepted or refused as a whole, nothing
+        // is mutated on refusal.
+        {
+            let banks = self.state.banks();
+            for (bi, (bank, part)) in banks.iter().zip(&delta.banks).enumerate() {
+                for (k, &i) in part.idx.iter().enumerate() {
+                    bank.check_apply(i as usize, part.w[k], part.s[k])
+                        .map_err(|e| WireError::LaneRange {
+                            bank: bi,
+                            cell: e.cell,
+                        })?;
+                }
             }
         }
         // Fully validated: the sum below cannot fail half-way.

@@ -1,0 +1,356 @@
+//! The lane gauntlet: bit-identity and range-safety checks for the
+//! compacted-lane + SIMD storage layer, run across **all ten** sketch
+//! tasks through the public [`SketchSpec`] surface.
+//!
+//! Two disciplines are enforced here:
+//!
+//! 1. **Bit identity.** A spec-built sketch (compacted `s`-lanes, AVX2
+//!    kernels where the CPU has them) must produce measurement state
+//!    bit-identical to the wide-lane scalar reference on the same
+//!    stream — across absorb, merge, accumulate, and drain_dirty. The
+//!    scalar loops and wide lanes are the oracle; any divergence is a
+//!    kernel bug, full stop.
+//! 2. **Range safety.** Wire blobs, delta records, and legacy JSON may
+//!    carry `s` values that do not fit a receiver's compacted lane.
+//!    Every import path must reject them with
+//!    [`WireError::LaneRange`] and leave the receiver untouched —
+//!    never wrap, never panic.
+
+use graph_sketches::{AnySketch, SketchFile, SketchSpec, SketchTask, WireError};
+use gs_field::SplitMix64;
+use gs_sketch::bank::CellBanked;
+use gs_sketch::{simd, EdgeUpdate, LinearSketch, Mergeable};
+
+/// Restores the runtime-detected SIMD dispatch on drop, so a failing
+/// assertion in a forced-scalar section cannot leak the forced state
+/// into other tests in this binary.
+struct ScalarGuard;
+impl ScalarGuard {
+    fn force() -> Self {
+        simd::force_scalar(true);
+        ScalarGuard
+    }
+}
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        simd::force_scalar(false);
+    }
+}
+
+fn specs() -> Vec<SketchSpec> {
+    SketchTask::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &task)| {
+            let mut spec = SketchSpec::new(task, 16);
+            spec.seed = 0x9A_0000 + i as u64;
+            // Few weight classes keep the weighted builds small; the
+            // class bound derivation is exercised all the same.
+            spec.max_weight = 8;
+            spec
+        })
+        .collect()
+}
+
+/// A deterministic update stream for `spec`: unit ±1 deltas for
+/// Definition-1 tasks, ±w weights for the weighted tasks, with enough
+/// churn that deletions partially cancel insertions.
+fn workload(spec: &SketchSpec, salt: u64, len: usize) -> Vec<EdgeUpdate> {
+    let weighted = matches!(spec.task, SketchTask::WeightedSparsify | SketchTask::Mst);
+    let mut rng = SplitMix64::new(spec.seed ^ salt ^ 0x57AC);
+    let n = spec.n as u64;
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let u = rng.next_range(n) as usize;
+        let v = rng.next_range(n) as usize;
+        if u == v {
+            continue;
+        }
+        let sign = if i % 5 == 4 { -1 } else { 1 };
+        let mag = if weighted {
+            1 + rng.next_range(spec.max_weight) as i64
+        } else {
+            1
+        };
+        out.push(EdgeUpdate {
+            u,
+            v,
+            delta: sign * mag,
+        });
+        // Periodically delete the update we just made, so both signs of
+        // every weight class get exercised.
+        if i % 7 == 3 {
+            let last = *out.last().unwrap();
+            out.push(EdgeUpdate {
+                delta: -last.delta,
+                ..last
+            });
+        }
+    }
+    out
+}
+
+/// Widens every bank of a spec-built sketch in place: the wide-lane
+/// reference twin, carrying the exact same seeds and parameters.
+fn widened(spec: &SketchSpec) -> AnySketch {
+    let mut s = spec.build();
+    for bank in s.banks_mut() {
+        bank.force_wide();
+    }
+    s
+}
+
+/// Asserts two sketches hold bit-identical measurement state, comparing
+/// `s`-lanes at full width so narrow and wide twins can be compared.
+fn assert_identical(task: SketchTask, a: &AnySketch, b: &AnySketch) {
+    let (ba, bb) = (a.banks(), b.banks());
+    assert_eq!(ba.len(), bb.len(), "{task:?}: bank count");
+    for (i, (x, y)) in ba.iter().zip(&bb).enumerate() {
+        assert_eq!(x.w_lane(), y.w_lane(), "{task:?}: bank {i} w lane");
+        assert_eq!(
+            x.s_lane().to_wide_vec(),
+            y.s_lane().to_wide_vec(),
+            "{task:?}: bank {i} s lane"
+        );
+        assert_eq!(x.f_lane(), y.f_lane(), "{task:?}: bank {i} f lane");
+    }
+    assert_eq!(a.fingerprints(), b.fingerprints(), "{task:?}: fingerprints");
+}
+
+#[test]
+fn narrow_vs_wide_bit_identity_across_all_tasks() {
+    for spec in specs() {
+        let ups = workload(&spec, 0, 160);
+        let (head, tail) = ups.split_at(ups.len() / 2);
+
+        // Absorb.
+        let mut narrow = spec.build();
+        let mut wide = widened(&spec);
+        narrow.absorb(&ups);
+        wide.absorb(&ups);
+        assert_identical(spec.task, &narrow, &wide);
+        assert!(
+            LinearSketch::lane_overflow(&narrow).is_none()
+                && LinearSketch::lane_overflow(&wide).is_none(),
+            "{:?}: in-range workload must not poison",
+            spec.task
+        );
+
+        // Merge of split streams.
+        let mut na = spec.build();
+        na.absorb(head);
+        let mut nb = spec.build();
+        nb.absorb(tail);
+        na.merge(&nb);
+        let mut wa = widened(&spec);
+        wa.absorb(head);
+        let mut wb = widened(&spec);
+        wb.absorb(tail);
+        wa.merge(&wb);
+        assert_identical(spec.task, &na, &wa);
+        // And both merge results equal the central sketch.
+        assert_identical(spec.task, &na, &narrow);
+
+        // Accumulate (the drain-side read kernel) agrees across widths.
+        for (bn, bw) in narrow.banks().iter().zip(wide.banks()) {
+            let len = bn.len();
+            let (mut aw1, mut as1, mut af1) = acc_lanes(len);
+            let (mut aw2, mut as2, mut af2) = acc_lanes(len);
+            bn.accumulate(0..len, &mut aw1, &mut as1, &mut af1);
+            bw.accumulate(0..len, &mut aw2, &mut as2, &mut af2);
+            assert_eq!(aw1, aw2, "{:?}: accumulate w", spec.task);
+            assert_eq!(as1, as2, "{:?}: accumulate s", spec.task);
+            assert_eq!(af1, af2, "{:?}: accumulate f", spec.task);
+        }
+
+        // Drain.
+        let dn = narrow.drain_dirty();
+        let dw = wide.drain_dirty();
+        assert_eq!(dn, dw, "{:?}: drained cell count", spec.task);
+        assert_identical(spec.task, &narrow, &wide);
+    }
+}
+
+fn acc_lanes(len: usize) -> (Vec<i64>, Vec<i128>, Vec<gs_field::M61>) {
+    (vec![0; len], vec![0; len], vec![gs_field::M61::ZERO; len])
+}
+
+#[test]
+fn simd_vs_scalar_bit_identity_across_all_tasks() {
+    for spec in specs() {
+        let ups = workload(&spec, 1, 160);
+        let (head, tail) = ups.split_at(ups.len() / 2);
+
+        // Everything on the scalar oracle path first.
+        let (scalar_absorbed, scalar_merged, scalar_drained) = {
+            let _guard = ScalarGuard::force();
+            let mut s = spec.build();
+            s.absorb(&ups);
+            let mut a = spec.build();
+            a.absorb(head);
+            let mut b = spec.build();
+            b.absorb(tail);
+            a.merge(&b);
+            let mut d = spec.build();
+            d.absorb(&ups);
+            let count = d.drain_dirty();
+            (s, a, (d, count))
+        };
+
+        // Same workload on the live dispatch path (AVX2 on capable
+        // hosts; degenerates to scalar-vs-scalar elsewhere, which still
+        // checks determinism).
+        let mut vector = spec.build();
+        vector.absorb(&ups);
+        assert_identical(spec.task, &scalar_absorbed, &vector);
+
+        let mut va = spec.build();
+        va.absorb(head);
+        let mut vb = spec.build();
+        vb.absorb(tail);
+        va.merge(&vb);
+        assert_identical(spec.task, &scalar_merged, &va);
+
+        // Accumulate across paths on the same (vector-built) state.
+        for bank in vector.banks() {
+            let len = bank.len();
+            let (mut aw1, mut as1, mut af1) = acc_lanes(len);
+            bank.accumulate(0..len, &mut aw1, &mut as1, &mut af1);
+            let (mut aw2, mut as2, mut af2) = acc_lanes(len);
+            {
+                let _guard = ScalarGuard::force();
+                bank.accumulate(0..len, &mut aw2, &mut as2, &mut af2);
+            }
+            assert_eq!(aw1, aw2, "{:?}: accumulate w", spec.task);
+            assert_eq!(as1, as2, "{:?}: accumulate s", spec.task);
+            assert_eq!(af1, af2, "{:?}: accumulate f", spec.task);
+        }
+
+        let mut vd = spec.build();
+        vd.absorb(&ups);
+        let vcount = vd.drain_dirty();
+        let (sd, scount) = scalar_drained;
+        assert_eq!(vcount, scount, "{:?}: drained cell count", spec.task);
+        assert_identical(spec.task, &sd, &vd);
+    }
+}
+
+/// Adversarial counter overflow on the ingest path must poison the
+/// sketch (sticky, typed) — not panic, not wrap silently into a
+/// trusted answer.
+#[test]
+fn adversarial_overflow_poisons_instead_of_panicking() {
+    for task in [SketchTask::Connectivity, SketchTask::KConnect] {
+        let mut spec = SketchSpec::new(task, 16);
+        spec.seed = 0xBAD;
+        let mut s = spec.build();
+        // Two max-magnitude deltas on the same edge wrap every touched
+        // i64 `w` counter regardless of lane width.
+        s.update_edge(0, 1, i64::MAX);
+        s.update_edge(0, 1, i64::MAX);
+        assert!(
+            LinearSketch::lane_overflow(&s).is_some(),
+            "{task:?}: true overflow must be detected"
+        );
+        // The sketch object survives: further ingest is accepted and the
+        // poison mark stays sticky.
+        s.update_edge(2, 3, 1);
+        s.update_edge(0, 1, -1);
+        assert!(
+            LinearSketch::lane_overflow(&s).is_some(),
+            "{task:?}: poison is sticky"
+        );
+    }
+}
+
+/// Builds a wide-lane twin carrying an `s` value far outside i64, with
+/// no true overflow (the wide lane holds it exactly) — the adversarial
+/// donor for the import-rejection tests.
+fn out_of_range_donor(spec: &SketchSpec) -> AnySketch {
+    let mut s = widened(spec);
+    // A single huge-magnitude update: `s += index · delta` exceeds i64
+    // for any cell whose decoded index is ≥ 5.
+    s.update_edge(spec.n - 2, spec.n - 1, i64::MAX / 4);
+    assert!(
+        LinearSketch::lane_overflow(&s).is_none(),
+        "donor must be clean — wide lanes hold the value exactly"
+    );
+    assert!(
+        s.banks()
+            .iter()
+            .any(|b| (0..b.len()).any(|i| i64::try_from(b.s_lane().get(i)).is_err())),
+        "donor must actually carry an out-of-i64-range s value"
+    );
+    s
+}
+
+#[test]
+fn v2_import_rejects_out_of_range_narrow_values() {
+    let spec = SketchSpec::new(SketchTask::Connectivity, 24);
+    let donor = SketchFile::new(spec, out_of_range_donor(&spec)).unwrap();
+    let bytes = donor.to_bytes();
+    match SketchFile::from_bytes(&bytes) {
+        Err(WireError::LaneRange { .. }) => {}
+        other => panic!("expected LaneRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn json_import_rejects_out_of_range_narrow_values() {
+    let spec = SketchSpec::new(SketchTask::Connectivity, 24);
+    let donor = SketchFile::new(spec, out_of_range_donor(&spec)).unwrap();
+    let text = donor.to_json();
+    match SketchFile::from_json(&text) {
+        Err(WireError::LaneRange { .. }) => {}
+        other => panic!("expected LaneRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn delta_import_rejects_out_of_range_values_and_leaves_receiver_unchanged() {
+    let spec = SketchSpec::new(SketchTask::Connectivity, 24);
+    let mut donor = SketchFile::new(spec, out_of_range_donor(&spec)).unwrap();
+    let delta = donor.delta_bytes();
+
+    // Receiver with some prior in-range state.
+    let mut receiver = SketchFile::new(spec, spec.build()).unwrap();
+    let ups = workload(&spec, 2, 40);
+    receiver.state.absorb(&ups);
+    let before = receiver.to_bytes();
+
+    match receiver.apply_delta(&delta) {
+        Err(WireError::LaneRange { .. }) => {}
+        other => panic!("expected LaneRange, got {other:?}"),
+    }
+    assert_eq!(
+        receiver.to_bytes(),
+        before,
+        "failed delta apply must be all-or-nothing"
+    );
+}
+
+/// In-range wire traffic between narrow and wide peers stays bit-exact:
+/// a narrow export imports into an equal spec losslessly.
+#[test]
+fn narrow_wire_round_trips_stay_bit_exact_for_every_task() {
+    for spec in specs() {
+        let ups = workload(&spec, 3, 120);
+        let mut s = spec.build();
+        s.absorb(&ups);
+        let file = SketchFile::new(spec, s).unwrap();
+        let back = SketchFile::from_bytes(&file.to_bytes()).unwrap();
+        assert_eq!(
+            file.to_bytes(),
+            back.to_bytes(),
+            "{:?}: v2 round-trip drifted",
+            spec.task
+        );
+        let jback = SketchFile::from_json(&file.to_json()).unwrap();
+        assert_eq!(
+            file.to_bytes(),
+            jback.to_bytes(),
+            "{:?}: JSON round-trip drifted",
+            spec.task
+        );
+    }
+}

@@ -14,7 +14,13 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 pub const P: u64 = (1u64 << 61) - 1;
 
 /// An element of `F_{2^61−1}`, kept reduced to `[0, P)`.
+///
+/// `repr(transparent)`: an `M61` is exactly one `u64` in memory, so slices
+/// of field elements can be viewed as raw words
+/// ([`M61::slice_as_words`]) — the shape the vectorized lane kernels in
+/// `gs_sketch::simd` sweep.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct M61(u64);
 
 impl M61 {
@@ -107,6 +113,26 @@ impl M61 {
     pub fn inv(self) -> Self {
         assert!(!self.is_zero(), "inverse of zero in F_{{2^61-1}}");
         self.pow(P - 2)
+    }
+
+    /// Views a slice of field elements as its raw `u64` words (sound by
+    /// `repr(transparent)`). The words are canonical representatives in
+    /// `[0, P)` whenever the elements were built through this module's
+    /// constructors.
+    #[inline]
+    pub fn slice_as_words(s: &[M61]) -> &[u64] {
+        // Safety: M61 is repr(transparent) over u64.
+        unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u64, s.len()) }
+    }
+
+    /// Mutable counterpart of [`M61::slice_as_words`].
+    ///
+    /// Callers must only write values in `[0, P)` — the field invariant
+    /// every arithmetic impl here relies on.
+    #[inline]
+    pub fn slice_as_words_mut(s: &mut [M61]) -> &mut [u64] {
+        // Safety: M61 is repr(transparent) over u64.
+        unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut u64, s.len()) }
     }
 }
 

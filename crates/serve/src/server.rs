@@ -149,6 +149,10 @@ impl Tenant {
             busy_rejections: self.busy_rejections,
             workers: e.workers as u64,
             bytes_resident: (e.bytes_resident + self.base.state.space_bytes()) as u64,
+            lane_bytes_resident: (e.lane_bytes_resident + self.base.state.resident_lane_bytes())
+                as u64,
+            lane_overflows: e.lane_overflows as u64
+                + self.base.state.lane_overflow().is_some() as u64,
             dirty: self.dirty,
         }
     }

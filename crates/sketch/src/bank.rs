@@ -4,9 +4,9 @@
 //! 1-sparse cell `(w, s, f)` of [`crate::one_sparse::OneSparseCell`]. Before
 //! this module each structure owned a scattered `Vec<OneSparseCell>` in
 //! array-of-structs layout; now they all share a [`CellBank`]: three
-//! parallel vectors (`w: Vec<i64>`, `s: Vec<i128>`, `f: Vec<M61>`) plus a
-//! [`BankGeometry`] descriptor (`reps × levels × slots`). The layout buys
-//! three things at once:
+//! parallel lanes (`w: i64`, `s: i64` *or* `i128` — see below, `f: M61`)
+//! plus a [`BankGeometry`] descriptor (`reps × levels × slots`). The layout
+//! buys three things at once:
 //!
 //! * **Batched updates.** An update's expensive work — the fingerprint hash
 //!   `h(i)` and the per-repetition subsampling level of `i` — depends only
@@ -15,19 +15,39 @@
 //!   `(Δw, Δs, Δf)` triple to a run of cells; callers hash once per index
 //!   and fan into every affected row instead of re-hashing per cell.
 //! * **Vectorizable merges.** [`CellBank::add`] is three contiguous
-//!   slice-add loops over primitive lanes — the shape LLVM auto-vectorizes
-//!   — instead of a per-cell struct add walking a 32-byte stride.
-//! * **A wire-ready dump.** The three vectors *are* the linear measurement
-//!   state; `graph_sketches::wire` format v2 ships them as raw
-//!   little-endian bytes, geometry-checked against a spec-built receiver
-//!   (see the [`CellBanked`] visitor below).
+//!   slice-add loops over primitive lanes, dispatched through the runtime
+//!   AVX2 kernels of [`crate::simd`] (the scalar loops are preserved there
+//!   as the bit-identity oracle).
+//! * **A wire-ready dump.** The lanes *are* the linear measurement state;
+//!   `graph_sketches::wire` format v2 ships them as raw little-endian
+//!   bytes, geometry-checked against a spec-built receiver (see the
+//!   [`CellBanked`] visitor below).
+//!
+//! ## Spec-derived lane width
+//!
+//! The `s` lane (`Σ i·x_i`) is stored as a width-tagged [`SLane`]: `i64`
+//! (**narrow**) when the constructor's declared index/delta bounds fit
+//! [`LaneWidth::for_bounds`]'s budget, `i128` (**wide**) otherwise. Narrow
+//! banks move 24 bytes per cell instead of 32 on every absorb, merge,
+//! drain, and decode sweep. The wire formats are width-oblivious: export
+//! widens to the 16-byte `s` words the formats always shipped, import
+//! range-checks back down (out-of-range values are a typed error at the
+//! wire boundary, never silent truncation).
+//!
+//! The declared bound is a *derivation hint*, not a trusted limit: every
+//! ingest kernel detects true overflow (narrow `i64` or wide `i128`) and
+//! marks the bank **poisoned** ([`CellBank::lane_overflow`]) instead of
+//! panicking — an overflowed bank is no longer a linear measurement, so
+//! boundaries that export state check the mark and refuse with a typed
+//! error while the engine worker that owns the sketch keeps running.
 //!
 //! Serialization stays bit-compatible with the pre-bank JSON: a bank
 //! serializes as the same array of `{w, s, f}` cell objects that
 //! `Vec<OneSparseCell>` produced, so wire-format-v1 files written before
 //! the refactor still load (they deserialize with a
-//! [`BankGeometry::flat`] descriptor, re-structured when the state is
-//! transplanted into a spec-built sketch at the wire boundary).
+//! [`BankGeometry::flat`] descriptor and a wide lane, re-structured when
+//! the state is transplanted into a spec-built sketch at the wire
+//! boundary — equality and [`CellBank::add`] work across widths by value).
 //!
 //! ## Dirty tracking and the delta path
 //!
@@ -45,7 +65,9 @@
 //! The bitmap never participates in equality or serialization; it is
 //! bookkeeping about *freshness*, not part of the measurement.
 
+use crate::lane::{AlignedBuf, LaneOverflow, LaneWidth, SLane};
 use crate::one_sparse::{OneSparseCell, OneSparseState};
+use crate::simd;
 use gs_field::{Randomness, M61};
 use serde::{Deserialize, Error, Serialize, Value};
 use std::ops::Range;
@@ -110,24 +132,29 @@ impl BankGeometry {
 /// A struct-of-arrays store of 1-sparse cells: the shared, contiguous
 /// substrate every sketch's measurement state lives in.
 ///
-/// Equality compares the **measurements** (`w`/`s`/`f` lanes) only, not
-/// the geometry descriptor: two banks are equal iff they are the same
-/// linear measurement, regardless of whether one was deserialized with a
-/// [`BankGeometry::flat`] shape.
+/// Equality compares the **measurements** (`w`/`s`/`f` lanes) only, by
+/// value — not the geometry descriptor, the dirty bitmap, the lane width,
+/// or the poison mark: two banks are equal iff they are the same linear
+/// measurement, regardless of whether one was deserialized with a
+/// [`BankGeometry::flat`] shape or stores its index-sums wide.
 #[derive(Clone, Debug)]
 pub struct CellBank {
     geom: BankGeometry,
     /// Σ x_i per cell.
-    w: Vec<i64>,
-    /// Σ i·x_i per cell.
-    s: Vec<i128>,
+    w: AlignedBuf<i64>,
+    /// Σ i·x_i per cell, at the spec-derived width.
+    s: SLane,
     /// Σ x_i·h(i) per cell, over F_{2^61−1}.
-    f: Vec<M61>,
+    f: AlignedBuf<M61>,
     /// Touched-slot bitmap (one bit per cell, `⌈len/64⌉` words): bit `i`
     /// is set iff cell `i` changed since the last [`CellBank::drain_dirty`].
     /// Unused tail bits of the last word stay zero. Not part of equality
     /// or serialization.
     dirty: Vec<u64>,
+    /// Sticky overflow mark: set by any ingest kernel that detects true
+    /// lane overflow, cleared only when the whole state is replaced
+    /// ([`CellBank::try_overlay`]). Not part of equality or serialization.
+    poison: Option<LaneOverflow>,
 }
 
 impl PartialEq for CellBank {
@@ -139,21 +166,36 @@ impl PartialEq for CellBank {
 impl Eq for CellBank {}
 
 impl CellBank {
-    /// A zeroed bank of the given geometry (nothing is dirty).
+    /// A zeroed bank of the given geometry with a **wide** `s` lane — the
+    /// always-safe width for callers that declare no bounds (and the shape
+    /// legacy deserialization produces).
     pub fn new(geom: BankGeometry) -> Self {
+        Self::with_width(geom, LaneWidth::Wide)
+    }
+
+    /// A zeroed bank of the given geometry and `s`-lane width. Callers
+    /// derive the width from their projection's bounds via
+    /// [`LaneWidth::for_bounds`].
+    pub fn with_width(geom: BankGeometry, width: LaneWidth) -> Self {
         let len = geom.len();
         CellBank {
             geom,
-            w: vec![0; len],
-            s: vec![0; len],
-            f: vec![M61::ZERO; len],
+            w: AlignedBuf::zeroed(len),
+            s: SLane::zeroed(width, len),
+            f: AlignedBuf::zeroed(len),
             dirty: vec![0; len.div_ceil(64)],
+            poison: None,
         }
     }
 
     /// The geometry descriptor.
     pub fn geometry(&self) -> BankGeometry {
         self.geom
+    }
+
+    /// The `s`-lane width this bank stores.
+    pub fn width(&self) -> LaneWidth {
+        self.s.width()
     }
 
     /// Total cell count.
@@ -164,6 +206,41 @@ impl CellBank {
     /// `true` iff the bank holds no cells.
     pub fn is_empty(&self) -> bool {
         self.w.is_empty()
+    }
+
+    /// Bytes of resident lane storage (`w` + `s` at its stored width +
+    /// `f` + the dirty bitmap) — the width-aware space accounting behind
+    /// `LinearSketch::space_bytes`.
+    pub fn resident_bytes(&self) -> usize {
+        self.w.len() * 8 + self.s.resident_bytes() + self.f.len() * 8 + self.dirty.len() * 8
+    }
+
+    /// The sticky overflow mark, if any ingest kernel ever detected true
+    /// lane overflow. A poisoned bank is no longer a linear measurement:
+    /// its lane contents are unspecified wrapped values, and every
+    /// boundary that exports state must check this before trusting them.
+    pub fn lane_overflow(&self) -> Option<LaneOverflow> {
+        self.poison
+    }
+
+    #[inline]
+    fn poison_at(&mut self, cell: Option<usize>) {
+        if self.poison.is_none() {
+            self.poison = Some(LaneOverflow { cell });
+        }
+    }
+
+    /// Converts a narrow bank to wide in place, preserving values — the
+    /// narrow-vs-wide gauntlet hook, and the escape hatch for callers that
+    /// overlay unbounded external sums (e.g. decode-side group proxies).
+    pub fn force_wide(&mut self) {
+        if let Some(n) = self.s.as_narrow() {
+            let mut wide = AlignedBuf::<i128>::zeroed(n.len());
+            for (dst, &src) in wide.iter_mut().zip(n.iter()) {
+                *dst = src as i128;
+            }
+            self.s = SLane::Wide(wide);
+        }
     }
 
     /// The precomputed update triple for `x[index] += delta` under
@@ -181,47 +258,88 @@ impl CellBank {
         )
     }
 
-    /// Applies a precomputed update triple to one cell.
+    /// Applies a precomputed update triple to one cell. Never panics: true
+    /// overflow of the `w` or `s` lane (at its stored width) stores the
+    /// wrapped value and marks the bank poisoned — see
+    /// [`CellBank::lane_overflow`].
     #[inline]
     pub fn apply(&mut self, i: usize, dw: i64, ds: i128, df: M61) {
         self.dirty[i >> 6] |= 1u64 << (i & 63);
-        self.w[i] += dw;
-        #[cfg(debug_assertions)]
-        {
-            self.s[i] = self.s[i]
-                .checked_add(ds)
-                .expect("1-sparse index-sum overflowed i128");
-        }
-        #[cfg(not(debug_assertions))]
-        {
-            self.s[i] += ds;
-        }
+        let (nw, ow) = self.w[i].overflowing_add(dw);
+        self.w[i] = nw;
+        let os = match &mut self.s {
+            SLane::Narrow(s) => match i64::try_from(ds) {
+                Ok(d) => {
+                    let (ns, o) = s[i].overflowing_add(d);
+                    s[i] = ns;
+                    o
+                }
+                // Δs itself exceeds the narrow lane: store the wrapped
+                // low word (the value is unspecified once poisoned).
+                Err(_) => {
+                    let (ns, _) = s[i].overflowing_add(ds as i64);
+                    s[i] = ns;
+                    true
+                }
+            },
+            SLane::Wide(s) => {
+                let (ns, o) = s[i].overflowing_add(ds);
+                s[i] = ns;
+                o
+            }
+        };
         self.f[i] += df;
+        if ow || os {
+            self.poison_at(Some(i));
+        }
+    }
+
+    /// Checks whether [`CellBank::apply`] of the same triple would
+    /// overflow, **without mutating anything** — the dry-run pass behind
+    /// the wire layer's all-or-nothing delta import.
+    #[inline]
+    pub fn check_apply(&self, i: usize, dw: i64, ds: i128) -> Result<(), LaneOverflow> {
+        let overflow = LaneOverflow { cell: Some(i) };
+        self.w[i].checked_add(dw).ok_or(overflow)?;
+        match &self.s {
+            SLane::Narrow(s) => {
+                let d = i64::try_from(ds).map_err(|_| overflow)?;
+                s[i].checked_add(d).ok_or(overflow)?;
+            }
+            SLane::Wide(s) => {
+                s[i].checked_add(ds).ok_or(overflow)?;
+            }
+        }
+        Ok(())
     }
 
     /// Fans a precomputed update triple into a contiguous run of cells —
     /// the batched-update kernel inner loop. Three lane-wise passes keep
-    /// each loop over one primitive type.
+    /// each loop over one primitive type; the narrow `w`/`s`/`f` sweeps
+    /// dispatch through [`crate::simd`]. Overflow poisons (never panics).
     #[inline]
     pub fn fan(&mut self, range: Range<usize>, dw: i64, ds: i128, df: M61) {
         self.mark_dirty_range(range.clone());
-        for w in &mut self.w[range.clone()] {
-            *w += dw;
-        }
-        for s in &mut self.s[range.clone()] {
-            #[cfg(debug_assertions)]
-            {
-                *s = s
-                    .checked_add(ds)
-                    .expect("1-sparse index-sum overflowed i128");
+        let mut ovf = simd::fan_i64(&mut self.w[range.clone()], dw);
+        match &mut self.s {
+            SLane::Narrow(s) => match i64::try_from(ds) {
+                Ok(d) => ovf |= simd::fan_i64(&mut s[range.clone()], d),
+                Err(_) => {
+                    let _ = simd::fan_i64(&mut s[range.clone()], ds as i64);
+                    ovf = true;
+                }
+            },
+            SLane::Wide(s) => {
+                for x in &mut s[range.clone()] {
+                    let (v, o) = x.overflowing_add(ds);
+                    *x = v;
+                    ovf |= o;
+                }
             }
-            #[cfg(not(debug_assertions))]
-            {
-                *s += ds;
-            }
         }
-        for f in &mut self.f[range] {
-            *f += df;
+        simd::fan_m61(&mut self.f[range], df);
+        if ovf {
+            self.poison_at(None);
         }
     }
 
@@ -237,7 +355,7 @@ impl CellBank {
     /// The cell at flat index `i`, as a value (for decode paths).
     #[inline]
     pub fn cell(&self, i: usize) -> OneSparseCell {
-        OneSparseCell::from_parts(self.w[i], self.s[i], self.f[i])
+        OneSparseCell::from_parts(self.w[i], self.s.get(i), self.f[i])
     }
 
     /// Attempts 1-sparse decoding of cell `i` (see
@@ -250,18 +368,19 @@ impl CellBank {
     /// `true` iff cell `i` certifies the zero vector.
     #[inline]
     pub fn cell_is_zero(&self, i: usize) -> bool {
-        self.w[i] == 0 && self.s[i] == 0 && self.f[i].is_zero()
+        self.w[i] == 0 && self.s.is_zero_at(i) && self.f[i].is_zero()
     }
 
     /// `true` iff every cell is zero.
     pub fn is_zero(&self) -> bool {
-        self.w.iter().all(|&w| w == 0)
-            && self.s.iter().all(|&s| s == 0)
-            && self.f.iter().all(|f| f.is_zero())
+        self.w.iter().all(|&w| w == 0) && self.s.all_zero() && self.f.iter().all(|f| f.is_zero())
     }
 
-    /// Linear combination: adds another bank's measurements, lane by lane.
-    /// Three contiguous slice-add loops — the auto-vectorizable merge.
+    /// Linear combination: adds another bank's measurements, lane by lane
+    /// through the [`crate::simd`] kernels. Works across widths by value:
+    /// a wide operand folding into a narrow receiver is range-checked per
+    /// cell (legacy-JSON state merging into a spec-built compact bank).
+    /// Overflow — and any poison carried by `other` — poisons `self`.
     ///
     /// # Panics
     /// Panics if the banks hold different cell counts (they would not be
@@ -283,31 +402,74 @@ impl CellBank {
         for (a, b) in self.dirty.iter_mut().zip(&other.dirty) {
             *a |= *b;
         }
-        for (a, b) in self.w.iter_mut().zip(&other.w) {
-            *a += *b;
+        let mut ovf = simd::add_i64(&mut self.w, &other.w);
+        match (&mut self.s, &other.s) {
+            (SLane::Narrow(a), SLane::Narrow(b)) => {
+                ovf |= simd::add_i64(a, b);
+            }
+            (SLane::Wide(a), SLane::Wide(b)) => {
+                for (x, &y) in a.iter_mut().zip(b.iter()) {
+                    let (v, o) = x.overflowing_add(y);
+                    *x = v;
+                    ovf |= o;
+                }
+            }
+            (SLane::Wide(a), SLane::Narrow(b)) => {
+                for (x, &y) in a.iter_mut().zip(b.iter()) {
+                    let (v, o) = x.overflowing_add(y as i128);
+                    *x = v;
+                    ovf |= o;
+                }
+            }
+            (SLane::Narrow(a), SLane::Wide(b)) => {
+                for (x, &y) in a.iter_mut().zip(b.iter()) {
+                    match i64::try_from(y) {
+                        Ok(y) => {
+                            let (v, o) = x.overflowing_add(y);
+                            *x = v;
+                            ovf |= o;
+                        }
+                        Err(_) => {
+                            let (v, _) = x.overflowing_add(y as i64);
+                            *x = v;
+                            ovf = true;
+                        }
+                    }
+                }
+            }
         }
-        for (a, b) in self.s.iter_mut().zip(&other.s) {
-            *a += *b;
+        simd::add_m61(&mut self.f, &other.f);
+        if ovf {
+            self.poison_at(None);
         }
-        for (a, b) in self.f.iter_mut().zip(&other.f) {
-            *a += *b;
+        if let Some(p) = other.poison {
+            self.poison_at(p.cell);
         }
     }
 
-    /// Read-only views of the three measurement lanes (wire export).
-    pub fn lanes(&self) -> (&[i64], &[i128], &[M61]) {
-        (&self.w, &self.s, &self.f)
+    /// Read-only view of the `w` (total-weight) lane.
+    pub fn w_lane(&self) -> &[i64] {
+        &self.w
+    }
+
+    /// Read-only view of the width-tagged `s` (index-sum) lane.
+    pub fn s_lane(&self) -> &SLane {
+        &self.s
+    }
+
+    /// Read-only view of the `f` (fingerprint) lane.
+    pub fn f_lane(&self) -> &[M61] {
+        &self.f
     }
 
     /// The batched group-query kernel: adds the cells of `range` into the
     /// accumulator lanes, lane-wise (`aw[j] += w[range.start + j]`, and
-    /// likewise for `s` and `f`). Three contiguous slice-zip loops over
-    /// primitive lanes — the same auto-vectorizable shape as
-    /// [`CellBank::add`], but summing a *row* of this bank into external
-    /// accumulators instead of a whole bank into another. Decode paths
-    /// that sum many rows (Σ_{u∈A} sketch(x^u) in Boruvka rounds, the
-    /// per-cut recovery sums of Fig. 3) call this once per row instead of
-    /// walking cells with per-index bounds checks.
+    /// likewise for `s` and `f`). The `w` and `f` sweeps dispatch through
+    /// [`crate::simd`]; a narrow `s` lane widens into the `i128`
+    /// accumulators as it sums, so the accumulators never overflow
+    /// mid-query. Decode paths that sum many rows (Σ_{u∈A} sketch(x^u) in
+    /// Boruvka rounds, the per-cut recovery sums of Fig. 3) call this once
+    /// per row instead of walking cells with per-index bounds checks.
     ///
     /// # Panics
     /// Panics if `range` exceeds the bank or the accumulators are not
@@ -321,40 +483,76 @@ impl CellBank {
         af: &mut [M61],
     ) {
         let w = &self.w[range.clone()];
-        let s = &self.s[range.clone()];
-        let f = &self.f[range];
+        let f = &self.f[range.clone()];
         assert!(
             aw.len() == w.len() && as_.len() == w.len() && af.len() == w.len(),
             "accumulator lanes disagree with the row length"
         );
-        for (a, b) in aw.iter_mut().zip(w) {
-            *a += *b;
+        simd::add_i64(aw, w);
+        match &self.s {
+            SLane::Narrow(s) => {
+                for (a, &b) in as_.iter_mut().zip(&s[range]) {
+                    *a += b as i128;
+                }
+            }
+            SLane::Wide(s) => {
+                for (a, &b) in as_.iter_mut().zip(&s[range]) {
+                    *a += b;
+                }
+            }
         }
-        for (a, b) in as_.iter_mut().zip(s) {
-            *a += *b;
-        }
-        for (a, b) in af.iter_mut().zip(f) {
-            *a += *b;
-        }
+        simd::add_m61(af, f);
     }
 
     /// Overwrites the measurement lanes with externally-provided data
-    /// (wire import into a spec-built bank). The geometry descriptor is
-    /// kept — the receiver's structure is the source of truth. The whole
-    /// bank is marked dirty: a bulk import has no per-cell freshness
-    /// record, so everything counts as touched since the last drain.
+    /// (wire import into a spec-built bank), narrowing with range checks
+    /// when this bank is compact. The geometry descriptor and lane width
+    /// are kept — the receiver's structure is the source of truth. On
+    /// success the whole bank is marked dirty (a bulk import has no
+    /// per-cell freshness record) and any poison is cleared (the state
+    /// was replaced wholesale). On error **nothing** is modified.
     ///
     /// # Panics
     /// Panics if the lane lengths disagree with the bank's cell count.
-    pub fn overlay(&mut self, w: Vec<i64>, s: Vec<i128>, f: Vec<M61>) {
+    pub fn try_overlay(
+        &mut self,
+        w: Vec<i64>,
+        s: Vec<i128>,
+        f: Vec<M61>,
+    ) -> Result<(), LaneOverflow> {
         assert!(
             w.len() == self.len() && s.len() == self.len() && f.len() == self.len(),
             "overlay lanes disagree with bank size"
         );
-        self.w = w;
-        self.s = s;
-        self.f = f;
+        match &mut self.s {
+            SLane::Narrow(lane) => {
+                // Validate the whole batch before writing anything.
+                if let Some(i) = s.iter().position(|&v| i64::try_from(v).is_err()) {
+                    return Err(LaneOverflow { cell: Some(i) });
+                }
+                for (dst, &src) in lane.iter_mut().zip(&s) {
+                    *dst = src as i64;
+                }
+            }
+            SLane::Wide(lane) => {
+                lane.copy_from_slice(&s);
+            }
+        }
+        self.w.copy_from_slice(&w);
+        self.f.copy_from_slice(&f);
+        self.poison = None;
         self.mark_all_dirty();
+        Ok(())
+    }
+
+    /// [`CellBank::try_overlay`] for trusted same-provenance lanes.
+    ///
+    /// # Panics
+    /// Panics if the lane lengths disagree, or a value exceeds this bank's
+    /// narrow lane (use [`CellBank::try_overlay`] on untrusted input).
+    pub fn overlay(&mut self, w: Vec<i64>, s: Vec<i128>, f: Vec<M61>) {
+        self.try_overlay(w, s, f)
+            .expect("overlay value exceeds the bank's lane width");
     }
 
     /// `true` iff cell `i` was touched since the last
@@ -387,7 +585,8 @@ impl CellBank {
     /// bitmap, returning how many cells were drained. Afterwards the whole
     /// bank is zero (untouched cells were already zero since the previous
     /// drain — see the module docs), so it starts accumulating the next
-    /// delta from scratch.
+    /// delta from scratch. The poison mark (if any) is **not** cleared:
+    /// the drained delta was already computed from overflowed state.
     pub fn drain_dirty(&mut self) -> usize {
         let mut drained = 0;
         for (word_i, word) in self.dirty.iter_mut().enumerate() {
@@ -396,7 +595,7 @@ impl CellBank {
                 let i = (word_i << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 self.w[i] = 0;
-                self.s[i] = 0;
+                self.s.zero(i);
                 self.f[i] = M61::ZERO;
                 drained += 1;
             }
@@ -440,10 +639,12 @@ impl CellBank {
 }
 
 // A bank serializes exactly as the `Vec<OneSparseCell>` it replaced — an
-// array of `{w, s, f}` objects — so wire-format-v1 JSON is unchanged in
-// both directions. The geometry axes are not serialized; deserialized
-// banks carry a `flat` descriptor until transplanted into a spec-built
-// sketch (the wire layer's load path does exactly that).
+// array of `{w, s, f}` objects (`s` always written wide) — so
+// wire-format-v1 JSON is unchanged in both directions regardless of the
+// resident lane width. The geometry axes and width are not serialized;
+// deserialized banks carry a `flat` descriptor and a wide lane until
+// transplanted into a spec-built sketch (the wire layer's load path does
+// exactly that, narrowing with range checks).
 impl Serialize for CellBank {
     fn to_value(&self) -> Value {
         Value::Seq((0..self.len()).map(|i| self.cell(i).to_value()).collect())
@@ -454,15 +655,19 @@ impl Deserialize for CellBank {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let cells = Vec::<OneSparseCell>::from_value(v)?;
         let mut bank = CellBank::new(BankGeometry::flat(cells.len()));
-        for (i, c) in cells.iter().enumerate() {
-            let (w, s, f) = c.parts();
-            bank.w[i] = w;
-            bank.s[i] = s;
-            bank.f[i] = f;
+        let mut w = Vec::with_capacity(cells.len());
+        let mut s = Vec::with_capacity(cells.len());
+        let mut f = Vec::with_capacity(cells.len());
+        for c in &cells {
+            let (cw, cs, cf) = c.parts();
+            w.push(cw);
+            s.push(cs);
+            f.push(cf);
         }
         // A deserialized bank has no freshness record: everything counts
-        // as touched since the (never-happened) last drain.
-        bank.mark_all_dirty();
+        // as touched since the (never-happened) last drain. The bank is
+        // wide, so the overlay cannot fail.
+        bank.overlay(w, s, f);
         Ok(bank)
     }
 }
@@ -494,6 +699,20 @@ pub trait CellBanked {
     /// support size of the pending delta.
     fn dirty_cells(&self) -> usize {
         self.banks().iter().map(|b| b.dirty_count()).sum()
+    }
+
+    /// The first lane-overflow mark across the banks, if any — the typed
+    /// surface engine/wire boundaries check before trusting exported
+    /// state.
+    fn lane_overflow(&self) -> Option<LaneOverflow> {
+        self.banks().iter().find_map(|b| b.lane_overflow())
+    }
+
+    /// Width-aware resident bytes of the measurement state: every bank's
+    /// lanes at their stored widths plus the standalone fingerprints.
+    fn resident_bytes(&self) -> usize {
+        let banks: usize = self.banks().iter().map(|b| b.resident_bytes()).sum();
+        banks + self.fingerprints().len() * 8
     }
 
     /// Drains the sketch's pending delta: every bank is
@@ -536,36 +755,72 @@ mod tests {
     #[test]
     fn bank_update_matches_aos_cell() {
         let h = h();
-        let mut bank = CellBank::new(BankGeometry::new(1, 1, 4));
-        let mut cells = [OneSparseCell::new(); 4];
-        for (i, idx, d) in [(0usize, 7u64, 3i64), (1, 9, -2), (0, 7, -3), (3, 1000, 5)] {
-            bank.update(i, idx, d, &h);
-            cells[i].update(idx, d, &h);
+        for width in [LaneWidth::Narrow, LaneWidth::Wide] {
+            let mut bank = CellBank::with_width(BankGeometry::new(1, 1, 4), width);
+            let mut cells = [OneSparseCell::new(); 4];
+            for (i, idx, d) in [(0usize, 7u64, 3i64), (1, 9, -2), (0, 7, -3), (3, 1000, 5)] {
+                bank.update(i, idx, d, &h);
+                cells[i].update(idx, d, &h);
+            }
+            for (i, cell) in cells.iter().enumerate() {
+                assert_eq!(bank.cell(i), *cell);
+                assert_eq!(bank.decode_cell(i, 1 << 20, &h), cell.decode(1 << 20, &h));
+            }
+            assert!(bank.cell_is_zero(0) && bank.cell_is_zero(2));
+            assert!(!bank.is_zero());
+            assert!(bank.lane_overflow().is_none());
         }
-        for (i, cell) in cells.iter().enumerate() {
-            assert_eq!(bank.cell(i), *cell);
-            assert_eq!(bank.decode_cell(i, 1 << 20, &h), cell.decode(1 << 20, &h));
+    }
+
+    #[test]
+    fn narrow_and_wide_banks_agree_bit_for_bit() {
+        let h = h();
+        let mut narrow = CellBank::with_width(BankGeometry::new(2, 3, 2), LaneWidth::Narrow);
+        let mut wide = CellBank::with_width(BankGeometry::new(2, 3, 2), LaneWidth::Wide);
+        for (i, idx, d) in [
+            (0usize, 7u64, 3i64),
+            (5, 9, -2),
+            (0, 7, -3),
+            (11, 1000, 5),
+            (5, 12, 40),
+        ] {
+            narrow.update(i, idx, d, &h);
+            wide.update(i, idx, d, &h);
         }
-        assert!(bank.cell_is_zero(0) && bank.cell_is_zero(2));
-        assert!(!bank.is_zero());
+        assert_eq!(narrow, wide);
+        assert_eq!(narrow.s_lane().to_wide_vec(), wide.s_lane().to_wide_vec());
+        // Merge across widths by value, both directions.
+        let mut nw = narrow.clone();
+        nw.add(&wide);
+        let mut ww = wide.clone();
+        ww.add(&narrow);
+        assert_eq!(nw, ww);
+        assert!(nw.lane_overflow().is_none());
+        // force_wide preserves the measurement.
+        let mut forced = narrow.clone();
+        forced.force_wide();
+        assert_eq!(forced.width(), LaneWidth::Wide);
+        assert_eq!(forced, narrow);
     }
 
     #[test]
     fn accumulate_equals_indexed_cell_sum() {
         let h = h();
-        let mut bank = CellBank::new(BankGeometry::new(1, 1, 16));
-        for (i, idx, d) in [(2usize, 5u64, 3i64), (3, 9, -1), (7, 5, 2), (10, 30, 4)] {
-            bank.update(i, idx, d, &h);
-        }
-        let range = 2..11;
-        let len = range.len();
-        let (mut aw, mut as_, mut af) = (vec![1i64; len], vec![2i128; len], vec![M61::ZERO; len]);
-        bank.accumulate(range.clone(), &mut aw, &mut as_, &mut af);
-        let (w, s, f) = bank.lanes();
-        for j in 0..len {
-            assert_eq!(aw[j], 1 + w[range.start + j]);
-            assert_eq!(as_[j], 2 + s[range.start + j]);
-            assert_eq!(af[j], f[range.start + j]);
+        for width in [LaneWidth::Narrow, LaneWidth::Wide] {
+            let mut bank = CellBank::with_width(BankGeometry::new(1, 1, 16), width);
+            for (i, idx, d) in [(2usize, 5u64, 3i64), (3, 9, -1), (7, 5, 2), (10, 30, 4)] {
+                bank.update(i, idx, d, &h);
+            }
+            let range = 2..11;
+            let len = range.len();
+            let (mut aw, mut as_, mut af) =
+                (vec![1i64; len], vec![2i128; len], vec![M61::ZERO; len]);
+            bank.accumulate(range.clone(), &mut aw, &mut as_, &mut af);
+            for j in 0..len {
+                assert_eq!(aw[j], 1 + bank.w_lane()[range.start + j]);
+                assert_eq!(as_[j], 2 + bank.s_lane().get(range.start + j));
+                assert_eq!(af[j], bank.f_lane()[range.start + j]);
+            }
         }
     }
 
@@ -580,15 +835,17 @@ mod tests {
     #[test]
     fn fan_equals_per_cell_updates() {
         let h = h();
-        let mut fanned = CellBank::new(BankGeometry::new(1, 8, 1));
-        let mut looped = CellBank::new(BankGeometry::new(1, 8, 1));
-        let (index, delta) = (12345u64, -7i64);
-        let (dw, ds, df) = CellBank::deltas(index, delta, h.hash_m61(index));
-        fanned.fan(2..6, dw, ds, df);
-        for i in 2..6 {
-            looped.update(i, index, delta, &h);
+        for width in [LaneWidth::Narrow, LaneWidth::Wide] {
+            let mut fanned = CellBank::with_width(BankGeometry::new(1, 8, 1), width);
+            let mut looped = CellBank::with_width(BankGeometry::new(1, 8, 1), width);
+            let (index, delta) = (12345u64, -7i64);
+            let (dw, ds, df) = CellBank::deltas(index, delta, h.hash_m61(index));
+            fanned.fan(2..6, dw, ds, df);
+            for i in 2..6 {
+                looped.update(i, index, delta, &h);
+            }
+            assert_eq!(fanned, looped);
         }
-        assert_eq!(fanned, looped);
     }
 
     #[test]
@@ -621,15 +878,18 @@ mod tests {
     #[test]
     fn serde_shape_is_the_legacy_cell_array() {
         let h = h();
-        let mut bank = CellBank::new(BankGeometry::new(1, 2, 1));
-        bank.update(0, 42, 7, &h);
-        let v = bank.to_value();
-        // Exactly what Vec<OneSparseCell> produced.
-        let legacy: Vec<OneSparseCell> = (0..2).map(|i| bank.cell(i)).collect();
-        assert_eq!(v, legacy.to_value());
-        let back = CellBank::from_value(&v).unwrap();
-        assert_eq!(back, bank);
-        assert_eq!(back.geometry(), BankGeometry::flat(2));
+        for width in [LaneWidth::Narrow, LaneWidth::Wide] {
+            let mut bank = CellBank::with_width(BankGeometry::new(1, 2, 1), width);
+            bank.update(0, 42, 7, &h);
+            let v = bank.to_value();
+            // Exactly what Vec<OneSparseCell> produced, at either width.
+            let legacy: Vec<OneSparseCell> = (0..2).map(|i| bank.cell(i)).collect();
+            assert_eq!(v, legacy.to_value());
+            let back = CellBank::from_value(&v).unwrap();
+            assert_eq!(back, bank);
+            assert_eq!(back.geometry(), BankGeometry::flat(2));
+            assert_eq!(back.width(), LaneWidth::Wide);
+        }
     }
 
     #[test]
@@ -669,17 +929,19 @@ mod tests {
     #[test]
     fn drain_zeroes_touched_cells_and_resets_tracking() {
         let h = h();
-        let mut bank = CellBank::new(BankGeometry::new(1, 1, 70));
-        bank.update(3, 10, 4, &h);
-        bank.update(66, 11, -1, &h);
-        assert_eq!(bank.drain_dirty(), 2);
-        assert!(bank.is_zero(), "drain leaves the zero measurement");
-        assert_eq!(bank.dirty_count(), 0);
-        // The next delta accumulates from scratch.
-        bank.update(3, 10, 2, &h);
-        assert_eq!(bank.dirty_indices(), vec![3]);
-        let expect = CellBank::deltas(10, 2, h.hash_m61(10));
-        assert_eq!(bank.cell(3).parts(), (expect.0, expect.1, expect.2));
+        for width in [LaneWidth::Narrow, LaneWidth::Wide] {
+            let mut bank = CellBank::with_width(BankGeometry::new(1, 1, 70), width);
+            bank.update(3, 10, 4, &h);
+            bank.update(66, 11, -1, &h);
+            assert_eq!(bank.drain_dirty(), 2);
+            assert!(bank.is_zero(), "drain leaves the zero measurement");
+            assert_eq!(bank.dirty_count(), 0);
+            // The next delta accumulates from scratch.
+            bank.update(3, 10, 2, &h);
+            assert_eq!(bank.dirty_indices(), vec![3]);
+            let expect = CellBank::deltas(10, 2, h.hash_m61(10));
+            assert_eq!(bank.cell(3).parts(), (expect.0, expect.1, expect.2));
+        }
     }
 
     #[test]
@@ -698,9 +960,12 @@ mod tests {
         let h = h();
         let mut src = CellBank::new(BankGeometry::new(1, 3, 1));
         src.update(1, 77, 3, &h);
-        let (w, s, f) = src.lanes();
         let mut dst = CellBank::new(BankGeometry::new(1, 3, 1));
-        dst.overlay(w.to_vec(), s.to_vec(), f.to_vec());
+        dst.overlay(
+            src.w_lane().to_vec(),
+            src.s_lane().to_wide_vec(),
+            src.f_lane().to_vec(),
+        );
         assert_eq!(dst.dirty_count(), 3, "bulk import has no freshness record");
         let back = CellBank::from_value(&src.to_value()).unwrap();
         assert_eq!(back.dirty_count(), 3);
@@ -722,10 +987,107 @@ mod tests {
         let h = h();
         let mut src = CellBank::new(BankGeometry::new(1, 3, 1));
         src.update(1, 77, 3, &h);
-        let (w, s, f) = src.lanes();
         let mut dst = CellBank::new(BankGeometry::new(1, 3, 1));
-        dst.overlay(w.to_vec(), s.to_vec(), f.to_vec());
+        dst.overlay(
+            src.w_lane().to_vec(),
+            src.s_lane().to_wide_vec(),
+            src.f_lane().to_vec(),
+        );
         assert_eq!(dst, src);
         assert_eq!(dst.geometry(), BankGeometry::new(1, 3, 1));
+    }
+
+    // ----------------------------------------------- overflow → poison
+
+    #[test]
+    fn apply_overflow_poisons_instead_of_panicking() {
+        // Regression for the old debug-only `expect("…overflowed i128")`:
+        // adversarial accumulated state must mark the bank, not kill the
+        // worker thread.
+        let mut wide = CellBank::new(BankGeometry::new(1, 1, 2));
+        wide.apply(0, 1, i128::MAX, M61::ZERO);
+        assert!(wide.lane_overflow().is_none());
+        wide.apply(0, 1, i128::MAX, M61::ZERO);
+        let p = wide.lane_overflow().expect("i128 overflow must poison");
+        assert_eq!(p.cell, Some(0));
+
+        let mut narrow = CellBank::with_width(BankGeometry::new(1, 1, 2), LaneWidth::Narrow);
+        narrow.apply(1, 1, i64::MAX as i128, M61::ZERO);
+        assert!(narrow.lane_overflow().is_none());
+        narrow.apply(1, 1, 1, M61::ZERO);
+        assert_eq!(narrow.lane_overflow().unwrap().cell, Some(1));
+        // A Δs that cannot even fit the narrow lane poisons immediately.
+        let mut narrow2 = CellBank::with_width(BankGeometry::new(1, 1, 2), LaneWidth::Narrow);
+        narrow2.apply(0, 1, i128::from(i64::MAX) + 1, M61::ZERO);
+        assert!(narrow2.lane_overflow().is_some());
+    }
+
+    #[test]
+    fn fan_and_add_overflow_poison() {
+        let mut narrow = CellBank::with_width(BankGeometry::new(1, 1, 8), LaneWidth::Narrow);
+        narrow.fan(0..8, 0, (i64::MAX - 1) as i128, M61::ZERO);
+        assert!(narrow.lane_overflow().is_none());
+        narrow.fan(2..5, 0, 2, M61::ZERO);
+        assert!(narrow.lane_overflow().is_some(), "fan overflow must poison");
+
+        let mut a = CellBank::with_width(BankGeometry::new(1, 1, 4), LaneWidth::Narrow);
+        let mut b = CellBank::with_width(BankGeometry::new(1, 1, 4), LaneWidth::Narrow);
+        a.apply(3, 0, i64::MAX as i128, M61::ZERO);
+        b.apply(3, 0, 1, M61::ZERO);
+        a.add(&b);
+        assert!(a.lane_overflow().is_some(), "merge overflow must poison");
+        // Poison propagates through merges of a poisoned operand.
+        let mut clean = CellBank::with_width(BankGeometry::new(1, 1, 4), LaneWidth::Narrow);
+        clean.add(&a);
+        assert!(clean.lane_overflow().is_some(), "poison must propagate");
+    }
+
+    #[test]
+    fn check_apply_is_a_pure_dry_run() {
+        let mut narrow = CellBank::with_width(BankGeometry::new(1, 1, 2), LaneWidth::Narrow);
+        narrow.apply(0, 5, 100, M61::ZERO);
+        assert!(narrow.check_apply(0, 1, 1).is_ok());
+        let err = narrow.check_apply(0, 1, i128::from(i64::MAX)).unwrap_err();
+        assert_eq!(err.cell, Some(0));
+        assert!(narrow.check_apply(0, i64::MAX, 0).is_err());
+        // Nothing was mutated by the failed checks.
+        assert_eq!(narrow.cell(0).parts().0, 5);
+        assert_eq!(narrow.s_lane().get(0), 100);
+        assert!(narrow.lane_overflow().is_none());
+    }
+
+    #[test]
+    fn try_overlay_range_checks_narrow_imports() {
+        let mut narrow = CellBank::with_width(BankGeometry::new(1, 1, 3), LaneWidth::Narrow);
+        let bad = vec![0i128, i128::from(i64::MAX) + 1, 0];
+        let err = narrow
+            .try_overlay(vec![1, 2, 3], bad, vec![M61::ZERO; 3])
+            .unwrap_err();
+        assert_eq!(err.cell, Some(1));
+        // The failed overlay changed nothing.
+        assert!(narrow.is_zero());
+        assert_eq!(narrow.dirty_count(), 0);
+        // In-range values land, and a successful overlay clears poison.
+        narrow.apply(0, 1, i128::MAX, M61::ZERO);
+        narrow.apply(0, 1, i128::MAX, M61::ZERO);
+        assert!(narrow.lane_overflow().is_some());
+        narrow
+            .try_overlay(
+                vec![1, 2, 3],
+                vec![9, -9, i64::MAX as i128],
+                vec![M61::ZERO; 3],
+            )
+            .unwrap();
+        assert!(narrow.lane_overflow().is_none());
+        assert_eq!(narrow.s_lane().get(2), i64::MAX as i128);
+    }
+
+    #[test]
+    fn resident_bytes_track_lane_width() {
+        let narrow = CellBank::with_width(BankGeometry::new(1, 1, 64), LaneWidth::Narrow);
+        let wide = CellBank::with_width(BankGeometry::new(1, 1, 64), LaneWidth::Wide);
+        // 64 cells: w 512 + f 512 + dirty 8; s is 512 narrow vs 1024 wide.
+        assert_eq!(narrow.resident_bytes(), 512 + 512 + 512 + 8);
+        assert_eq!(wide.resident_bytes(), 512 + 1024 + 512 + 8);
     }
 }

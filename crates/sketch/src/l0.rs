@@ -24,6 +24,7 @@
 //!   subgraph-fraction estimator of §4.
 
 use crate::bank::{BankGeometry, CellBank, CellBanked};
+use crate::lane::LaneWidth;
 use crate::one_sparse::{OneSparseCell, OneSparseState};
 use crate::sparse_recovery::SparseRecovery;
 use crate::Mergeable;
@@ -102,8 +103,32 @@ impl L0Detector {
         Self::with_params(domain, DETECTOR_REPS, seed, BackendKind::Oracle)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (wide lanes — no delta bound declared).
     pub fn with_params(domain: u64, reps: usize, seed: u64, kind: BackendKind) -> Self {
+        Self::with_width(domain, reps, seed, kind, LaneWidth::Wide)
+    }
+
+    /// As [`L0Detector::with_params`], deriving the `s`-lane width from the
+    /// caller's bound on `|delta|` per update and the stream length budget
+    /// (see [`LaneWidth::for_bounds`]; indices are `< domain`).
+    pub fn with_bounds(
+        domain: u64,
+        reps: usize,
+        seed: u64,
+        kind: BackendKind,
+        max_abs_delta: u64,
+    ) -> Self {
+        let width = LaneWidth::for_bounds(domain - 1, max_abs_delta);
+        Self::with_width(domain, reps, seed, kind, width)
+    }
+
+    fn with_width(
+        domain: u64,
+        reps: usize,
+        seed: u64,
+        kind: BackendKind,
+        width: LaneWidth,
+    ) -> Self {
         assert!(domain >= 1 && reps >= 1);
         let levels = level_count(domain);
         let level_hash = (0..reps)
@@ -116,7 +141,7 @@ impl L0Detector {
             reps,
             seed,
             kind,
-            cells: CellBank::new(BankGeometry::new(reps, levels as usize, 1)),
+            cells: CellBank::with_width(BankGeometry::new(reps, levels as usize, 1), width),
             level_hash,
             finger,
         }
@@ -186,8 +211,21 @@ impl L0Detector {
 
     /// Returns some support element, `Empty`, or `Fail`.
     pub fn query(&self) -> L0Result {
-        let (w, s, f) = self.cells.lanes();
-        self.query_lanes(w, s, f)
+        if self.is_zero() {
+            return L0Result::Empty;
+        }
+        let levels = self.levels as usize;
+        for r in 0..self.reps {
+            let base = r * levels;
+            for l in 0..levels {
+                if let OneSparseState::One(idx, v) =
+                    self.cells.decode_cell(base + l, self.domain, &self.finger)
+                {
+                    return L0Result::Sample(idx, v);
+                }
+            }
+        }
+        L0Result::Fail
     }
 
     /// [`L0Detector::query`] over externally-held measurement lanes — the
@@ -295,12 +333,41 @@ impl L0Sampler {
         Self::with_params(domain, SAMPLER_SPARSITY, seed, BackendKind::Oracle)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (wide lanes — no delta bound declared).
     pub fn with_params(domain: u64, s: usize, seed: u64, kind: BackendKind) -> Self {
+        Self::with_width(domain, s, seed, kind, None)
+    }
+
+    /// As [`L0Sampler::with_params`], deriving each level recovery's
+    /// `s`-lane width from the caller's bound on `|delta|` per update (see
+    /// [`LaneWidth::for_bounds`]; indices are `< domain`).
+    pub fn with_bounds(
+        domain: u64,
+        s: usize,
+        seed: u64,
+        kind: BackendKind,
+        max_abs_delta: u64,
+    ) -> Self {
+        Self::with_width(domain, s, seed, kind, Some(max_abs_delta))
+    }
+
+    fn with_width(
+        domain: u64,
+        s: usize,
+        seed: u64,
+        kind: BackendKind,
+        max_abs_delta: Option<u64>,
+    ) -> Self {
         assert!(domain >= 1 && s >= 1);
         let levels = level_count(domain);
         let level_sketch = (0..levels)
-            .map(|l| SparseRecovery::with_kind(domain, s, seed ^ (0x4C31_0000 + l as u64), kind))
+            .map(|l| {
+                let lseed = seed ^ (0x4C31_0000 + l as u64);
+                match max_abs_delta {
+                    Some(d) => SparseRecovery::with_bounds(domain, s, lseed, kind, d),
+                    None => SparseRecovery::with_kind(domain, s, lseed, kind),
+                }
+            })
             .collect();
         L0Sampler {
             domain,

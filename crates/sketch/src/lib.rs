@@ -33,13 +33,16 @@
 pub mod bank;
 pub mod domain;
 pub mod l0;
+pub mod lane;
 pub mod linear;
 pub mod one_sparse;
 pub mod par;
+pub mod simd;
 pub mod sparse_recovery;
 
 pub use bank::{BankGeometry, CellBank, CellBanked};
 pub use l0::{level_count, DetectorPlan, L0Detector, L0Result, L0Sampler};
+pub use lane::{LaneOverflow, LaneWidth, SLane};
 pub use linear::{EdgeUpdate, LinearSketch, UpdateError, CELL_BYTES};
 pub use one_sparse::{OneSparseCell, OneSparseState};
 pub use par::{par_map, par_map_with, DecodePlan};

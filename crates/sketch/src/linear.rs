@@ -23,6 +23,7 @@
 //! exactly why one trait suffices. [`EdgeUpdate`] packages an update in
 //! this convention; [`LinearSketch::absorb`] ingests a batch of them.
 
+use crate::lane::LaneOverflow;
 use crate::par::DecodePlan;
 use crate::Mergeable;
 use serde::{Deserialize, Serialize};
@@ -184,6 +185,28 @@ pub trait LinearSketch: Mergeable {
     /// Resident size of the sketch in bytes (space accounting; counts the
     /// linear measurement state, not constant-size seeds/parameters).
     fn space_bytes(&self) -> usize;
+
+    /// The sticky lane-overflow mark, if any ingest kernel ever detected
+    /// true counter overflow in this sketch's banks (see
+    /// `CellBank::lane_overflow`). A marked sketch is no longer a valid
+    /// linear measurement; boundaries that export or decode state should
+    /// check this and surface a typed error instead of trusting wrapped
+    /// counters. The default is `None` for implementations without
+    /// overflow-tracking storage; bank-backed sketches override it.
+    fn lane_overflow(&self) -> Option<LaneOverflow> {
+        None
+    }
+
+    /// Width-aware resident measurement bytes: the actual allocated lane
+    /// footprint, which shrinks when a bank's `s`-lane is compacted to
+    /// `i64` (see `LaneWidth`). [`LinearSketch::space_bytes`] keeps
+    /// charging the format-frozen 32-byte wire cell regardless of lane
+    /// width; this method reports what the process really holds. The
+    /// default is `space_bytes` for implementations without bank-backed
+    /// storage; bank-backed sketches override it.
+    fn resident_lane_bytes(&self) -> usize {
+        self.space_bytes()
+    }
 
     /// Decodes the sketch into its answer. Decoding is read-only: the
     /// sketch can keep ingesting afterwards.

@@ -19,6 +19,7 @@
 //! `RECURSECONNECT` spanner (§5.1, step 2).
 
 use crate::bank::{BankGeometry, CellBank, CellBanked};
+use crate::lane::LaneWidth;
 use crate::one_sparse::{OneSparseCell, OneSparseState};
 use crate::Mergeable;
 use gs_field::{BackendKind, HashBackend, Randomness, M61};
@@ -83,8 +84,27 @@ impl SparseRecovery {
         Self::with_kind(domain, k, seed, BackendKind::Oracle)
     }
 
-    /// As [`SparseRecovery::new`] with an explicit randomness regime.
+    /// As [`SparseRecovery::new`] with an explicit randomness regime
+    /// (wide lanes — no delta bound declared).
     pub fn with_kind(domain: u64, k: usize, seed: u64, kind: BackendKind) -> Self {
+        Self::with_width(domain, k, seed, kind, LaneWidth::Wide)
+    }
+
+    /// As [`SparseRecovery::with_kind`], deriving the `s`-lane width from
+    /// the caller's bound on `|delta|` per update (see
+    /// [`LaneWidth::for_bounds`]; indices are `< domain`).
+    pub fn with_bounds(
+        domain: u64,
+        k: usize,
+        seed: u64,
+        kind: BackendKind,
+        max_abs_delta: u64,
+    ) -> Self {
+        let width = LaneWidth::for_bounds(domain.saturating_sub(1), max_abs_delta);
+        Self::with_width(domain, k, seed, kind, width)
+    }
+
+    fn with_width(domain: u64, k: usize, seed: u64, kind: BackendKind, width: LaneWidth) -> Self {
         assert!(k >= 1, "sparsity must be at least 1");
         let rows = DEFAULT_ROWS;
         let buckets = (2 * k).max(8);
@@ -100,7 +120,7 @@ impl SparseRecovery {
             buckets,
             seed,
             kind,
-            cells: CellBank::new(BankGeometry::new(rows, 1, buckets)),
+            cells: CellBank::with_width(BankGeometry::new(rows, 1, buckets), width),
             fp: M61::ZERO,
             finger,
             verify,
@@ -183,8 +203,12 @@ impl SparseRecovery {
     /// index) if the summarized vector is `≤ k`-sparse — in fact peeling
     /// often succeeds somewhat beyond `k` — or `None` (`FAIL`) otherwise.
     pub fn decode(&self) -> Option<Vec<(u64, i64)>> {
-        let (w, s, f) = self.cells.lanes();
-        self.peel_lanes(w.to_vec(), s.to_vec(), f.to_vec(), self.fp)
+        self.peel_lanes(
+            self.cells.w_lane().to_vec(),
+            self.cells.s_lane().to_wide_vec(),
+            self.cells.f_lane().to_vec(),
+            self.fp,
+        )
     }
 
     /// The peeling decoder over bare measurement lanes — the decode half

@@ -248,6 +248,17 @@ pub struct EngineStats {
     /// Total resident shard-sketch size in bytes
     /// ([`LinearSketch::space_bytes`] summed over shards).
     pub bytes_resident: usize,
+    /// Width-aware resident lane bytes summed over shards
+    /// ([`LinearSketch::resident_lane_bytes`]): what the process actually
+    /// holds after `s`-lane compaction, versus the format-frozen cell
+    /// accounting of `bytes_resident`.
+    pub lane_bytes_resident: usize,
+    /// Shards whose sketch carries a sticky lane-overflow mark
+    /// ([`LinearSketch::lane_overflow`]): an ingest kernel detected true
+    /// counter overflow, so those shards' answers must not be trusted.
+    /// The engine keeps running — overflow poisons the measurement, not
+    /// the worker.
+    pub lane_overflows: usize,
 }
 
 /// Why a batch was refused by [`SketchEngine::try_ingest`]: the first
@@ -557,11 +568,15 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
     /// Reads the live counters. Locks each shard briefly to sum resident
     /// bytes; ingestion keeps running.
     pub fn stats(&self) -> EngineStats {
-        let bytes_resident = self
-            .shards
-            .iter()
-            .map(|slot| slot.lock().expect("shard mutex poisoned").space_bytes())
-            .sum();
+        let mut bytes_resident = 0;
+        let mut lane_bytes_resident = 0;
+        let mut lane_overflows = 0;
+        for slot in &self.shards {
+            let shard = slot.lock().expect("shard mutex poisoned");
+            bytes_resident += shard.space_bytes();
+            lane_bytes_resident += shard.resident_lane_bytes();
+            lane_overflows += shard.lane_overflow().is_some() as usize;
+        }
         EngineStats {
             shards: self.shards.len(),
             workers: self.senders.len(),
@@ -578,6 +593,8 @@ impl<S: LinearSketch + Send + 'static> SketchEngine<S> {
                 .collect(),
             queue_capacity: self.queue_capacity,
             bytes_resident,
+            lane_bytes_resident,
+            lane_overflows,
         }
     }
 
