@@ -649,6 +649,15 @@ pub struct TenantStats {
     pub deltas_applied: u64,
     /// Ingest batches refused with `BUSY`.
     pub busy_rejections: u64,
+    /// `QUERY` frames answered straight from the tenant's decode cache
+    /// (no merge, no decode).
+    pub decode_cache_hits: u64,
+    /// Stale decode-cache memos discarded because ingest moved the
+    /// tenant's state since they were armed.
+    pub decode_cache_invalidations: u64,
+    /// Total nanoseconds spent serving the cache-hit `QUERY` frames
+    /// counted by `decode_cache_hits`.
+    pub cached_answer_ns: u64,
     /// Engine worker threads this tenant claimed from the budget.
     pub workers: u64,
     /// Resident sketch bytes (engine shards + checkpoint base), charged
@@ -959,6 +968,9 @@ mod tests {
                 updates_ingested: 1000,
                 deltas_applied: 4,
                 busy_rejections: 1,
+                decode_cache_hits: 700,
+                decode_cache_invalidations: 12,
+                cached_answer_ns: 48_000,
                 workers: 2,
                 bytes_resident: 1 << 20,
                 lane_bytes_resident: 3 << 18,

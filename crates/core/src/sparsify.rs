@@ -25,7 +25,9 @@ use gs_graph::{GomoryHuTree, Graph};
 use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{edge_domain, edge_index, edge_unindex};
 use gs_sketch::par::{par_map, DecodePlan};
-use gs_sketch::{EdgeUpdate, LinearSketch, Mergeable, RecoveryPlan, SparseRecovery, CELL_BYTES};
+use gs_sketch::{
+    DecodeCache, EdgeUpdate, LinearSketch, Mergeable, RecoveryPlan, SparseRecovery, CELL_BYTES,
+};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`SparsifySketch`].
@@ -331,6 +333,10 @@ impl LinearSketch for SparsifySketch {
 
     fn decode_with(&self, plan: &DecodePlan) -> Graph {
         self.decode_planned(plan)
+    }
+
+    fn decode_cached(&self, cache: &mut DecodeCache<Graph>, plan: &DecodePlan) -> Graph {
+        cache.answer_for(self, |_| self.decode_planned(plan))
     }
 }
 

@@ -26,7 +26,7 @@ use gs_graph::subgraph::Pattern;
 use gs_sketch::bank::{CellBank, CellBanked};
 use gs_sketch::domain::{pair_slot, subset_domain, subset_rank};
 use gs_sketch::par::{par_map, DecodePlan};
-use gs_sketch::{L0Result, L0Sampler, LinearSketch, Mergeable, CELL_BYTES};
+use gs_sketch::{DecodeCache, L0Result, L0Sampler, LinearSketch, Mergeable, CELL_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -337,6 +337,10 @@ impl LinearSketch for SubgraphSketch {
 
     fn decode_with(&self, plan: &DecodePlan) -> Vec<u64> {
         self.raw_samples_with(plan)
+    }
+
+    fn decode_cached(&self, cache: &mut DecodeCache<Vec<u64>>, plan: &DecodePlan) -> Vec<u64> {
+        cache.answer_for(self, |_| self.raw_samples_with(plan))
     }
 }
 

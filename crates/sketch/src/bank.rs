@@ -64,6 +64,27 @@
 //! [`crate::LinearSketch`] linearity law restricted to the delta path.
 //! The bitmap never participates in equality or serialization; it is
 //! bookkeeping about *freshness*, not part of the measurement.
+//!
+//! ## Generation counters and the decode cache
+//!
+//! On top of the bitmap each bank carries two monotone counters that the
+//! decode cache ([`crate::cache`]) keys on:
+//!
+//! * [`CellBank::generation`] advances on **every** mutation of the
+//!   measurement ([`CellBank::apply`], [`CellBank::fan`],
+//!   [`CellBank::add`], [`CellBank::try_overlay`],
+//!   [`CellBank::drain_dirty`]). Equal generations across two points in
+//!   time therefore certify the lanes are bit-identical.
+//! * [`CellBank::drain_epoch`] advances only when dirty bits are
+//!   *cleared* ([`CellBank::drain_dirty`]). Between two points with the
+//!   same drain epoch, every cell whose value changed has its dirty bit
+//!   set at the later point (mutators only ever *set* bits), so the
+//!   current dirty set is a sound — if conservative — over-approximation
+//!   of "changed since the earlier point". The cache uses exactly this
+//!   to invalidate only the decode work whose input rows were touched.
+//!
+//! Like the bitmap, the counters never participate in equality or
+//! serialization.
 
 use crate::lane::{AlignedBuf, LaneOverflow, LaneWidth, SLane};
 use crate::one_sparse::{OneSparseCell, OneSparseState};
@@ -155,6 +176,12 @@ pub struct CellBank {
     /// lane overflow, cleared only when the whole state is replaced
     /// ([`CellBank::try_overlay`]). Not part of equality or serialization.
     poison: Option<LaneOverflow>,
+    /// Mutation counter: advanced by every mutator of the measurement
+    /// lanes (see the module docs). Not part of equality or serialization.
+    generation: u64,
+    /// Bit-clearing counter: advanced by [`CellBank::drain_dirty`] when it
+    /// clears dirty bits. Not part of equality or serialization.
+    drains: u64,
 }
 
 impl PartialEq for CellBank {
@@ -185,7 +212,28 @@ impl CellBank {
             f: AlignedBuf::zeroed(len),
             dirty: vec![0; len.div_ceil(64)],
             poison: None,
+            generation: 0,
+            drains: 0,
         }
+    }
+
+    /// The mutation generation: a monotone counter advanced by every
+    /// mutator of the measurement lanes ([`CellBank::apply`],
+    /// [`CellBank::fan`], [`CellBank::add`], [`CellBank::try_overlay`],
+    /// [`CellBank::drain_dirty`]). Two equal readings certify the lanes
+    /// are bit-identical in between — the decode cache's hit key.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The drain epoch: a monotone counter advanced whenever dirty bits
+    /// are cleared ([`CellBank::drain_dirty`]). While it is unchanged, the
+    /// current dirty set over-approximates every cell changed since any
+    /// earlier reading — the decode cache's fine-grained invalidation key.
+    #[inline]
+    pub fn drain_epoch(&self) -> u64 {
+        self.drains
     }
 
     /// The geometry descriptor.
@@ -264,6 +312,7 @@ impl CellBank {
     /// [`CellBank::lane_overflow`].
     #[inline]
     pub fn apply(&mut self, i: usize, dw: i64, ds: i128, df: M61) {
+        self.generation += 1;
         self.dirty[i >> 6] |= 1u64 << (i & 63);
         let (nw, ow) = self.w[i].overflowing_add(dw);
         self.w[i] = nw;
@@ -319,6 +368,7 @@ impl CellBank {
     /// dispatch through [`crate::simd`]. Overflow poisons (never panics).
     #[inline]
     pub fn fan(&mut self, range: Range<usize>, dw: i64, ds: i128, df: M61) {
+        self.generation += 1;
         self.mark_dirty_range(range.clone());
         let mut ovf = simd::fan_i64(&mut self.w[range.clone()], dw);
         match &mut self.s {
@@ -399,6 +449,16 @@ impl CellBank {
         );
         // Every cell where `other` can be nonzero is dirty in `other` (the
         // delta invariant), so the union keeps the invariant here.
+        //
+        // The generation absorbs `other`'s whole mutation history (plus 1
+        // for the add itself) rather than bumping by one: merge-on-read
+        // paths rebuild `clone + add` chains from scratch on every query,
+        // and the sum makes the rebuilt bank's stamp strictly monotone in
+        // the total mutations upstream — two rebuilds stamp equal iff no
+        // constituent changed, so the decode cache can key on a freshly
+        // merged sketch. Same for the drain epochs.
+        self.generation += other.generation + 1;
+        self.drains += other.drains;
         for (a, b) in self.dirty.iter_mut().zip(&other.dirty) {
             *a |= *b;
         }
@@ -541,6 +601,7 @@ impl CellBank {
         self.w.copy_from_slice(&w);
         self.f.copy_from_slice(&f);
         self.poison = None;
+        self.generation += 1;
         self.mark_all_dirty();
         Ok(())
     }
@@ -600,6 +661,12 @@ impl CellBank {
                 drained += 1;
             }
             *word = 0;
+        }
+        if drained > 0 {
+            // Cells were zeroed (a mutation) and their bits cleared (an
+            // epoch event); an empty drain changed nothing.
+            self.generation += 1;
+            self.drains += 1;
         }
         drained
     }
@@ -1080,6 +1147,55 @@ mod tests {
             .unwrap();
         assert!(narrow.lane_overflow().is_none());
         assert_eq!(narrow.s_lane().get(2), i64::MAX as i128);
+    }
+
+    #[test]
+    fn generation_advances_on_every_mutator_and_nothing_else() {
+        let h = h();
+        let mut bank = CellBank::new(BankGeometry::new(1, 1, 8));
+        assert_eq!((bank.generation(), bank.drain_epoch()), (0, 0));
+        bank.update(1, 7, 3, &h);
+        assert_eq!(bank.generation(), 1);
+        let (dw, ds, df) = CellBank::deltas(9, 2, h.hash_m61(9));
+        bank.fan(2..6, dw, ds, df);
+        assert_eq!(bank.generation(), 2);
+        let other = bank.clone();
+        // add absorbs the operand's history: 2 (own) + 2 (other) + 1.
+        bank.add(&other);
+        assert_eq!(bank.generation(), 5);
+        // Read-only paths leave the counters alone.
+        let _ = bank.cell(1);
+        let _ = bank.dirty_indices();
+        let mut acc = (vec![0i64; 4], vec![0i128; 4], vec![M61::ZERO; 4]);
+        bank.accumulate(2..6, &mut acc.0, &mut acc.1, &mut acc.2);
+        assert_eq!((bank.generation(), bank.drain_epoch()), (5, 0));
+        // A real drain bumps both counters; an empty drain bumps neither.
+        assert!(bank.drain_dirty() > 0);
+        assert_eq!((bank.generation(), bank.drain_epoch()), (6, 1));
+        assert_eq!(bank.drain_dirty(), 0);
+        assert_eq!((bank.generation(), bank.drain_epoch()), (6, 1));
+        // Overlay replaces state wholesale: a mutation, not a drain.
+        bank.overlay(vec![1; 8], vec![2; 8], vec![M61::ZERO; 8]);
+        assert_eq!((bank.generation(), bank.drain_epoch()), (7, 1));
+        // Rebuilt clone+add chains stamp equal iff no constituent moved.
+        let (a, b) = (bank.clone(), other.clone());
+        let mut m1 = a.clone();
+        m1.add(&b);
+        let mut m2 = a.clone();
+        m2.add(&b);
+        assert_eq!(m1.generation(), m2.generation());
+        let mut b2 = b.clone();
+        b2.update(0, 3, 1, &h);
+        let mut m3 = a.clone();
+        m3.add(&b2);
+        assert_ne!(m3.generation(), m1.generation());
+        // Counters never participate in equality.
+        let fresh = CellBank::new(BankGeometry::new(1, 1, 8));
+        let mut cancelled = fresh.clone();
+        cancelled.update(0, 3, 1, &h);
+        cancelled.update(0, 3, -1, &h);
+        assert_eq!(cancelled, fresh);
+        assert_ne!(cancelled.generation(), fresh.generation());
     }
 
     #[test]

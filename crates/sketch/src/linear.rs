@@ -23,6 +23,7 @@
 //! exactly why one trait suffices. [`EdgeUpdate`] packages an update in
 //! this convention; [`LinearSketch::absorb`] ingests a batch of them.
 
+use crate::cache::DecodeCache;
 use crate::lane::LaneOverflow;
 use crate::par::DecodePlan;
 use crate::Mergeable;
@@ -222,6 +223,32 @@ pub trait LinearSketch: Mergeable {
     fn decode_with(&self, plan: &DecodePlan) -> Self::Output {
         let _ = plan;
         self.decode()
+    }
+
+    /// Decodes through a [`DecodeCache`]: when the sketch is unchanged
+    /// since the cache's last answer the memoized answer is returned
+    /// without any decode work, otherwise the sketch decodes (reusing
+    /// whatever structural memos survive invalidation) and the cache is
+    /// re-armed. **Bit-identical** to [`LinearSketch::decode_with`] at
+    /// every point in the stream — the cache only decides whether the
+    /// answer is recomputed, never what it is — which the churn
+    /// differential harness pins for every task, with the
+    /// `GS_NO_DECODE_CACHE` environment variable as the fresh-decode
+    /// oracle.
+    ///
+    /// The default implementation is the oracle itself (a fresh planned
+    /// decode, counted as a miss); bank-backed sketches override it with
+    /// their generation-stamped memo.
+    fn decode_cached(
+        &self,
+        cache: &mut DecodeCache<Self::Output>,
+        plan: &DecodePlan,
+    ) -> Self::Output
+    where
+        Self::Output: Clone,
+    {
+        cache.note_fresh_decode();
+        self.decode_with(plan)
     }
 }
 

@@ -16,7 +16,7 @@ use graph_sketches::SparsifySketch;
 use gs_field::SplitMix64;
 use gs_graph::cuts::random_cut_audit;
 use gs_graph::{gen, stoer_wagner, Graph, UnionFind};
-use gs_sketch::{EdgeUpdate, LinearSketch};
+use gs_sketch::{DecodeCache, DecodePlan, EdgeUpdate, LinearSketch};
 use gs_stream::GraphStream;
 
 /// Scenario counts per question; the total (80 + 48 + 48 + 32 = 208)
@@ -90,6 +90,34 @@ fn scenario(question: u64, i: usize) -> Scenario {
     }
 }
 
+/// Chunked ingest with the decode cache interleaved: absorbs the stream
+/// in three pieces and, at every chunk boundary, asserts the cached
+/// answer is **bit-identical** to a fresh decode of the same prefix —
+/// once on the recompute path (the chunk moved the stamps) and once on
+/// the pure-hit path (nothing moved since). `GS_NO_DECODE_CACHE=1` turns
+/// the cache into the fresh-decode oracle and this becomes a
+/// self-comparison, so the suite passes under both CI jobs by the same
+/// assertions.
+fn absorb_with_cached_queries<S: LinearSketch>(
+    sketch: &mut S,
+    cache: &mut DecodeCache<S::Output>,
+    updates: &[EdgeUpdate],
+    tag: &str,
+) where
+    S::Output: Clone + PartialEq + std::fmt::Debug,
+{
+    let per = updates.len().div_ceil(3).max(1);
+    let plan = DecodePlan::with_threads(2);
+    for chunk in updates.chunks(per) {
+        sketch.absorb(chunk);
+        let cached = sketch.decode_cached(cache, &plan);
+        let fresh = sketch.decode_with(&plan);
+        assert_eq!(cached, fresh, "{tag}: cached decode diverged after a chunk");
+        let again = sketch.decode_cached(cache, &plan);
+        assert_eq!(again, fresh, "{tag}: cache hit diverged from fresh decode");
+    }
+}
+
 #[test]
 fn connectivity_matches_exact_union_find() {
     let mut verdicts = [0usize; 2];
@@ -98,7 +126,8 @@ fn connectivity_matches_exact_union_find() {
         let spec = SketchSpec::new(SketchTask::Connectivity, sc.graph.n())
             .with_seed(rng_for(0xC1, i).next_u64());
         let mut sketch = spec.build();
-        sketch.absorb(&sc.updates);
+        let mut cache = DecodeCache::new();
+        absorb_with_cached_queries(&mut sketch, &mut cache, &sc.updates, &sc.tag);
         let (components, connected) = match sketch.decode() {
             SketchAnswer::Connectivity {
                 components,
@@ -134,7 +163,8 @@ fn k_edge_connectivity_matches_exact_min_cut() {
             .with_k(k)
             .with_seed(rng_for(0xEC, i).next_u64());
         let mut sketch = spec.build();
-        sketch.absorb(&sc.updates);
+        let mut cache = DecodeCache::new();
+        absorb_with_cached_queries(&mut sketch, &mut cache, &sc.updates, &sc.tag);
         let verdict = match sketch.decode() {
             SketchAnswer::KConnected { connected, .. } => connected,
             other => panic!("unexpected answer {other:?}"),
@@ -196,7 +226,8 @@ fn mst_weight_stays_in_its_eps_window() {
             .with_max_weight(max_w)
             .with_seed(rng.next_u64());
         let mut sketch = spec.build();
-        sketch.absorb(&updates);
+        let mut cache = DecodeCache::new();
+        absorb_with_cached_queries(&mut sketch, &mut cache, &updates, &format!("mst #{i}"));
         let approx = match sketch.decode() {
             SketchAnswer::Msf { total_weight, .. } => total_weight,
             other => panic!("unexpected answer {other:?}"),
@@ -227,8 +258,21 @@ fn sparsifier_answers_cut_queries_within_eps() {
             _ => gen::gnp(n, 0.7, rng.next_u64()),
         };
         let mut sketch = SparsifySketch::new(n, eps, rng.next_u64());
-        GraphStream::with_churn(&g, rng.next_range(41) as usize, rng.next_u64())
-            .replay(|u, v, d| sketch.update_edge(u, v, d));
+        let updates =
+            GraphStream::with_churn(&g, rng.next_range(41) as usize, rng.next_u64()).edge_updates();
+        // Graph has no PartialEq; pin the cached sparsifier by edge list.
+        let mut cache = DecodeCache::new();
+        let per = updates.len().div_ceil(3).max(1);
+        for chunk in updates.chunks(per) {
+            sketch.absorb(chunk);
+            let cached = sketch.decode_cached(&mut cache, &DecodePlan::with_threads(2));
+            let fresh = sketch.decode_with(&DecodePlan::with_threads(2));
+            assert_eq!(
+                cached.edges(),
+                fresh.edges(),
+                "#{i} cached sparsifier diverged"
+            );
+        }
         let h = sketch.decode();
         let err = random_cut_audit(&g, &h, 150, rng.next_u64());
         assert!(
