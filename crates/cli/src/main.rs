@@ -10,6 +10,8 @@
 //! graph-sketch sync       --state FILE [--format json|bin] <delta-file>...
 //! graph-sketch serve      --state-dir DIR (--tcp ADDR | --unix PATH) [options]
 //! graph-sketch client     (--tcp ADDR | --unix PATH) <action> ...
+//! graph-sketch workload   gen --generator '<json>' [--seed <int>] [--out FILE] [--format bin|jsonl|text]
+//! graph-sketch experiment run --tasks FILE [--out DIR] [--seed <int>] [--tcp ADDR | --unix PATH] [--check]
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
 //! commands:
@@ -44,6 +46,13 @@
 //!   client                script one protocol frame against a running
 //!                         server: ping | create | ingest | query |
 //!                         snapshot | drop | stats | checkpoint
+//!   workload              generate one seeded adversarial trace (binary,
+//!                         JSONL, or the stream form above) from the
+//!                         gs-workloads generator catalogue
+//!   experiment            run a tasks.jsonl matrix of (task x generator x
+//!                         eps x repeats) against exact baselines and emit
+//!                         accuracy-vs-space-vs-time frontier tables;
+//!                         --check turns (eps, delta) guarantees into a gate
 //!   serve-demo            single-process demo of the resident idea: one
 //!                         in-process engine, stdin ingest, periodic
 //!                         snapshot decodes on stderr. No sockets, no
@@ -83,6 +92,7 @@
 
 mod parse;
 mod serve_cmd;
+mod workload_cmd;
 
 use graph_sketches::api::{AnySketch, SketchAnswer, SketchSpec, SketchTask};
 use graph_sketches::wire::{SketchDelta, SketchFile};
@@ -161,7 +171,7 @@ fn usage() -> ExitCode {
          \x20      graph-sketch decode <sketch-file> [--json] [--threads <int>]\n\
          \x20      graph-sketch sync --state FILE [--format json|bin] <delta-file>...\n\
          \x20      graph-sketch serve --state-dir DIR (--tcp ADDR | --unix PATH) [--workers <int>] [--checkpoint-secs <f>] [--max-connections <int>] [--quiet]\n\
-         \x20      graph-sketch client (--tcp ADDR | --unix PATH) (ping | create <tenant> <spec> | ingest <tenant> [--delta FILE]... | query <tenant> [--threads <int>] [--json] | snapshot <tenant> --out FILE | drop <tenant> | stats [tenant] | checkpoint [tenant])\n\
+         \x20      graph-sketch client (--tcp ADDR | --unix PATH) (ping | create <tenant> <spec> | ingest <tenant> [--delta FILE]... [--trace FILE] | query <tenant> [--threads <int>] [--json] | snapshot <tenant> --out FILE | drop <tenant> | stats [tenant] | checkpoint [tenant])\n\
          \x20      graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < stream  (single-process demo; `serve` is the production path)",
         commands = commands.join("|")
     );
@@ -876,6 +886,8 @@ fn main() -> ExitCode {
         Some("sync") => cmd_sync(&args[1..]),
         Some("serve") => serve_cmd::cmd_serve(&args[1..]),
         Some("client") => serve_cmd::cmd_client(&args[1..]),
+        Some("workload") => workload_cmd::cmd_workload(&args[1..]),
+        Some("experiment") => workload_cmd::cmd_experiment(&args[1..]),
         Some("serve-demo") => cmd_query(&args[1..], true),
         _ => cmd_query(&args, false),
     }

@@ -253,6 +253,7 @@ fn client_create(client: &mut Client, rest: &[String]) -> Result<(), ClientUsage
 fn client_ingest(client: &mut Client, rest: &[String]) -> Result<(), ClientUsage> {
     let (tenant, flags) = take_tenant(rest, "ingest")?;
     let mut deltas: Vec<String> = Vec::new();
+    let mut trace: Option<String> = None;
     let mut chunk = DEFAULT_CHUNK;
     let mut it = flags.iter();
     while let Some(arg) = it.next() {
@@ -261,12 +262,35 @@ fn client_ingest(client: &mut Client, rest: &[String]) -> Result<(), ClientUsage
                 Some(path) => deltas.push(path.clone()),
                 None => return Err(ClientUsage::Usage("missing value for --delta".into())),
             },
+            "--trace" => match it.next() {
+                Some(path) => trace = Some(path.clone()),
+                None => return Err(ClientUsage::Usage("missing value for --trace".into())),
+            },
             "--chunk" => match it.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(c)) if c >= 1 => chunk = c,
                 _ => return Err(ClientUsage::Usage("--chunk must be a positive int".into())),
             },
             other => return Err(ClientUsage::Usage(format!("unknown flag {other}"))),
         }
+    }
+    if trace.is_some() && !deltas.is_empty() {
+        return Err(ClientUsage::Usage(
+            "--trace and --delta are different ingest paths; use one".into(),
+        ));
+    }
+    // Replay a gs-workloads trace file (binary or JSONL, sniffed by
+    // content) as chunked retrying update batches.
+    if let Some(path) = trace {
+        let bytes =
+            std::fs::read(&path).map_err(|e| ClientUsage::Failed(format!("{path}: {e}")))?;
+        let trace = gs_workloads::Trace::from_any(&bytes)
+            .map_err(|e| ClientUsage::Failed(format!("{path}: {e}")))?;
+        client.ingest_chunked(tenant, &trace.updates, chunk, INGEST_RETRY_DEADLINE)?;
+        eprintln!(
+            "replayed {} trace update(s) from {path} into {tenant}",
+            trace.updates.len()
+        );
+        return Ok(());
     }
     if !deltas.is_empty() {
         for path in &deltas {

@@ -1,0 +1,255 @@
+//! The `workload` and `experiment` verbs: adversarial trace generation
+//! and the tasks.jsonl experiment matrix, wired to `gs-workloads`.
+//!
+//! ```text
+//! graph-sketch workload gen --generator '<json>' [--seed <int>]
+//!                           [--out FILE] [--format bin|jsonl|text]
+//! graph-sketch experiment run --tasks FILE [--out DIR] [--seed <int>]
+//!                             [--trials <int>] [--threads <int>]
+//!                             [--tcp ADDR | --unix PATH] [--check]
+//! ```
+//!
+//! `workload gen` emits one seeded trace: the versioned binary layout
+//! (default), the JSONL text form, or the CLI's own `+ u v [w]` stream
+//! form (pipe that straight into any query verb or `client ingest`).
+//!
+//! `experiment run` executes a tasks.jsonl matrix — every row is a
+//! (task × generator × eps × repeats) sweep — through an in-process
+//! engine, or through a live `gs-serve` server when `--tcp`/`--unix`
+//! is given. It writes `runs.jsonl`, `frontier.jsonl`, and
+//! `frontier.txt` under `--out` (or prints the table without it), and
+//! with `--check` exits non-zero if any row's (eps, delta) guarantee
+//! was violated — the CI gate.
+
+use gs_workloads::runner::{run_experiment, RunnerOpts, ServerTarget, TaskRow};
+use gs_workloads::GeneratorSpec;
+use serde::{Deserialize, Value};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage_workload() -> ExitCode {
+    eprintln!(
+        "usage: graph-sketch workload gen --generator '<json>' [--seed <int>] \
+         [--out FILE] [--format bin|jsonl|text]\n\
+         generator JSON is one of (shown with example parameters):\n\
+         \x20 {{\"PowerLawChurn\":{{\"n\":64,\"attach\":2,\"churn\":40,\"seed\":1}}}}\n\
+         \x20 {{\"SlidingWindow\":{{\"n\":64,\"window\":4,\"batches\":16,\"rate\":32,\"seed\":1}}}}\n\
+         \x20 {{\"MinCutAdversary\":{{\"half\":16,\"bridge\":3,\"churn\":50,\"seed\":1}}}}\n\
+         \x20 {{\"SparsifierAdversary\":{{\"n\":64,\"blocks\":2,\"p_in\":0.5,\"p_out\":0.05,\"churn\":50,\"seed\":1}}}}\n\
+         \x20 {{\"WeightChurn\":{{\"n\":64,\"p\":0.2,\"max_weight\":16,\"churn\":50,\"seed\":1}}}}"
+    );
+    ExitCode::from(2)
+}
+
+fn usage_experiment() -> ExitCode {
+    eprintln!(
+        "usage: graph-sketch experiment run --tasks FILE [--out DIR] [--seed <int>] \
+         [--trials <int>] [--threads <int>] [--tcp ADDR | --unix PATH] [--check]\n\
+         tasks FILE is JSONL, one row per line:\n\
+         \x20 {{\"task\":\"connectivity\",\"generator\":{{\"PowerLawChurn\":{{...}}}},\
+         \"eps\":[0.5],\"repeats\":3,\"delta\":0.0,\"k\":2,\"shards\":2,\"chunks\":3}}"
+    );
+    ExitCode::from(2)
+}
+
+/// `graph-sketch workload <action>` — currently `gen`.
+pub fn cmd_workload(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("gen") => workload_gen(&args[1..]),
+        _ => usage_workload(),
+    }
+}
+
+fn workload_gen(args: &[String]) -> ExitCode {
+    let mut generator_json: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut format = "bin".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        let result = match arg.as_str() {
+            "--generator" => val().map(|v| generator_json = Some(v)),
+            "--seed" => val().and_then(|v| {
+                v.parse()
+                    .map(|s| seed = Some(s))
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--out" => val().map(|v| out = Some(v)),
+            "--format" => val().map(|v| format = v),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return usage_workload();
+        }
+    }
+    let Some(generator_json) = generator_json else {
+        eprintln!("error: workload gen needs --generator '<json>'");
+        return usage_workload();
+    };
+    let spec = match Value::from_json(&generator_json)
+        .map_err(|e| e.to_string())
+        .and_then(|v| GeneratorSpec::from_value(&v).map_err(|e| e.to_string()))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("--generator: {e}")),
+    };
+    let spec = match seed {
+        Some(s) => spec.with_seed(s),
+        None => spec,
+    };
+    if let Err(e) = spec.validate() {
+        return fail(&format!("--generator: {e}"));
+    }
+    let trace = spec.generate();
+    let bytes = match format.as_str() {
+        "bin" => trace.to_bytes(),
+        "jsonl" => trace.to_jsonl().into_bytes(),
+        "text" => trace.to_text().into_bytes(),
+        other => {
+            return fail(&format!(
+                "--format must be bin, jsonl, or text, got {other:?}"
+            ))
+        }
+    };
+    let sink = match &out {
+        Some(path) => std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}")),
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| format!("stdout: {e}"))
+        }
+    };
+    if let Err(e) = sink {
+        return fail(&e);
+    }
+    eprintln!(
+        "generated {} ({} updates over {} vertices, seed {})",
+        spec.name(),
+        trace.updates.len(),
+        trace.n,
+        spec.seed()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `graph-sketch experiment <action>` — currently `run`.
+pub fn cmd_experiment(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("run") => experiment_run(&args[1..]),
+        _ => usage_experiment(),
+    }
+}
+
+fn experiment_run(args: &[String]) -> ExitCode {
+    let mut tasks_path: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut opts = RunnerOpts::default();
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--check" {
+            check = true;
+            continue;
+        }
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {arg}"))
+        };
+        let result = match arg.as_str() {
+            "--tasks" => val().map(|v| tasks_path = Some(v)),
+            "--out" => val().map(|v| out_dir = Some(v)),
+            "--seed" => val().and_then(|v| {
+                v.parse()
+                    .map(|s| opts.base_seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--trials" => val().and_then(|v| match v.parse() {
+                Ok(t) if t >= 1 => {
+                    opts.trials = t;
+                    Ok(())
+                }
+                _ => Err("--trials must be a positive int".into()),
+            }),
+            "--threads" => val().and_then(|v| match v.parse() {
+                Ok(t) if t >= 1 => {
+                    opts.threads = t;
+                    Ok(())
+                }
+                _ => Err("--threads must be a positive int".into()),
+            }),
+            "--tcp" => val().map(|v| opts.server = Some(ServerTarget::Tcp(v))),
+            "--unix" => val().map(|v| opts.server = Some(ServerTarget::Unix(v.into()))),
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return usage_experiment();
+        }
+    }
+    let Some(tasks_path) = tasks_path else {
+        eprintln!("error: experiment run needs --tasks <file>");
+        return usage_experiment();
+    };
+    let text = match std::fs::read_to_string(&tasks_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("{tasks_path}: {e}")),
+    };
+    let rows = match TaskRow::parse_tasks(&text) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{tasks_path}: {e}")),
+    };
+    let runs: usize = rows.iter().map(|r| r.eps.len() * r.repeats).sum();
+    eprintln!(
+        "running {} task row(s), {} run(s) total{}",
+        rows.len(),
+        runs,
+        match &opts.server {
+            Some(ServerTarget::Tcp(a)) => format!(" against tcp {a}"),
+            Some(ServerTarget::Unix(p)) => format!(" against unix {}", p.display()),
+            None => " in-process".to_string(),
+        }
+    );
+    let report = match run_experiment(&rows, &opts) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if let Some(dir) = &out_dir {
+        let write = |name: &str, content: String| -> Result<(), String> {
+            let path = std::path::Path::new(dir).join(name);
+            std::fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        let emitted = std::fs::create_dir_all(dir)
+            .map_err(|e| format!("{dir}: {e}"))
+            .and_then(|()| write("runs.jsonl", report.runs_jsonl()))
+            .and_then(|()| write("frontier.jsonl", report.frontier_jsonl()))
+            .and_then(|()| write("frontier.txt", report.frontier_table()));
+        if let Err(e) = emitted {
+            return fail(&e);
+        }
+        eprintln!("wrote runs.jsonl, frontier.jsonl, frontier.txt under {dir}");
+    }
+    print!("{}", report.frontier_table());
+    for violation in &report.violations {
+        eprintln!("guarantee violated: {violation}");
+    }
+    if check && !report.ok() {
+        eprintln!(
+            "{} guarantee violation(s); failing (--check)",
+            report.violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

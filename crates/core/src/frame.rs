@@ -79,9 +79,13 @@ pub enum FrameError {
         /// Bytes of the frame that did arrive.
         at: usize,
     },
-    /// The stream timed out **between** frames (no byte of a new frame
-    /// had arrived). The connection is still healthy; a server uses the
-    /// idle tick to poll its shutdown flag.
+    /// The stream's read timeout elapsed. The connection is still
+    /// healthy; a server uses the idle tick to poll its shutdown flag.
+    /// A stateful [`FrameReader`] retains any partial frame across the
+    /// tick, so a slow peer trickling bytes across timeouts is never
+    /// mistaken for a dead one; the stateless [`read_frame`] only
+    /// surfaces `Idle` at a frame boundary (it has nowhere to park
+    /// partial bytes, so a mid-frame timeout is an [`FrameError::Io`]).
     Idle,
     /// A frame declared a body longer than the reader's cap.
     TooLarge {
@@ -138,40 +142,131 @@ pub fn write_frame(w: &mut impl Write, body: &[u8], max: usize) -> Result<(), Fr
 /// Reads one length-prefixed frame body. `Ok(None)` is a clean close (EOF
 /// exactly at a frame boundary); [`FrameError::Idle`] is a read timeout
 /// at a frame boundary (no byte consumed — the caller may simply retry).
-/// A declared length over `max` is refused **before any allocation**, and
-/// the body buffer grows only as bytes actually arrive (`Read::take` +
-/// `read_to_end`), so a hostile length prefix can never force an
-/// allocation the stream does not back.
+/// A timeout **mid-frame** is an [`FrameError::Io`] here, because a
+/// stateless call has nowhere to keep the partial bytes — a server
+/// polling a read timeout must hold a [`FrameReader`] instead, which
+/// parks the partial frame across idle ticks. A declared length over
+/// `max` is refused **before any allocation**, and the body buffer grows
+/// only as bytes actually arrive, so a hostile length prefix can never
+/// force an allocation the stream does not back.
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
-    let mut header = [0u8; 4];
-    let mut got = 0;
-    while got < header.len() {
-        match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(FrameError::Truncated { at: got }),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e)
-                if got == 0
-                    && matches!(
+    let mut reader = FrameReader::new();
+    match reader.read(r, max) {
+        Err(FrameError::Idle) if reader.mid_frame() => Err(FrameError::Io(
+            "read timed out mid-frame (stateless read_frame cannot resume; \
+             use FrameReader)"
+                .into(),
+        )),
+        other => other,
+    }
+}
+
+/// How large a chunk the body reader asks the stream for at a time: the
+/// buffer grows by at most this much per syscall, so allocation tracks
+/// arrival.
+const READ_CHUNK: usize = 64 << 10;
+
+/// A resumable frame reader for streams with a read timeout.
+///
+/// [`read_frame`] loses any partially-read frame when the stream's read
+/// timeout fires, which turns a slow peer (trickling a frame's bytes
+/// across several timeout windows) into a dropped connection. A
+/// `FrameReader` owns the partial header/body between calls: every
+/// timeout surfaces as [`FrameError::Idle`] with all progress retained,
+/// and the next call resumes exactly where the bytes stopped. Only a
+/// true close (EOF) or a transport error ends the conversation — EOF
+/// mid-frame is [`FrameError::Truncated`], EOF at a boundary is
+/// `Ok(None)`.
+///
+/// The capped-allocation discipline of [`read_frame`] is preserved: the
+/// declared length is checked against `max` before any body allocation,
+/// and the buffer grows in [`READ_CHUNK`] steps as bytes actually arrive.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Partial length header (little-endian `u32`).
+    header: [u8; 4],
+    /// Header bytes received so far.
+    header_got: usize,
+    /// Declared body length, once the header is complete.
+    len: Option<usize>,
+    /// Body bytes received so far.
+    body: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Whether a frame is partially read — after [`FrameError::Idle`],
+    /// distinguishes "waiting between frames" from "waiting inside one".
+    pub fn mid_frame(&self) -> bool {
+        self.header_got > 0 || self.len.is_some()
+    }
+
+    /// Reads (or resumes reading) one frame. `Ok(None)` is a clean close
+    /// at a frame boundary; [`FrameError::Idle`] is a read timeout with
+    /// all partial progress retained — call again to resume.
+    pub fn read(&mut self, r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+        let len = loop {
+            if let Some(len) = self.len {
+                break len;
+            }
+            match r.read(&mut self.header[self.header_got..]) {
+                Ok(0) if self.header_got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(FrameError::Truncated {
+                        at: self.header_got,
+                    })
+                }
+                Ok(n) => {
+                    self.header_got += n;
+                    if self.header_got == self.header.len() {
+                        let len = u32::from_le_bytes(self.header) as usize;
+                        if len > max {
+                            return Err(FrameError::TooLarge { declared: len, max });
+                        }
+                        self.len = Some(len);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
-            {
-                return Err(FrameError::Idle)
+                {
+                    return Err(FrameError::Idle)
+                }
+                Err(e) => return Err(FrameError::Io(e.to_string())),
             }
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+        };
+        let mut chunk = [0u8; READ_CHUNK];
+        while self.body.len() < len {
+            let want = (len - self.body.len()).min(READ_CHUNK);
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(FrameError::Truncated {
+                        at: 4 + self.body.len(),
+                    })
+                }
+                Ok(n) => self.body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(FrameError::Idle)
+                }
+                Err(e) => return Err(FrameError::Io(e.to_string())),
+            }
         }
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > max {
-        return Err(FrameError::TooLarge { declared: len, max });
-    }
-    let mut body = Vec::new();
-    match r.take(len as u64).read_to_end(&mut body) {
-        Ok(n) if n == len => Ok(Some(body)),
-        Ok(n) => Err(FrameError::Truncated { at: 4 + n }),
-        Err(e) => Err(FrameError::Io(e.to_string())),
+        self.header_got = 0;
+        self.len = None;
+        Ok(Some(std::mem::take(&mut self.body)))
     }
 }
 
@@ -720,6 +815,111 @@ mod tests {
             read_frame(&mut r, MAX_FRAME),
             Err(FrameError::Truncated { at: 2 })
         );
+    }
+
+    /// A stream that yields its script one step at a time: `Ok(bytes)`
+    /// delivers bytes, `Timeout` simulates an elapsed read timeout, and
+    /// the end of the script is EOF. Models a slow peer trickling a
+    /// frame across many timeout windows.
+    struct Trickle {
+        script: Vec<Result<Vec<u8>, ()>>,
+        at: usize,
+        pending: Vec<u8>,
+    }
+
+    impl Trickle {
+        fn new(script: Vec<Result<Vec<u8>, ()>>) -> Self {
+            Trickle {
+                script,
+                at: 0,
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending.is_empty() {
+                match self.script.get(self.at) {
+                    None => return Ok(0),
+                    Some(Err(())) => {
+                        self.at += 1;
+                        return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+                    }
+                    Some(Ok(bytes)) => {
+                        self.pending = bytes.clone();
+                        self.at += 1;
+                    }
+                }
+            }
+            let n = self.pending.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.pending[..n]);
+            self.pending.drain(..n);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_header_and_mid_body() {
+        // One 5-byte frame delivered as: 2 header bytes, timeout, the
+        // other 2 header bytes, timeout, 3 body bytes, timeout, the last
+        // 2 body bytes. read_frame would drop this client at the first
+        // mid-frame timeout; FrameReader must ride through all three.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"alpha", MAX_FRAME).unwrap();
+        let mut r = Trickle::new(vec![
+            Ok(framed[..2].to_vec()),
+            Err(()),
+            Ok(framed[2..4].to_vec()),
+            Err(()),
+            Ok(framed[4..7].to_vec()),
+            Err(()),
+            Ok(framed[7..].to_vec()),
+        ]);
+        let mut reader = FrameReader::new();
+        let mut idle_ticks = 0;
+        let body = loop {
+            match reader.read(&mut r, MAX_FRAME) {
+                Ok(Some(body)) => break body,
+                Err(FrameError::Idle) => idle_ticks += 1,
+                other => panic!("expected progress or Idle, got {other:?}"),
+            }
+        };
+        assert_eq!(body, b"alpha");
+        assert_eq!(idle_ticks, 3, "every timeout surfaced as a resumable Idle");
+        assert!(!reader.mid_frame(), "reader is back at a frame boundary");
+        // EOF after the complete frame is a clean close.
+        assert_eq!(reader.read(&mut r, MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_across_idle_ticks() {
+        let mut r = Trickle::new(vec![Err(()), Ok(vec![5, 0]), Err(())]);
+        let mut reader = FrameReader::new();
+        // Timeout before any byte: an idle boundary, not a partial frame.
+        assert_eq!(reader.read(&mut r, MAX_FRAME), Err(FrameError::Idle));
+        assert!(!reader.mid_frame());
+        // Two header bytes then a timeout: partial progress retained.
+        assert_eq!(reader.read(&mut r, MAX_FRAME), Err(FrameError::Idle));
+        assert!(reader.mid_frame());
+        // EOF mid-header is a truncation naming the bytes that arrived.
+        assert_eq!(
+            reader.read(&mut r, MAX_FRAME),
+            Err(FrameError::Truncated { at: 2 })
+        );
+    }
+
+    #[test]
+    fn stateless_read_frame_maps_mid_frame_timeout_to_io() {
+        // The stateless helper has nowhere to park partial bytes, so a
+        // timeout inside a frame must not masquerade as a healthy Idle.
+        let mut r = Trickle::new(vec![Ok(vec![5, 0]), Err(())]);
+        match read_frame(&mut r, MAX_FRAME) {
+            Err(FrameError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let mut r = Trickle::new(vec![Err(())]);
+        assert_eq!(read_frame(&mut r, MAX_FRAME), Err(FrameError::Idle));
     }
 
     #[test]

@@ -27,6 +27,61 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     Graph::from_edges(n, edges)
 }
 
+/// Erdős–Rényi `G(n, p)` by geometric skipping: expected `O(n + m)` time
+/// instead of [`gnp`]'s `O(n²)` coin flips, so million-vertex sparse
+/// workloads are generated in milliseconds.
+///
+/// Instead of flipping a coin per vertex pair, the sampler walks the
+/// `C(n, 2)` pair space in jumps drawn from the geometric distribution
+/// `skip = ⌊ln(U) / ln(1 − p)⌋` — the number of consecutive misses before
+/// the next hit when each pair is an edge independently with probability
+/// `p`. Every landing is an edge, so work is proportional to the output
+/// (plus the `O(n)` row walk).
+///
+/// The distribution is exactly `G(n, p)`, but the edge set for a given
+/// seed differs from [`gnp`]'s — the original per-pair path stays
+/// byte-stable for everything seeded against it; new workload-scale
+/// callers use this one.
+pub fn gnp_skip(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    if n < 2 || p <= 0.0 {
+        return Graph::from_edges(n, std::iter::empty());
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let mut rng = SplitMix64::new(seed);
+    let log_miss = (1.0 - p).ln();
+    let mut edges = Vec::with_capacity((p * (n * (n - 1) / 2) as f64) as usize + 1);
+    // Cursor over the pair space in row-major order: row `u` holds the
+    // pairs (u, u+1) .. (u, n-1). `v` starts one before the first column
+    // so the initial skip of `k` lands on the (k+1)-th pair.
+    let mut u = 0usize;
+    let mut v = 0usize;
+    loop {
+        // U ∈ (0, 1]: ln is finite, and a skip of 0 (p close to 1) is
+        // the next adjacent pair.
+        let uniform = 1.0 - rng.next_f64();
+        let skip = (uniform.ln() / log_miss).floor();
+        if skip >= (n * n) as f64 {
+            break; // one jump clears the whole remaining pair space
+        }
+        let mut step = skip as usize + 1;
+        // Advance the cursor `step` pairs, wrapping through row ends.
+        while step > n - 1 - v {
+            step -= n - 1 - v;
+            u += 1;
+            v = u;
+            if u >= n - 1 {
+                return Graph::from_edges(n, edges);
+            }
+        }
+        v += step;
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, edges)
+}
+
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
     Graph::from_edges(n, (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))))
@@ -188,6 +243,85 @@ mod tests {
             "m = {}, expected {expected}",
             g.m()
         );
+    }
+
+    #[test]
+    fn gnp_skip_respects_probability_extremes_and_seed() {
+        assert_eq!(gnp_skip(20, 0.0, 1).m(), 0);
+        assert_eq!(gnp_skip(20, 1.0, 1).m(), 20 * 19 / 2);
+        assert_eq!(gnp_skip(1, 0.5, 1).m(), 0);
+        let a = gnp_skip(30, 0.3, 7);
+        let b = gnp_skip(30, 0.3, 7);
+        let c = gnp_skip(30, 0.3, 8);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnp_skip_emits_well_formed_pairs() {
+        let g = gnp_skip(50, 0.23, 9);
+        let mut seen = std::collections::BTreeSet::new();
+        for &(u, v, w) in g.edges() {
+            assert!(u < v && v < 50, "malformed pair ({u}, {v})");
+            assert_eq!(w, 1);
+            assert!(seen.insert((u, v)), "duplicate pair ({u}, {v})");
+        }
+    }
+
+    /// Regression for the skip-sampler's distribution: over many seeds,
+    /// the naive per-pair sampler and the geometric-skip sampler must
+    /// agree on the edge-count mean (both are Binomial(C(n,2), p)) and on
+    /// per-pair inclusion frequencies (every pair near p, no positional
+    /// bias at row starts/ends where the cursor arithmetic could slip).
+    #[test]
+    fn gnp_skip_matches_naive_gnp_distribution() {
+        let n = 24;
+        let p = 0.3;
+        let rounds = 400;
+        let pairs = n * (n - 1) / 2;
+        let mut naive_edges = 0u64;
+        let mut skip_edges = 0u64;
+        let mut naive_freq = vec![0u32; n * n];
+        let mut skip_freq = vec![0u32; n * n];
+        for seed in 0..rounds {
+            let a = gnp(n, p, 1000 + seed);
+            let b = gnp_skip(n, p, 2000 + seed);
+            naive_edges += a.m() as u64;
+            skip_edges += b.m() as u64;
+            for &(u, v, _) in a.edges() {
+                naive_freq[u * n + v] += 1;
+            }
+            for &(u, v, _) in b.edges() {
+                skip_freq[u * n + v] += 1;
+            }
+        }
+        // Edge-count means: each is an average of `rounds` Binomial
+        // draws; the estimator's sd is sqrt(pairs*p*(1-p)/rounds) ≈ 0.38,
+        // so a 5-sd band around the analytic mean is a robust gate.
+        let expected = pairs as f64 * p;
+        let sd = (pairs as f64 * p * (1.0 - p) / rounds as f64).sqrt();
+        for (tag, total) in [("naive", naive_edges), ("skip", skip_edges)] {
+            let mean = total as f64 / rounds as f64;
+            assert!(
+                (mean - expected).abs() < 5.0 * sd,
+                "{tag} edge-count mean {mean} strays from {expected}"
+            );
+        }
+        // Per-pair inclusion: Binomial(rounds, p) per cell; 5-sd band.
+        let cell_sd = (rounds as f64 * p * (1.0 - p)).sqrt();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                for (tag, freq) in [("naive", &naive_freq), ("skip", &skip_freq)] {
+                    let got = freq[u * n + v] as f64;
+                    assert!(
+                        (got - rounds as f64 * p).abs() < 5.0 * cell_sd,
+                        "{tag} pair ({u},{v}) frequency {got} strays from \
+                         {}",
+                        rounds as f64 * p
+                    );
+                }
+            }
+        }
     }
 
     #[test]

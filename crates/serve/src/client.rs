@@ -229,6 +229,24 @@ impl Client {
         }
     }
 
+    /// Chunked [`Client::ingest_retry`]: replays a long update stream
+    /// (a workload trace, a bulk load) as `chunk`-sized `INGEST` batches
+    /// so no single frame nears the size cap and `BUSY` back-pressure
+    /// applies per chunk, not to one giant all-or-nothing batch. The
+    /// `deadline` is the retry budget of *each* chunk.
+    pub fn ingest_chunked(
+        &mut self,
+        tenant: &str,
+        updates: &[EdgeUpdate],
+        chunk: usize,
+        deadline: Duration,
+    ) -> Result<(), ClientError> {
+        for piece in updates.chunks(chunk.max(1)) {
+            self.ingest_retry(tenant, piece, deadline)?;
+        }
+        Ok(())
+    }
+
     /// `QUERY`: decodes the tenant's sketch server-side; returns the
     /// answer as [`graph_sketches::SketchAnswer`] JSON. `threads = 0`
     /// asks for the server's sequential default.

@@ -449,12 +449,20 @@ fn accept_loop(mut accept: AcceptFn, shared: Arc<Shared>, max_conns: usize) {
 /// the server stops. Body-level damage (a frame that does not parse as a
 /// request) is answered with a typed error on the still-healthy
 /// connection; loss of the length framing itself closes it.
+///
+/// Reads go through a stateful [`frame::FrameReader`]: the 100 ms read
+/// timeout exists to poll the shutdown flag, and a slow client whose
+/// frame trickles in across several timeout windows keeps its partial
+/// progress parked in the reader instead of being dropped mid-frame.
+/// Only shutdown, a clean close, or a genuinely dead transport (EOF or
+/// an I/O error mid-frame) ends the connection.
 fn handle_connection(mut conn: Box<dyn Conn>, shared: &Shared) {
     if conn.set_read_timeout_ms(100).is_err() {
         return;
     }
+    let mut reader = frame::FrameReader::new();
     loop {
-        let body = match frame::read_frame(&mut conn, shared.max_frame) {
+        let body = match reader.read(&mut conn, shared.max_frame) {
             Ok(Some(body)) => body,
             Ok(None) => return,
             Err(FrameError::Idle) => {
@@ -851,13 +859,62 @@ fn checkpoint_all(shared: &Shared) -> usize {
     persisted
 }
 
+/// The checkpoint thread's schedule: fixed ticks anchored to the start
+/// instant, not to when the previous checkpoint *finished*. Re-anchoring
+/// on completion would stretch every period by the checkpoint's own
+/// duration (a 2 s checkpoint on a 10 s period drifts to 12 s); anchored
+/// ticks keep the long-run cadence at `every`, and a checkpoint that
+/// overruns its whole period skips forward to the next future tick
+/// instead of firing a catch-up burst.
+struct CheckpointTimer {
+    next: Instant,
+    every: Duration,
+}
+
+/// The longest single sleep the checkpoint thread takes: it must notice
+/// the shutdown flag promptly even on multi-minute periods, without the
+/// old behavior of busy-waking every 20 ms regardless of the period.
+const CHECKPOINT_POLL_CAP: Duration = Duration::from_millis(250);
+
+impl CheckpointTimer {
+    fn new(start: Instant, every: Duration) -> Self {
+        CheckpointTimer {
+            next: start + every,
+            every,
+        }
+    }
+
+    /// How long to sleep at `now`: the remaining time to the next tick,
+    /// capped so the shutdown flag is polled at least every 250 ms.
+    fn sleep_for(&self, now: Instant) -> Duration {
+        self.next
+            .saturating_duration_since(now)
+            .min(CHECKPOINT_POLL_CAP)
+    }
+
+    /// Whether a tick is due at `now`. When it is, the next deadline
+    /// advances by whole periods from the *intended* tick (staying
+    /// anchored), landing strictly in the future.
+    fn due(&mut self, now: Instant) -> bool {
+        if now < self.next {
+            return false;
+        }
+        while self.next <= now {
+            self.next += self.every;
+        }
+        true
+    }
+}
+
 fn checkpoint_loop(shared: Arc<Shared>, every: Duration) {
-    let mut last = Instant::now();
+    let mut timer = CheckpointTimer::new(Instant::now(), every);
     while !shared.stop.load(Ordering::SeqCst) {
-        thread::sleep(Duration::from_millis(20));
-        if last.elapsed() >= every {
+        thread::sleep(timer.sleep_for(Instant::now()));
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if timer.due(Instant::now()) {
             checkpoint_all(&shared);
-            last = Instant::now();
         }
     }
 }
@@ -922,5 +979,67 @@ fn recover_tenants(shared: &Shared) {
                 ));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the checkpoint-cadence bug: the old loop re-anchored
+    /// `last = Instant::now()` after the checkpoint finished, so every
+    /// period stretched by the checkpoint's duration. The timer must keep
+    /// ticks anchored to the start instant no matter how long each
+    /// checkpoint takes (short of overrunning a whole period).
+    #[test]
+    fn checkpoint_ticks_stay_anchored_despite_slow_checkpoints() {
+        let start = Instant::now();
+        let every = Duration::from_secs(10);
+        let checkpoint_cost = Duration::from_secs(2);
+        let mut timer = CheckpointTimer::new(start, every);
+        for tick in 1..=5u32 {
+            let intended = start + every * tick;
+            assert!(!timer.due(intended - Duration::from_millis(1)));
+            assert!(timer.due(intended), "tick {tick} fires on schedule");
+            // The checkpoint runs for 2 s; the *next* tick must still be
+            // exactly one period after this tick's intended instant, not
+            // one period after the checkpoint finished.
+            let _finished_at = intended + checkpoint_cost;
+            assert_eq!(timer.next, intended + every, "tick {tick} did not drift");
+        }
+    }
+
+    /// A checkpoint that overruns whole periods skips to the next future
+    /// tick instead of firing a burst of catch-up checkpoints.
+    #[test]
+    fn overrunning_a_period_skips_to_the_next_future_tick() {
+        let start = Instant::now();
+        let every = Duration::from_secs(10);
+        let mut timer = CheckpointTimer::new(start, every);
+        // The first tick fires 25 s late (2.5 periods of checkpoint work).
+        assert!(timer.due(start + Duration::from_secs(35)));
+        assert_eq!(timer.next, start + Duration::from_secs(40));
+    }
+
+    /// Regression for the busy-wake bug: the old loop slept a flat 20 ms
+    /// regardless of `checkpoint_every` (50 wakeups/s forever). The sleep
+    /// must track the remaining time to the tick, capped at 250 ms for
+    /// shutdown responsiveness.
+    #[test]
+    fn sleep_tracks_remaining_time_capped_for_shutdown_polling() {
+        let start = Instant::now();
+        let every = Duration::from_secs(10);
+        let timer = CheckpointTimer::new(start, every);
+        // Far from the tick: the cap governs.
+        assert_eq!(timer.sleep_for(start), CHECKPOINT_POLL_CAP);
+        // Inside the last quarter second: sleep exactly the remainder.
+        let near = start + every - Duration::from_millis(40);
+        assert_eq!(timer.sleep_for(near), Duration::from_millis(40));
+        // At (or past) the tick: no sleep at all.
+        assert_eq!(timer.sleep_for(start + every), Duration::ZERO);
+        assert_eq!(
+            timer.sleep_for(start + every + Duration::from_secs(1)),
+            Duration::ZERO
+        );
     }
 }

@@ -61,6 +61,50 @@ fn scenario(question: u64, i: usize) -> Scenario {
     let mut rng = rng_for(question, i);
     let n = 8 + (rng.next_range(6) as usize); // 8..=13
     let seed = rng.next_u64();
+    // Two of the eight families come from the gs-workloads adversarial
+    // trace generators: the trace supplies both the update stream (with
+    // its own churn baked in) and, by materializing it, the exact side.
+    if i % 8 == 6 {
+        let trace = gs_workloads::GeneratorSpec::PowerLawChurn {
+            n,
+            attach: 2,
+            churn: rng.next_range(41) as usize,
+            seed,
+        }
+        .generate();
+        let graph = trace.materialize();
+        return Scenario {
+            tag: format!(
+                "#{i} trace:power-law-churn n={} m={} updates={}",
+                graph.n(),
+                graph.m(),
+                trace.updates.len()
+            ),
+            graph,
+            updates: trace.updates,
+        };
+    }
+    if i % 8 == 7 {
+        let trace = gs_workloads::GeneratorSpec::SlidingWindow {
+            n,
+            window: 2 + (rng.next_range(2) as usize),
+            batches: 5 + (rng.next_range(4) as usize),
+            rate: n,
+            seed,
+        }
+        .generate();
+        let graph = trace.materialize();
+        return Scenario {
+            tag: format!(
+                "#{i} trace:sliding-window n={} m={} updates={}",
+                graph.n(),
+                graph.m(),
+                trace.updates.len()
+            ),
+            graph,
+            updates: trace.updates,
+        };
+    }
     let (family, graph) = match i % 6 {
         0 => ("sparse", gen::gnp(n, 0.18, seed)),
         1 => ("dense", gen::gnp(n, 0.55, seed)),

@@ -399,3 +399,48 @@ fn refused_ingest_leaves_served_answers_unchanged() {
     assert_eq!(after, before, "refused delta must leave no residue");
     server.shutdown();
 }
+
+/// Regression (slow-client framing): a client that trickles a frame a
+/// few bytes at a time, pausing longer than the server's 100 ms read
+/// timeout between writes, must still be served. Before the fix the
+/// per-connection reader restarted the frame on every idle tick, so a
+/// slow-but-live client was dropped mid-frame.
+#[test]
+fn slow_client_trickling_one_frame_is_served() {
+    use std::io::Write;
+
+    let scratch = Scratch::new("trickle");
+    let server = start_server(scratch.path());
+    let addr = server.tcp_addr().unwrap().to_string();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    let body = Request {
+        corr: 7,
+        op: Opcode::Ping,
+        tenant: String::new(),
+        payload: b"slowly".to_vec(),
+    }
+    .encode();
+    let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&body);
+
+    // Dribble the frame in 3-byte slices, sleeping well past the
+    // server's read timeout so several idle ticks land mid-frame.
+    for piece in wire.chunks(3) {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    let resp = frame::read_frame(&mut stream, frame::MAX_FRAME)
+        .expect("response frame")
+        .expect("server kept the slow connection");
+    match Response::decode(&resp).unwrap() {
+        Response::Ok { corr, payload } => {
+            assert_eq!(corr, 7);
+            assert_eq!(payload, b"slowly");
+        }
+        other => panic!("expected OK pong, got {other:?}"),
+    }
+    server.shutdown();
+}
