@@ -1,0 +1,381 @@
+//! A small, dependency-free Rust lexer: just enough token structure for
+//! the rule engine in [`crate::rules`].
+//!
+//! The lexer's one job is to make the rules *sound against text tricks*:
+//! a banned construct mentioned inside a string literal, a doc comment,
+//! or a `#[doc = "..."]` attribute must never fire a rule, and a real
+//! construct must never hide behind one. So comments and string/char
+//! literals are lexed as opaque single tokens (comments are *kept* —
+//! the `SAFETY:` and `gs-lint:` rules read them), raw strings honor
+//! their `#` fencing, and lifetimes are distinguished from char
+//! literals. Everything else is idents, numbers, and one-byte
+//! punctuation — no parser, no `syn`, no precedence.
+
+/// What a token is. Punctuation is one byte per token (`::` is two
+/// `Punct(':')` tokens); the rules only ever look one byte around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `fn`, ...).
+    Ident,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`),
+    /// including the quotes.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal, suffix included.
+    Num,
+    /// One byte of punctuation.
+    Punct,
+    /// A `//…` or `/*…*/` comment, markers included. Block comments may
+    /// span lines; `line` is where the comment starts.
+    Comment,
+}
+
+/// One token: its kind, 1-based start line, and source text.
+#[derive(Clone, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub line: usize,
+    pub text: &'a str,
+}
+
+impl<'a> Tok<'a> {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` for a punctuation token with exactly this byte.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == ch as u8
+    }
+}
+
+/// Lexes a whole source file. Unterminated strings/comments are closed
+/// at end of input instead of failing: the linter must degrade to "saw
+/// fewer tokens", never to a crash, on a file mid-edit.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    line: start_line,
+                    text: &src[start..i],
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    line: start_line,
+                    text: &src[start..i],
+                });
+            }
+            b'"' => {
+                i = scan_string(b, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    line: start_line,
+                    text: &src[start..i],
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a backslash or a
+                // `'<one char>'` shape is a literal, anything else a
+                // lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    i += 2; // consume '\
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        line: start_line,
+                        text: &src[start..i],
+                    });
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    i += 3;
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        line: start_line,
+                        text: &src[start..i],
+                    });
+                } else {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line: start_line,
+                        text: &src[start..i],
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                i = scan_number(b, i);
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    line: start_line,
+                    text: &src[start..i],
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                // Raw / byte string and byte-char prefixes first, so raw
+                // strings get their no-escape, #-fenced scan.
+                if let Some(end) = scan_prefixed_literal(b, i, &mut line) {
+                    let kind = if b[i] == b'b' && b.get(i + 1) == Some(&b'\'') {
+                        TokKind::Char
+                    } else {
+                        TokKind::Str
+                    };
+                    i = end;
+                    toks.push(Tok {
+                        kind,
+                        line: start_line,
+                        text: &src[start..i],
+                    });
+                } else {
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        line: start_line,
+                        text: &src[start..i],
+                    });
+                }
+            }
+            _ => {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    line: start_line,
+                    text: &src[start..i],
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a normal (escaped) string body starting just past the opening
+/// quote; returns the index just past the closing quote.
+fn scan_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Tries to scan a `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`
+/// literal starting at `i` (which sits on the `r`/`b`). Returns the end
+/// index, or `None` when this is just an identifier starting with r/b.
+fn scan_prefixed_literal(b: &[u8], i: usize, line: &mut usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            // b'x' byte literal: reuse the char scan shape.
+            j += 1;
+            if j < b.len() && b[j] == b'\\' {
+                j += 1;
+            }
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            return Some((j + 1).min(b.len()));
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Raw string: no escapes, closes at `"` + `hashes` hashes.
+            j += 1;
+            loop {
+                if j >= b.len() {
+                    return Some(j);
+                }
+                if b[j] == b'\n' {
+                    *line += 1;
+                }
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    return Some(j + 1 + hashes);
+                }
+                j += 1;
+            }
+        }
+        // `r#ident` raw identifier or plain ident: not a literal.
+        return None;
+    }
+    if j < b.len() && b[j] == b'"' && j > i {
+        // b"…" byte string with normal escapes.
+        return Some(scan_string(b, j + 1, line));
+    }
+    None
+}
+
+/// Scans a numeric literal (ints, floats, hex/oct/bin, suffixes) without
+/// swallowing `..` range punctuation.
+fn scan_number(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fraction: a dot followed by a digit (so `1..n` stays a range and
+    // `1.min(x)` stays a method call).
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent sign: `2.5e-3` ends in `e` with a sign ahead.
+    if i < b.len()
+        && (b[i] == b'+' || b[i] == b'-')
+        && matches!(b.get(i.wrapping_sub(1)), Some(b'e' | b'E'))
+        && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r#"let x = "a.unwrap() // no"; // real comment"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment && t.contains("real comment")));
+    }
+
+    #[test]
+    fn raw_strings_honor_hash_fencing() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; x.unwrap()"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let toks = lex("/* a /* b */ c */\nident");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[1].kind, TokKind::Ident);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("0..10 1.min(x) 2.5e-3 0xFFu64");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "min"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "2.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "0xFFu64"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let m = b"AGMSKU1\n"; let c = b'\n'; let v = b;"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t.starts_with("b'")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "b"));
+    }
+}

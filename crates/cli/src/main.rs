@@ -12,6 +12,7 @@
 //! graph-sketch client     (--tcp ADDR | --unix PATH) <action> ...
 //! graph-sketch workload   gen --generator '<json>' [--seed <int>] [--out FILE] [--format bin|jsonl|text]
 //! graph-sketch experiment run --tasks FILE [--out DIR] [--seed <int>] [--tcp ADDR | --unix PATH] [--check]
+//! graph-sketch analyze    [--root DIR]
 //! graph-sketch serve-demo (<command> --n <v> | --spec '<json>') [--every <u>] < updates.txt
 //!
 //! commands:
@@ -53,6 +54,12 @@
 //!                         eps x repeats) against exact baselines and emit
 //!                         accuracy-vs-space-vs-time frontier tables;
 //!                         --check turns (eps, delta) guarantees into a gate
+//!   analyze               lint every .rs file under --root (default .)
+//!                         for the workspace invariants — panic-free
+//!                         parser zones, SAFETY comments, capped
+//!                         allocations, the GS_* env registry, and
+//!                         SIMD/scalar oracle pairing; exits 1 on any
+//!                         violation (the blocking CI job)
 //!   serve-demo            single-process demo of the resident idea: one
 //!                         in-process engine, stdin ingest, periodic
 //!                         snapshot decodes on stderr. No sockets, no
@@ -877,6 +884,30 @@ fn cmd_decode(args: &[String]) -> ExitCode {
     render_answer(&answer, json_body)
 }
 
+/// `graph-sketch analyze [--root DIR]` — the workspace invariant linter
+/// as a CLI verb. Defaults to the current directory (run it from the
+/// workspace root, as the CI job does).
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut root = std::path::PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = std::path::PathBuf::from(dir),
+                None => {
+                    eprintln!("analyze: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("analyze: unknown argument {other:?} (only --root <dir> is accepted)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::from(gs_analyze::run_cli(&root))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -888,6 +919,7 @@ fn main() -> ExitCode {
         Some("client") => serve_cmd::cmd_client(&args[1..]),
         Some("workload") => workload_cmd::cmd_workload(&args[1..]),
         Some("experiment") => workload_cmd::cmd_experiment(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve-demo") => cmd_query(&args[1..], true),
         _ => cmd_query(&args, false),
     }

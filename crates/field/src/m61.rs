@@ -121,7 +121,9 @@ impl M61 {
     /// constructors.
     #[inline]
     pub fn slice_as_words(s: &[M61]) -> &[u64] {
-        // Safety: M61 is repr(transparent) over u64.
+        // SAFETY: M61 is repr(transparent) over u64, so the two types have
+        // identical size, alignment, and validity; the pointer and length
+        // come from a live borrowed slice.
         unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u64, s.len()) }
     }
 
@@ -131,7 +133,10 @@ impl M61 {
     /// every arithmetic impl here relies on.
     #[inline]
     pub fn slice_as_words_mut(s: &mut [M61]) -> &mut [u64] {
-        // Safety: M61 is repr(transparent) over u64.
+        // SAFETY: M61 is repr(transparent) over u64 (identical size,
+        // alignment, validity), and `&mut` input guarantees the view is
+        // unique; every u64 bit pattern is a valid M61, so callers can only
+        // break the canonical-range invariant, not memory safety.
         unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut u64, s.len()) }
     }
 }

@@ -44,7 +44,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -187,6 +187,31 @@ impl Shared {
             eprintln!("gs-serve: {msg}");
         }
     }
+
+    /// Registry read access that survives lock poisoning. Request
+    /// handlers are panic-free by the no-panic-paths lint, so poison can
+    /// only come from a bug outside them — and even then the map (names
+    /// to `Arc`'d tenants) tolerates a mid-panic view: insert/remove on
+    /// a `BTreeMap` either happened or did not, and per-tenant state is
+    /// guarded separately. Refusing all service forever would turn one
+    /// dead worker into a full outage.
+    fn registry_read(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Mutex<Tenant>>>> {
+        self.tenants.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write counterpart of [`Shared::registry_read`]; same poisoning
+    /// argument.
+    fn registry_write(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<Mutex<Tenant>>>> {
+        self.tenants.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Tenant lock that survives poisoning, same argument as
+/// [`Shared::registry_read`]: a tenant abandoned mid-mutation stays
+/// `dirty`, so the write-then-rename checkpoint discipline still never
+/// persists a torn state file.
+fn lock_tenant(tenant: &Mutex<Tenant>) -> std::sync::MutexGuard<'_, Tenant> {
+    tenant.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The running server. Bind with [`Server::start`], stop with
@@ -272,7 +297,7 @@ impl Server {
 
         shared.log(format_args!(
             "serving {} tenant(s), worker budget {budget_size}, state dir {}",
-            shared.tenants.read().expect("registry lock").len(),
+            shared.registry_read().len(),
             config.state_dir.display(),
         ));
         Ok(Server {
@@ -548,12 +573,7 @@ fn err(corr: u64, code: ErrCode, msg: impl Into<String>) -> Response {
 
 /// Looks a tenant up under the registry read lock.
 fn lookup(shared: &Shared, name: &str) -> Option<Arc<Mutex<Tenant>>> {
-    shared
-        .tenants
-        .read()
-        .expect("registry lock")
-        .get(name)
-        .cloned()
+    shared.registry_read().get(name).cloned()
 }
 
 fn handle_create(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Response {
@@ -573,7 +593,7 @@ fn handle_create(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Resp
         Ok(f) => f,
         Err(e) => return err(corr, ErrCode::from_wire(&e), e.to_string()),
     };
-    let mut registry = shared.tenants.write().expect("registry lock");
+    let mut registry = shared.registry_write();
     if registry.contains_key(name) {
         return err(
             corr,
@@ -585,7 +605,7 @@ fn handle_create(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Resp
     let tenant = Arc::new(Mutex::new(tenant));
     // Persist immediately so a freshly created tenant survives a crash
     // that happens before the first periodic checkpoint.
-    if let Err(e) = checkpoint_tenant(&mut tenant.lock().expect("tenant lock"), &shared.state_dir) {
+    if let Err(e) = checkpoint_tenant(&mut lock_tenant(&tenant), &shared.state_dir) {
         return err(corr, ErrCode::Internal, e);
     }
     registry.insert(name.to_string(), tenant);
@@ -633,7 +653,7 @@ fn handle_ingest(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Resp
     let Some(tenant) = lookup(shared, name) else {
         return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
     };
-    let mut t = tenant.lock().expect("tenant lock");
+    let mut t = lock_tenant(&tenant);
     if payload.starts_with(graph_sketches::wire::DELTA_MAGIC) {
         let delta = match SketchDelta::from_bytes(payload) {
             Ok(d) => d,
@@ -688,7 +708,7 @@ fn handle_query(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Respo
     let Some(tenant) = lookup(shared, name) else {
         return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
     };
-    let mut t = tenant.lock().expect("tenant lock");
+    let mut t = lock_tenant(&tenant);
     let plan = match threads {
         0 => DecodePlan::sequential(),
         n => DecodePlan::with_threads(n as usize),
@@ -701,35 +721,37 @@ fn handle_query(shared: &Shared, corr: u64, name: &str, payload: &[u8]) -> Respo
         generation: t.updates_ingested,
         drains: t.deltas_applied,
     }];
-    let hit = !t.cache.is_disabled() && t.cache.cached().is_some_and(|a| a.stamps == key);
-    let merged = if hit {
-        None
-    } else {
-        match t.merged_state() {
-            Ok(m) => Some(m),
-            Err(e) => return err(corr, ErrCode::Internal, e),
-        }
-    };
     let started = Instant::now();
     let mut cache = std::mem::take(&mut t.cache);
-    let answer = cache.answer_banked(key, |c| {
-        let merged = merged.expect("miss path must have merged state");
-        let mut inner: DecodeCache<SketchAnswer> = c
-            .take_detail()
-            .unwrap_or_else(|| DecodeCache::with_disabled(c.is_disabled()));
-        let (reused, recomputed) = (inner.groups_reused(), inner.groups_recomputed());
-        let a = merged.decode_cached(&mut inner, &plan);
-        c.note_groups(
-            inner.groups_reused() - reused,
-            inner.groups_recomputed() - recomputed,
-        );
-        c.set_detail(inner);
-        a
-    });
+    let answer = match cache.answer_hit(&key) {
+        Some(answer) => {
+            t.cached_answer_ns += started.elapsed().as_nanos() as u64;
+            answer
+        }
+        None => {
+            let merged = match t.merged_state() {
+                Ok(m) => m,
+                Err(e) => {
+                    t.cache = cache;
+                    return err(corr, ErrCode::Internal, e);
+                }
+            };
+            cache.answer_banked(key, |c| {
+                let mut inner: DecodeCache<SketchAnswer> = c
+                    .take_detail()
+                    .unwrap_or_else(|| DecodeCache::with_disabled(c.is_disabled()));
+                let (reused, recomputed) = (inner.groups_reused(), inner.groups_recomputed());
+                let a = merged.decode_cached(&mut inner, &plan);
+                c.note_groups(
+                    inner.groups_reused() - reused,
+                    inner.groups_recomputed() - recomputed,
+                );
+                c.set_detail(inner);
+                a
+            })
+        }
+    };
     t.cache = cache;
-    if hit {
-        t.cached_answer_ns += started.elapsed().as_nanos() as u64;
-    }
     Response::Ok {
         corr,
         payload: answer.to_json().into_bytes(),
@@ -740,7 +762,7 @@ fn handle_snapshot(shared: &Shared, corr: u64, name: &str) -> Response {
     let Some(tenant) = lookup(shared, name) else {
         return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
     };
-    let mut t = tenant.lock().expect("tenant lock");
+    let mut t = lock_tenant(&tenant);
     let merged = match t.merged_state() {
         Ok(m) => m,
         Err(e) => return err(corr, ErrCode::Internal, e),
@@ -756,7 +778,7 @@ fn handle_snapshot(shared: &Shared, corr: u64, name: &str) -> Response {
 }
 
 fn handle_drop(shared: &Shared, corr: u64, name: &str) -> Response {
-    let removed = shared.tenants.write().expect("registry lock").remove(name);
+    let removed = shared.registry_write().remove(name);
     match removed {
         Some(_) => {
             let _ = std::fs::remove_file(state_path(&shared.state_dir, name));
@@ -771,13 +793,13 @@ fn handle_drop(shared: &Shared, corr: u64, name: &str) -> Response {
 }
 
 fn handle_stats(shared: &Shared, corr: u64, name: &str) -> Response {
-    let registry = shared.tenants.read().expect("registry lock");
+    let registry = shared.registry_read();
     let mut per_tenant = Vec::new();
     for (tname, tenant) in registry.iter() {
         if !name.is_empty() && tname != name {
             continue;
         }
-        per_tenant.push(tenant.lock().expect("tenant lock").stats());
+        per_tenant.push(lock_tenant(tenant).stats());
     }
     if !name.is_empty() && per_tenant.is_empty() {
         return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
@@ -807,7 +829,7 @@ fn handle_checkpoint(shared: &Shared, corr: u64, name: &str) -> Response {
     let Some(tenant) = lookup(shared, name) else {
         return err(corr, ErrCode::NoSuchTenant, format!("no tenant {name:?}"));
     };
-    let mut t = tenant.lock().expect("tenant lock");
+    let mut t = lock_tenant(&tenant);
     match checkpoint_tenant(&mut t, &shared.state_dir) {
         Ok(persisted) => Response::Ok {
             corr,
@@ -840,16 +862,10 @@ fn checkpoint_tenant(t: &mut Tenant, dir: &Path) -> Result<bool, String> {
 
 /// Checkpoints every dirty tenant; returns how many were persisted.
 fn checkpoint_all(shared: &Shared) -> usize {
-    let tenants: Vec<_> = shared
-        .tenants
-        .read()
-        .expect("registry lock")
-        .values()
-        .cloned()
-        .collect();
+    let tenants: Vec<_> = shared.registry_read().values().cloned().collect();
     let mut persisted = 0;
     for tenant in tenants {
-        let mut t = tenant.lock().expect("tenant lock");
+        let mut t = lock_tenant(&tenant);
         match checkpoint_tenant(&mut t, &shared.state_dir) {
             Ok(true) => persisted += 1,
             Ok(false) => {}
@@ -959,15 +975,13 @@ fn recover_tenants(shared: &Shared) {
             .and_then(|bytes| SketchFile::from_bytes(&bytes));
         match loaded {
             Ok(base) => {
-                let recovered_so_far = shared.tenants.read().expect("registry lock").len();
+                let recovered_so_far = shared.registry_read().len();
                 let mut tenant = build_tenant(shared, recovered_so_far, name.to_string(), base);
                 // `build_tenant` marks fresh tenants dirty; a recovered
                 // tenant is byte-identical to its file until new ingest.
                 tenant.dirty = false;
                 shared
-                    .tenants
-                    .write()
-                    .expect("registry lock")
+                    .registry_write()
                     .insert(name.to_string(), Arc::new(Mutex::new(tenant)));
                 shared.log(format_args!("recovered tenant {name}"));
             }

@@ -113,8 +113,7 @@ impl<O> DecodeCache<O> {
     /// cache recomputes every answer from scratch and stores nothing —
     /// the bit-identity oracle.
     pub fn new() -> Self {
-        let disabled = std::env::var_os("GS_NO_DECODE_CACHE").is_some_and(|v| v != "0");
-        Self::with_disabled(disabled)
+        Self::with_disabled(crate::env::no_decode_cache())
     }
 
     /// An empty cache with the memo explicitly enabled or disabled
@@ -201,6 +200,26 @@ impl<O> DecodeCache<O> {
 }
 
 impl<O: Clone> DecodeCache<O> {
+    /// The hit half of [`DecodeCache::answer_banked`] on its own: the
+    /// memoized answer for exactly `stamps`, counting a hit — `None` when
+    /// the memo is disabled, empty, or stale. Callers that need the miss
+    /// work to borrow state the recompute closure could not (e.g. a
+    /// freshly merged snapshot) probe with this first and call
+    /// `answer_banked` only on `None`; a stale memo is left for
+    /// `answer_banked` to invalidate so the counters tally the same
+    /// either way.
+    pub fn answer_hit(&mut self, stamps: &[BankStamp]) -> Option<O> {
+        if self.disabled {
+            return None;
+        }
+        let ans = self.answer.as_ref()?;
+        if ans.stamps != stamps {
+            return None;
+        }
+        self.hits += 1;
+        Some(ans.output.clone())
+    }
+
     /// The memoization core: returns the cached answer when `stamps`
     /// matches the memo, otherwise runs `recompute` (which may itself use
     /// the structural-memo slot through the `&mut Self` it receives) and
@@ -267,6 +286,35 @@ mod tests {
         fn fingerprints_mut(&mut self) -> Vec<&mut gs_field::M61> {
             Vec::new()
         }
+    }
+
+    #[test]
+    fn answer_hit_probes_without_recompute() {
+        let mut cache: DecodeCache<u64> = DecodeCache::with_disabled(false);
+        let key = vec![BankStamp {
+            generation: 3,
+            drains: 1,
+        }];
+        // Empty memo: the probe misses and counts nothing.
+        assert_eq!(cache.answer_hit(&key), None);
+        assert_eq!(cache.hits(), 0);
+        // Arm the memo, then probe: a hit with the same accounting the
+        // full answer_banked path would produce.
+        assert_eq!(cache.answer_banked(key.clone(), |_| 7u64), 7);
+        assert_eq!(cache.answer_hit(&key), Some(7));
+        assert_eq!(cache.hits(), 1);
+        // Stale stamps miss and leave the memo for answer_banked to
+        // invalidate — invalidation accounting stays in one place.
+        let newer = vec![BankStamp {
+            generation: 4,
+            drains: 1,
+        }];
+        assert_eq!(cache.answer_hit(&newer), None);
+        assert_eq!(cache.invalidations(), 0);
+        // A disabled cache never reports hits.
+        let mut off: DecodeCache<u64> = DecodeCache::with_disabled(true);
+        assert_eq!(off.answer_banked(key.clone(), |_| 9u64), 9);
+        assert_eq!(off.answer_hit(&key), None);
     }
 
     #[test]

@@ -135,14 +135,17 @@ impl<T: Copy + Default> AlignedBuf<T> {
 
     /// The elements as a contiguous slice (32-byte-aligned start).
     pub fn as_slice(&self) -> &[T] {
-        // Safety: Block is repr(C) [T; 4], so `blocks` is a contiguous run
-        // of `4 · blocks.len() ≥ len` initialized `T`s.
+        // SAFETY: Block is repr(C) [T; 4] with 32-byte alignment, so
+        // `blocks` is a contiguous, aligned run of `4 · blocks.len() ≥ len`
+        // initialized `T`s; the constructed length invariant bounds `len`.
         unsafe { std::slice::from_raw_parts(self.blocks.as_ptr() as *const T, self.len) }
     }
 
     /// Mutable counterpart of [`AlignedBuf::as_slice`].
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        // Safety: as in `as_slice`; tail elements beyond `len` are never
+        // SAFETY: as in `as_slice` (repr(C) blocks give a contiguous,
+        // aligned run of at least `len` initialized `T`s); `&mut self`
+        // guarantees uniqueness, and tail elements beyond `len` are never
         // exposed.
         unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr() as *mut T, self.len) }
     }

@@ -37,6 +37,7 @@
 pub mod bank;
 pub mod cache;
 pub mod domain;
+pub mod env;
 pub mod l0;
 pub mod lane;
 pub mod linear;

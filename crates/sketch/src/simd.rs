@@ -42,7 +42,7 @@ pub fn force_scalar(on: bool) {
 pub fn simd_available() -> bool {
     static AVAIL: OnceLock<bool> = OnceLock::new();
     *AVAIL.get_or_init(|| {
-        if std::env::var_os("GS_NO_SIMD").is_some_and(|v| v != "0") {
+        if crate::env::no_simd() {
             return false;
         }
         #[cfg(target_arch = "x86_64")]
@@ -92,7 +92,9 @@ pub fn add_i64(dst: &mut [i64], src: &[i64]) -> bool {
     debug_assert_eq!(dst.len(), src.len());
     #[cfg(target_arch = "x86_64")]
     if dst.len() >= SIMD_MIN_LEN && simd_enabled() {
-        // Safety: AVX2 presence was verified at run time.
+        // SAFETY: simd_enabled() verified AVX2 at run time, satisfying the
+        // target_feature contract; dst/src borrow live slices whose equal
+        // length the kernel's own loop bound respects.
         return unsafe { add_i64_avx2(dst, src) };
     }
     add_i64_scalar(dst, src)
@@ -115,7 +117,9 @@ pub fn fan_i64_scalar(dst: &mut [i64], c: i64) -> bool {
 pub fn fan_i64(dst: &mut [i64], c: i64) -> bool {
     #[cfg(target_arch = "x86_64")]
     if dst.len() >= SIMD_MIN_LEN && simd_enabled() {
-        // Safety: AVX2 presence was verified at run time.
+        // SAFETY: simd_enabled() verified AVX2 at run time, satisfying the
+        // target_feature contract; dst borrows a live slice and the kernel
+        // never reads or writes past dst.len().
         return unsafe { fan_i64_avx2(dst, c) };
     }
     fan_i64_scalar(dst, c)
@@ -138,7 +142,9 @@ pub fn add_m61(dst: &mut [M61], src: &[M61]) {
     debug_assert_eq!(dst.len(), src.len());
     #[cfg(target_arch = "x86_64")]
     if dst.len() >= SIMD_MIN_LEN && simd_enabled() {
-        // Safety: AVX2 verified; M61 is repr(transparent) u64.
+        // SAFETY: simd_enabled() verified AVX2 at run time; slice_as_words
+        // reinterprets M61 (repr(transparent) over u64) with identical
+        // length and alignment, so the kernel sees the same memory extent.
         unsafe {
             add_m61_avx2(M61::slice_as_words_mut(dst), M61::slice_as_words(src));
         }
@@ -159,7 +165,9 @@ pub fn fan_m61_scalar(dst: &mut [M61], c: M61) {
 pub fn fan_m61(dst: &mut [M61], c: M61) {
     #[cfg(target_arch = "x86_64")]
     if dst.len() >= SIMD_MIN_LEN && simd_enabled() {
-        // Safety: AVX2 verified; M61 is repr(transparent) u64.
+        // SAFETY: simd_enabled() verified AVX2 at run time; slice_as_words_mut
+        // reinterprets M61 (repr(transparent) over u64) with identical length
+        // and alignment, and c.value() is a canonical (< P) residue.
         unsafe {
             fan_m61_avx2(M61::slice_as_words_mut(dst), c.value());
         }
@@ -170,6 +178,11 @@ pub fn fan_m61(dst: &mut [M61], c: M61) {
 
 // ------------------------------------------------------------ AVX2 bodies
 
+// SAFETY: callers must have verified AVX2 support (the dispatchers gate on
+// simd_enabled()). All loads/stores are the unaligned variants (loadu/storeu),
+// so slice alignment is irrelevant; the vector loop covers len/4 full blocks
+// of 4 i64 lanes and the tail loop finishes in scalar, so no access passes
+// dst.len() == src.len() (debug-asserted by the dispatcher).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn add_i64_avx2(dst: &mut [i64], src: &[i64]) -> bool {
@@ -200,6 +213,10 @@ unsafe fn add_i64_avx2(dst: &mut [i64], src: &[i64]) -> bool {
     any
 }
 
+// SAFETY: callers must have verified AVX2 support (the dispatchers gate on
+// simd_enabled()). Unaligned loadu/storeu throughout, so alignment is
+// irrelevant; the vector loop covers len/4 full blocks and the tail loop
+// finishes in scalar, so no access passes dst.len().
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fan_i64_avx2(dst: &mut [i64], c: i64) -> bool {
@@ -230,6 +247,11 @@ unsafe fn fan_i64_avx2(dst: &mut [i64], c: i64) -> bool {
 /// Reduced field elements are `< 2^61`, so `a + b < 2^62`: the u64 sum
 /// never wraps and its sign bit stays clear, making the *signed* vector
 /// compare against `P − 1` agree with the scalar unsigned `sum ≥ P`.
+// SAFETY: callers must have verified AVX2 support (the dispatchers gate on
+// simd_enabled()). Unaligned loadu/storeu throughout; the vector loop covers
+// len/4 full blocks and the tail finishes in scalar, so no access passes
+// dst.len() == src.len(). Inputs are canonical (< P) residues, so the
+// add-then-conditional-subtract never wraps u64.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn add_m61_avx2(dst: &mut [u64], src: &[u64]) {
@@ -259,6 +281,11 @@ unsafe fn add_m61_avx2(dst: &mut [u64], src: &[u64]) {
     }
 }
 
+// SAFETY: callers must have verified AVX2 support (the dispatchers gate on
+// simd_enabled()). Unaligned loadu/storeu throughout; the vector loop covers
+// len/4 full blocks and the tail finishes in scalar, so no access passes
+// dst.len(). `c` and every lane are canonical (< P) residues, so the
+// add-then-conditional-subtract never wraps u64.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fan_m61_avx2(dst: &mut [u64], c: u64) {

@@ -464,7 +464,7 @@ mod tests {
             seed: 5,
         };
         let t = spec.generate();
-        let g = t.materialize();
+        let g = t.materialize().expect("generated traces materialize");
         assert!(g.is_connected());
         let max_deg = (0..200).map(|v| g.degree(v)).max().unwrap();
         let mut degs: Vec<usize> = (0..200).map(|v| g.degree(v)).collect();
@@ -486,7 +486,7 @@ mod tests {
         let t = spec.generate();
         // 9 batches of 11 inserts; 7 batches expired as deletes.
         assert_eq!(t.updates.len(), 9 * 11 + 7 * 11);
-        let g = t.materialize();
+        let g = t.materialize().expect("generated traces materialize");
         // Survivors: the last 2 batches (multiplicities may overlap).
         let total: u64 = g.edges().iter().map(|&(_, _, w)| w).sum();
         assert_eq!(total, 2 * 11);
@@ -501,7 +501,7 @@ mod tests {
             seed: 9,
         };
         let t = spec.generate();
-        let g = t.materialize();
+        let g = t.materialize().expect("generated traces materialize");
         assert_eq!(stoer_wagner::min_cut_value(&g), 3);
         // Mid-stream the cross cut really does exceed the final value.
         let mut mult = std::collections::BTreeMap::new();
@@ -529,7 +529,7 @@ mod tests {
             seed: 17,
         };
         let t = spec.generate();
-        let g = t.materialize();
+        let g = t.materialize().expect("generated traces materialize");
         let side: Vec<bool> = (0..n).map(|v| v < n / 2).collect();
         assert!(
             g.cut_value(&side) * 4 < g.m() as u64,
@@ -553,7 +553,7 @@ mod tests {
         };
         let t = spec.generate();
         assert_eq!(t.kind, UpdateKind::Weighted);
-        let g = t.materialize();
+        let g = t.materialize().expect("generated traces materialize");
         assert!(g.m() > 0);
         assert!(g.edges().iter().all(|&(_, _, w)| (1..=12).contains(&w)));
         // Decoys cancelled: insert count exceeds surviving edge count.

@@ -581,7 +581,10 @@ fn score(
     answer: &SketchAnswer,
     opts: &RunnerOpts,
 ) -> (f64, bool, String) {
-    let g = trace.materialize();
+    let g = match trace.materialize() {
+        Ok(g) => g,
+        Err(e) => return (1.0, false, format!("trace does not materialize: {e}")),
+    };
     let audit_seed = spec.seed ^ 0xA0D1_7000;
     let verdict = |sketch: bool, exact: bool, what: &str| {
         (

@@ -82,6 +82,14 @@ pub enum TraceError {
         /// What was wrong with it.
         detail: String,
     },
+    /// The updates sum to a negative net count on some edge — the trace
+    /// deletes copies that were never inserted.
+    Negative {
+        /// The offending endpoints.
+        u: usize,
+        /// See `u`.
+        v: usize,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -97,6 +105,9 @@ impl std::fmt::Display for TraceError {
             TraceError::Meta(detail) => write!(f, "bad trace meta: {detail}"),
             TraceError::Update { index, detail } => {
                 write!(f, "bad update #{index}: {detail}")
+            }
+            TraceError::Negative { u, v } => {
+                write!(f, "edge ({u}, {v}) ends with negative net multiplicity")
             }
         }
     }
@@ -175,18 +186,25 @@ impl Trace {
                 .checked_add(len)
                 .filter(|&e| e <= bytes.len())
                 .ok_or(TraceError::Truncated { at: bytes.len() })?;
-            let slice = &bytes[*at..end];
+            let slice = bytes
+                .get(*at..end)
+                .ok_or(TraceError::Truncated { at: bytes.len() })?;
             *at = end;
             Ok(slice)
         };
+        // `take` returns exactly `len` bytes or errors, so the fixed-size
+        // view always converts; a typed error keeps the path panic-free.
+        fn word<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], TraceError> {
+            bytes.try_into().map_err(|_| TraceError::Truncated { at })
+        }
         if take(&mut at, 8)? != TRACE_MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(word(take(&mut at, 4)?, at)?);
         if version != TRACE_VERSION {
             return Err(TraceError::Version { found: version });
         }
-        let meta_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+        let meta_len = u32::from_le_bytes(word(take(&mut at, 4)?, at)?) as usize;
         if meta_len > MAX_META {
             return Err(TraceError::Length(format!(
                 "meta declares {meta_len} bytes, the cap is {MAX_META}"
@@ -197,7 +215,7 @@ impl Trace {
             .map_err(|_| TraceError::Meta("meta is not UTF-8".into()))?;
         let meta = Value::from_json(meta_text).map_err(|e| TraceError::Meta(e.to_string()))?;
         let (generator, kind, n) = Trace::meta_from_value(&meta)?;
-        let count = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes")) as usize;
+        let count = u64::from_le_bytes(word(take(&mut at, 8)?, at)?) as usize;
         // The declared count must be exactly backed by the remaining
         // bytes (minus the trailing checksum) — checked before the
         // allocation, so a hostile count cannot reserve unbacked memory.
@@ -213,16 +231,23 @@ impl Trace {
             )));
         }
         let body_end = at + 24 * count;
-        let declared =
-            u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
-        if v2_checksum(&bytes[..body_end]) != declared {
+        let body = bytes
+            .get(..body_end)
+            .ok_or(TraceError::Truncated { at: bytes.len() })?;
+        let declared = u64::from_le_bytes(word(
+            bytes
+                .get(body_end..body_end + 8)
+                .ok_or(TraceError::Truncated { at: bytes.len() })?,
+            body_end,
+        )?);
+        if v2_checksum(body) != declared {
             return Err(TraceError::Checksum);
         }
-        let mut updates = Vec::with_capacity(count);
+        let mut updates = Vec::with_capacity(count.min(remaining / 24 + 1));
         for index in 0..count {
-            let u = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes")) as usize;
-            let v = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes")) as usize;
-            let delta = i64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes"));
+            let u = u64::from_le_bytes(word(take(&mut at, 8)?, at)?) as usize;
+            let v = u64::from_le_bytes(word(take(&mut at, 8)?, at)?) as usize;
+            let delta = i64::from_le_bytes(word(take(&mut at, 8)?, at)?);
             let up = EdgeUpdate { u, v, delta };
             up.validate(n).map_err(|e| TraceError::Update {
                 index,
@@ -277,10 +302,12 @@ impl Trace {
                     detail: "expected [u, v, delta]".into(),
                 })?;
             let field = |i: usize, name: &str| {
-                seq[i].as_i64().ok_or_else(|| TraceError::Update {
-                    index,
-                    detail: format!("non-integer {name}"),
-                })
+                seq.get(i)
+                    .and_then(|x| x.as_i64())
+                    .ok_or_else(|| TraceError::Update {
+                        index,
+                        detail: format!("non-integer {name}"),
+                    })
             };
             let up = EdgeUpdate {
                 u: field(0, "u")? as usize,
@@ -333,11 +360,12 @@ impl Trace {
     /// Reconstructs the exact final graph the stream leaves behind —
     /// the baseline the experiment runner scores sketch answers against.
     ///
-    /// # Panics
-    /// Panics if the stream is not a valid dynamic stream (a deletion
-    /// without a matching prior insertion), which would mean a generator
-    /// bug — traces from [`GeneratorSpec::generate`] never trip it.
-    pub fn materialize(&self) -> Graph {
+    /// A stream that is not a valid dynamic stream (a deletion without a
+    /// matching prior insertion) is refused as [`TraceError::Negative`]:
+    /// traces from [`GeneratorSpec::generate`] never trip it, but a trace
+    /// loaded from a file is untrusted input and must not panic the
+    /// caller.
+    pub fn materialize(&self) -> Result<Graph, TraceError> {
         match self.kind {
             UpdateKind::Unit => {
                 // Net multiplicity per pair becomes the edge weight.
@@ -348,12 +376,14 @@ impl Trace {
                 }
                 let mut g = Graph::new(self.n);
                 for ((u, v), m) in mult {
-                    assert!(m >= 0, "negative final multiplicity on ({u}, {v})");
+                    if m < 0 {
+                        return Err(TraceError::Negative { u, v });
+                    }
                     if m > 0 {
                         g.add_edge(u, v, m as u64);
                     }
                 }
-                g
+                Ok(g)
             }
             UpdateKind::Weighted => {
                 // Net copy count per (pair, weight); distinct weights on
@@ -365,12 +395,14 @@ impl Trace {
                 }
                 let mut g = Graph::new(self.n);
                 for ((u, v, w), c) in copies {
-                    assert!(c >= 0, "negative final count on ({u}, {v}, w={w})");
+                    if c < 0 {
+                        return Err(TraceError::Negative { u, v });
+                    }
                     for _ in 0..c {
                         g.add_edge(u, v, w);
                     }
                 }
-                g
+                Ok(g)
             }
         }
     }
@@ -395,6 +427,23 @@ mod tests {
         let t = sample();
         let bytes = t.to_bytes();
         assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn invalid_dynamic_stream_is_a_typed_error_not_a_panic() {
+        // A trace that deletes an edge never inserted: a hostile (or
+        // corrupted-but-checksum-valid) file must refuse materialization
+        // with TraceError::Negative instead of panicking the caller.
+        let mut t = sample();
+        t.updates = vec![EdgeUpdate {
+            u: 0,
+            v: 1,
+            delta: -1,
+        }];
+        match t.materialize() {
+            Err(TraceError::Negative { u: 0, v: 1 }) => {}
+            other => panic!("expected Negative error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,11 +28,9 @@ const CUT_SCENARIOS: usize = 32;
 
 /// Base seed for the whole harness: fixed, overridable via `GS_DIFF_SEED`.
 fn base_seed() -> u64 {
-    match std::env::var("GS_DIFF_SEED") {
-        Ok(text) => text
-            .parse()
-            .unwrap_or_else(|_| panic!("GS_DIFF_SEED must be a u64, got {text:?}")),
-        Err(_) => 1,
+    match gs_sketch::env::diff_seed() {
+        Ok(seed) => seed.unwrap_or(1),
+        Err(msg) => panic!("{msg}"),
     }
 }
 
@@ -72,7 +70,7 @@ fn scenario(question: u64, i: usize) -> Scenario {
             seed,
         }
         .generate();
-        let graph = trace.materialize();
+        let graph = trace.materialize().expect("generated traces materialize");
         return Scenario {
             tag: format!(
                 "#{i} trace:power-law-churn n={} m={} updates={}",
@@ -93,7 +91,7 @@ fn scenario(question: u64, i: usize) -> Scenario {
             seed,
         }
         .generate();
-        let graph = trace.materialize();
+        let graph = trace.materialize().expect("generated traces materialize");
         return Scenario {
             tag: format!(
                 "#{i} trace:sliding-window n={} m={} updates={}",
